@@ -1,0 +1,52 @@
+"""Figure 3: roofline — AI arithmetic intensity is the highest.
+
+Regenerates the motivation figure's content: workload points on the
+intensity axis against a server-class and an AI-class roofline, asserting
+the ordering the paper draws (every AI workload right of every
+general-purpose workload, and AI workloads compute-bound only on
+bandwidth-rich machines).
+"""
+
+from repro.analysis import format_table
+from repro.workloads import FIG3_POINTS, RooflineModel
+from repro.workloads.roofline import intensity_ordering_holds
+
+from common import save_result
+
+
+def compute_fig3():
+    server = RooflineModel("server-cpu", peak_flops=3.0e12,
+                           memory_bandwidth=200e9)
+    ai = RooflineModel("ai-processor", peak_flops=320e12,
+                       memory_bandwidth=3.0e12)
+    rows = []
+    for point in sorted(FIG3_POINTS, key=lambda p: p.arithmetic_intensity):
+        rows.append([
+            point.name,
+            point.domain,
+            f"{point.arithmetic_intensity:g}",
+            f"{server.attainable_flops(point.arithmetic_intensity)/1e9:.0f}",
+            f"{ai.attainable_flops(point.arithmetic_intensity)/1e12:.1f}",
+        ])
+    return server, ai, rows
+
+
+def test_fig03_roofline(benchmark):
+    server, ai, rows = benchmark.pedantic(compute_fig3, rounds=1, iterations=1)
+    text = "== Figure 3: roofline points ==\n" + format_table(
+        ["workload", "domain", "FLOP/byte", "server GFLOP/s", "AI TFLOP/s"],
+        rows,
+    )
+    print("\n" + save_result("fig03_roofline", text))
+
+    # Paper's claim 1: AI intensity strictly highest.
+    assert intensity_ordering_holds(FIG3_POINTS)
+    # Paper's claim 2: AI workloads demand bandwidth — on the server
+    # roofline they are memory bound far below its ridge.
+    ai_points = [p for p in FIG3_POINTS if p.domain == "ai"]
+    assert all(p.arithmetic_intensity > 5 for p in ai_points)
+    # Server workloads sit deep in the memory-bound regime of both machines.
+    for p in FIG3_POINTS:
+        if p.domain == "server":
+            assert server.is_memory_bound(p.arithmetic_intensity)
+            assert ai.is_memory_bound(p.arithmetic_intensity)

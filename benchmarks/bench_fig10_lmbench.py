@@ -1,0 +1,108 @@
+"""Figure 10: LMBench NoC bandwidth vs Intel-8280 / AMD-7742 models.
+
+Regenerates both panels: single-core bandwidth (one core pulling the
+package's DDR through the NoC — dominated by outstanding-miss capacity x
+latency) and all-core bandwidth (every cluster competing — dominated by
+fabric and DDR contention).  DDR channels are identical across platforms
+(the paper normalizes them).
+
+Platform models (DESIGN.md): ours = multi-ring chiplet package;
+Intel-8280 = monolithic bufferless single ring with ring-era
+outstanding-miss depth; AMD-7742 = switched star through the IO die with
+deep MSHRs.  The per-core miss windows (8/20/24) are the
+microarchitectural constants that, with each fabric's simulated latency,
+set single-core bandwidth.
+"""
+
+import dataclasses
+from typing import Dict
+
+from repro.analysis import ComparisonTable
+from repro.workloads.lmbench import LMBENCH_KERNELS, run_kernel
+from repro.cpu import ServerPackage
+
+from common import BENCH_SERVER_CONFIG, memo, save_result
+
+#: (fabric kind, per-core outstanding-miss depth).
+PLATFORMS = {
+    "ours": ("multiring", 24),
+    "intel8280": ("single_ring", 8),
+    "amd7742": ("switched_star", 20),
+}
+SINGLE_KERNELS = ["rd", "frd", "wr", "cp", "bcopy"]
+ALL_KERNELS = ["rd", "wr", "cp"]
+PAPER_SINGLE = {"intel8280": 3.23, "amd7742": 1.77}
+PAPER_ALLCORE = {"intel8280": 1.19, "amd7742": 1.7}
+
+
+def _package(platform: str) -> ServerPackage:
+    fabric_kind, mlp = PLATFORMS[platform]
+    config = dataclasses.replace(BENCH_SERVER_CONFIG, max_mshrs=mlp + 8)
+    return ServerPackage(config, fabric_kind=fabric_kind)
+
+
+def run_fig10() -> Dict:
+    single: Dict[str, Dict[str, float]] = {}
+    allcore: Dict[str, Dict[str, float]] = {}
+    for platform, (fabric_kind, mlp) in PLATFORMS.items():
+        single[platform] = {}
+        for kernel in SINGLE_KERNELS:
+            package = _package(platform)
+            result = run_kernel(package, LMBENCH_KERNELS[kernel], [(0, 0)],
+                                lines_per_core=192, mlp=mlp)
+            single[platform][kernel] = result["gbps_per_channel"]
+        allcore[platform] = {}
+        for kernel in ALL_KERNELS:
+            package = _package(platform)
+            clusters = [(ccd, cl)
+                        for ccd in range(package.config.n_ccds)
+                        for cl in range(package.config.clusters_per_ccd)]
+            result = run_kernel(package, LMBENCH_KERNELS[kernel], clusters,
+                                lines_per_core=48, mlp=8)
+            allcore[platform][kernel] = result["gbps_per_channel"]
+    return {"single": single, "allcore": allcore}
+
+
+def get_fig10():
+    return memo("fig10", run_fig10)
+
+
+def _mean_ratio(ours: Dict[str, float], other: Dict[str, float]) -> float:
+    ratios = [ours[k] / other[k] for k in ours]
+    return sum(ratios) / len(ratios)
+
+
+def test_fig10_lmbench_bandwidth(benchmark):
+    results = benchmark.pedantic(get_fig10, rounds=1, iterations=1)
+    single, allcore = results["single"], results["allcore"]
+
+    table = ComparisonTable("Figure 10: LMBench bandwidth ratios (ours/other)")
+    for baseline in ("intel8280", "amd7742"):
+        table.add(f"single-core vs {baseline}", PAPER_SINGLE[baseline],
+                  _mean_ratio(single["ours"], single[baseline]))
+        table.add(f"all-core vs {baseline}", PAPER_ALLCORE[baseline],
+                  _mean_ratio(allcore["ours"], allcore[baseline]))
+    rows = []
+    for kernel in SINGLE_KERNELS:
+        rows.append([kernel] + [f"{single[p][kernel]:.2f}" for p in PLATFORMS])
+    from repro.analysis import format_table
+    detail = "== single-core GB/s per DDR channel ==\n" + format_table(
+        ["kernel"] + list(PLATFORMS), rows)
+    print("\n" + save_result("fig10_lmbench",
+                             table.render() + "\n\n" + detail))
+
+    # Shape: ours leads both baselines in single-core bandwidth, with the
+    # Intel ring-era model trailing the AMD model (as in the paper).
+    ours_vs_intel = _mean_ratio(single["ours"], single["intel8280"])
+    ours_vs_amd = _mean_ratio(single["ours"], single["amd7742"])
+    assert ours_vs_intel > 1.5, ours_vs_intel
+    assert ours_vs_amd > 1.2, ours_vs_amd
+    assert ours_vs_intel > ours_vs_amd
+    # All-core: ours at least matches both baselines' utilization.  (The
+    # paper's 1.19x/1.7x all-core gaps come from platform effects — DDR
+    # scheduling, NUMA — outside the NoC model; at saturation all three
+    # simulated fabrics feed the same DDR channels.  See EXPERIMENTS.md.)
+    assert _mean_ratio(allcore["ours"], allcore["intel8280"]) > 0.95
+    assert _mean_ratio(allcore["ours"], allcore["amd7742"]) > 0.95
+    # Read-class and copy-class kernels both produce data (sanity).
+    assert all(v > 0 for p in PLATFORMS for v in single[p].values())

@@ -1,0 +1,110 @@
+"""Figure 12: SPECint-2017 across platforms and scalings.
+
+Regenerates the four panels: (A) single-core performance, (B) one
+package, (C) scaled down to the Intel-8180-class core count, (D) scaled
+to the AMD-7742-class count.  Per DESIGN.md, cores are held equal across
+platforms (the paper's cores differ, but the NoC comparison is the
+point): each platform's score comes from the CPI+MPKI model driven by
+its *simulated* memory latency under the panel's load.
+"""
+
+from typing import Dict
+
+from repro.analysis import ComparisonTable, format_table
+from repro.workloads.spec import (
+    SPECINT_2017,
+    measure_memory_latency,
+    normalized_suite,
+    suite_scores,
+)
+
+from repro.params import LATENCY
+
+from common import BENCH_SERVER_CONFIG, memo, save_result
+
+#: Intel mesh dies top out around 28 cores (7 clusters); beyond that the
+#: platform is a 2-socket NUMA system and interleaved memory pays a UPI
+#: crossing on half the accesses (consistent with Table 5's inter row).
+INTEL_SOCKET_CLUSTERS = 7
+
+
+def intel_numa_penalty(n_active_clusters: int) -> float:
+    if n_active_clusters <= INTEL_SOCKET_CLUSTERS:
+        return 0.0
+    return LATENCY.serdes_link / 2.0
+
+#: Our package model and the two baseline organizations.
+PLATFORMS = {
+    "ours": "multiring",
+    "intel": "mesh",
+    "amd": "switched_star",
+}
+SUITE = SPECINT_2017
+RESULT_NAME = "fig12_specint2017"
+TITLE = "Figure 12: SPECint-2017 (ours/baseline geomean)"
+CACHE_KEY = "fig12"
+
+
+def run_suite_comparison() -> Dict:
+    config = BENCH_SERVER_CONFIG
+    total_clusters = config.total_clusters
+    panels = {
+        "single-core": 1,
+        "package": total_clusters,
+        "scaled-8180-class": max(2, total_clusters // 2),   # 28-core class
+        "scaled-7742-class": max(2, (total_clusters * 2) // 3),
+    }
+    latencies: Dict = {}
+    for platform, fabric in PLATFORMS.items():
+        for panel, n_active in panels.items():
+            latency = measure_memory_latency(fabric, n_active, config)
+            if platform == "intel":
+                latency += intel_numa_penalty(n_active)
+            latencies[(platform, panel)] = latency
+    scores: Dict = {}
+    for (platform, panel), latency in latencies.items():
+        n = panels[panel]
+        scores[(platform, panel)] = suite_scores(SUITE, latency, n_cores=n)
+    return {"panels": panels, "latencies": latencies, "scores": scores}
+
+
+def get_results():
+    return memo(CACHE_KEY, run_suite_comparison)
+
+
+def test_specint_suite(benchmark):
+    results = benchmark.pedantic(get_results, rounds=1, iterations=1)
+    panels = results["panels"]
+    scores = results["scores"]
+    latencies = results["latencies"]
+
+    table = ComparisonTable(TITLE)
+    geomeans: Dict = {}
+    for panel in panels:
+        for baseline in ("intel", "amd"):
+            ratios = normalized_suite(scores[("ours", panel)],
+                                      scores[(baseline, panel)])
+            geomeans[(panel, baseline)] = ratios["geomean"]
+            table.add(f"{panel} vs {baseline}", None, ratios["geomean"])
+    lat_rows = [[panel] + [f"{latencies[(p, panel)]:.0f}" for p in PLATFORMS]
+                for panel in panels]
+    detail = "== simulated memory latency (cycles) ==\n" + format_table(
+        ["panel"] + list(PLATFORMS), lat_rows)
+    print("\n" + save_result(RESULT_NAME, table.render() + "\n\n" + detail))
+
+    # Shape: clear win vs the AMD organization everywhere; parity or
+    # better vs a single Intel die (cores are held equal, so single-core
+    # differences reduce to raw fabric latency), and a growing advantage
+    # at package scale where Intel spans sockets.
+    for panel in panels:
+        assert geomeans[(panel, "amd")] > 1.03, panel
+    assert geomeans[("single-core", "intel")] > 0.9
+    assert geomeans[("package", "intel")] > 1.02
+    assert geomeans[("package", "intel")] > geomeans[("single-core", "intel")]
+    assert geomeans[("package", "amd")] >= 0.95 * geomeans[("single-core", "amd")]
+    # Memory-heavy components gain most from the lower-latency NoC.
+    single_ours = scores[("ours", "single-core")]
+    single_amd = scores[("amd", "single-core")]
+    mcf_gain = single_ours["505.mcf_r"] / single_amd["505.mcf_r"]
+    light_gain = single_ours["548.exchange2_r"] / single_amd["548.exchange2_r"]
+    assert mcf_gain > light_gain

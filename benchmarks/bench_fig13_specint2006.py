@@ -1,0 +1,77 @@
+"""Figure 13: SPECint-2006, same protocol as Figure 12.
+
+Single-core and package panels on the 2006 suite; the 2006 components
+skew more memory-heavy (mcf at 21 MPKI, libquantum at 10.5), so the NoC
+advantage is larger on the tail benchmarks.
+"""
+
+from typing import Dict
+
+from repro.analysis import ComparisonTable, format_table
+from repro.workloads.spec import (
+    SPECINT_2006,
+    measure_memory_latency,
+    normalized_suite,
+    suite_scores,
+)
+
+from common import BENCH_SERVER_CONFIG, memo, save_result
+from bench_fig12_specint2017 import intel_numa_penalty
+
+PLATFORMS = {"ours": "multiring", "intel": "mesh", "amd": "switched_star"}
+
+
+def run_fig13() -> Dict:
+    config = BENCH_SERVER_CONFIG
+    panels = {"single-core": 1, "package": config.total_clusters}
+    latencies = {}
+    for platform, fabric in PLATFORMS.items():
+        for panel, n in panels.items():
+            latency = measure_memory_latency(fabric, n, config)
+            if platform == "intel":
+                latency += intel_numa_penalty(n)
+            latencies[(platform, panel)] = latency
+    scores = {
+        (platform, panel): suite_scores(SPECINT_2006, latency,
+                                        n_cores=panels[panel])
+        for (platform, panel), latency in latencies.items()
+    }
+    return {"panels": panels, "scores": scores, "latencies": latencies}
+
+
+def get_fig13():
+    return memo("fig13", run_fig13)
+
+
+def test_fig13_specint2006(benchmark):
+    results = benchmark.pedantic(get_fig13, rounds=1, iterations=1)
+    scores = results["scores"]
+    panels = results["panels"]
+
+    table = ComparisonTable("Figure 13: SPECint-2006 (ours/baseline geomean)")
+    geomeans: Dict = {}
+    per_bench_rows = []
+    for panel in panels:
+        for baseline in ("intel", "amd"):
+            ratios = normalized_suite(scores[("ours", panel)],
+                                      scores[(baseline, panel)])
+            geomeans[(panel, baseline)] = ratios["geomean"]
+            table.add(f"{panel} vs {baseline}", None, ratios["geomean"])
+            if panel == "single-core":
+                for name, r in ratios.items():
+                    if name != "geomean":
+                        per_bench_rows.append([name, baseline, f"{r:.3f}"])
+    detail = "== single-core per-benchmark ratios ==\n" + format_table(
+        ["benchmark", "vs", "ours/baseline"], per_bench_rows)
+    print("\n" + save_result("fig13_specint2006",
+                             table.render() + "\n\n" + detail))
+
+    for panel in panels:
+        assert geomeans[(panel, "amd")] > 1.03
+    assert geomeans[("single-core", "intel")] > 0.9
+    assert geomeans[("package", "intel")] > 1.02
+    # 429.mcf (21 MPKI) benefits more than cache-resident 458.sjeng.
+    ours = scores[("ours", "single-core")]
+    amd = scores[("amd", "single-core")]
+    assert (ours["429.mcf"] / amd["429.mcf"]
+            > ours["458.sjeng"] / amd["458.sjeng"])

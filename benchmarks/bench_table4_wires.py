@@ -1,0 +1,62 @@
+"""Table 4: the two wire-fabric implementations and the design choice.
+
+Regenerates the physical-implementation comparison: jump distance per
+3 GHz cycle, relative geometry, repeater demand across a die, blocked
+placement area, and the resulting ring size for the AI compute die —
+the quantitative form of Section 3.3's "distance per cycle is a suitable
+metric ... the high-speed wire is a better choice for NoC".
+"""
+
+from repro.analysis import ComparisonTable, format_table
+from repro.phys import HIGH_DENSITY, HIGH_SPEED, plan_repeaters
+from repro.phys.floorplan import AI_COMPUTE_DIE, compare_fabrics
+
+from common import save_result
+
+
+def compute_table4():
+    span_um = 18_000.0
+    bus_bits = 552  # one 64B flit + header
+    plans = {
+        fabric.name: plan_repeaters(fabric, span_um, bus_bits)
+        for fabric in (HIGH_DENSITY, HIGH_SPEED)
+    }
+    floorplan = compare_fabrics(AI_COMPUTE_DIE, [HIGH_DENSITY, HIGH_SPEED])
+    return plans, floorplan
+
+
+def test_table4_wire_fabrics(benchmark):
+    plans, floorplan = benchmark.pedantic(compute_table4, rounds=1, iterations=1)
+
+    table = ComparisonTable("Table 4: wire fabric key parameters")
+    table.add("high-dense jump um @3GHz", 600, HIGH_DENSITY.jump_um_at_3ghz)
+    table.add("high-speed jump um @3GHz", 1800, HIGH_SPEED.jump_um_at_3ghz)
+    table.add("high-speed width (rel)", 3.0, HIGH_SPEED.rel_width)
+    table.add("high-speed pitch (rel)", 3.5, HIGH_SPEED.rel_pitch)
+    table.add("high-speed bus width (rel)", 2.5, HIGH_SPEED.rel_bus_width)
+    table.add("high-speed stride um", 200, HIGH_SPEED.stride_um)
+
+    rows = []
+    for name, plan in plans.items():
+        rows.append([name, plan.segments, plan.repeater_banks,
+                     f"{plan.area_um2:.0f}", f"{plan.power_uw:.0f}"])
+    derived = "== Derived: 18mm span, one flit bus ==\n" + format_table(
+        ["fabric", "segments", "repeater banks", "area um^2", "power uW"], rows
+    )
+    fp_rows = [[name, f"{m['ring_stops']:.0f}", f"{m['lap_time_ns']:.1f}",
+                f"{m['blocked_area_mm2']:.2f}"]
+               for name, m in floorplan.items()]
+    fp_text = "== AI die perimeter ring ==\n" + format_table(
+        ["fabric", "ring stops", "lap ns", "blocked mm^2"], fp_rows
+    )
+    text = "\n\n".join([table.render(), derived, fp_text])
+    print("\n" + save_result("table4_wires", text))
+
+    # The decision criteria of Section 3.3:
+    dense, fast = plans["high-density"], plans["high-speed"]
+    assert fast.segments * 3 == dense.segments
+    assert fast.repeater_banks < dense.repeater_banks / 2.5
+    assert floorplan["high-speed"]["lap_time_ns"] \
+        < floorplan["high-density"]["lap_time_ns"] / 2.5
+    assert floorplan["high-speed"]["blocked_area_mm2"] \
+        < floorplan["high-density"]["blocked_area_mm2"]

@@ -1,0 +1,112 @@
+"""Table 6: SPECpower-ssj-2008 score comparison.
+
+Regenerates the score structure: throughput from the ssj workload model
+(JVM server mix) at each platform's *simulated* memory latency, power
+from a platform model whose NoC share derives from the physical model —
+bufferless cross stations vs buffered mesh routers vs the star's SerDes
+PHYs.  Paper: ours beats Intel-8280 by 1.08x (1 core) / 1.19x (package)
+and AMD-7742 by 1.03x / 1.11x, with ours > AMD > Intel throughout.
+"""
+
+from typing import Dict
+
+from repro.analysis import ComparisonTable
+from repro.phys.area import buffered_router_area_um2, station_area_um2
+from repro.workloads.spec import SpecBenchmark, benchmark_performance, \
+    measure_memory_latency
+from repro.workloads.specpower import SpecPowerModel
+
+from common import BENCH_SERVER_CONFIG, memo, save_result
+
+#: ssj_2008 is a JVM server workload: moderate MPKI, scalable copies.
+SSJ = SpecBenchmark("ssj2008", cpi_base=0.85, mpki=1.2)
+
+#: Watts per um^2 of NoC logic at full tilt (7nm-class density).
+POWER_DENSITY_W_PER_UM2 = 8e-6
+#: One wide die-to-die parallel-IO PHY (ours) vs one narrow IF SerDes
+#: lane bundle (AMD's per-CCX links).
+D2D_PHY_WATTS = 0.9
+IF_SERDES_WATTS = 0.35
+#: Intel-8280 is a 14 nm part; relative to the 7 nm platforms its
+#: static+dynamic power per equivalent logic runs ~15% higher.
+INTEL_PROCESS_FACTOR = 1.15
+
+PAPER = {
+    ("ours", "1core"): 134484.0, ("ours", "package"): 102984.5,
+    ("intel", "1core"): 123911.0, ("intel", "package"): 86519.3,
+    ("amd", "1core"): 129890.0, ("amd", "package"): 93196.1,
+}
+
+
+def _noc_watts(platform: str, n_clusters: int) -> float:
+    """Static NoC power from the area model."""
+    if platform == "ours":
+        stations = n_clusters + 8                      # clusters + HN/SN stops
+        area = stations * station_area_um2()
+        area += 6 * station_area_um2()                 # bridge endpoints
+        return area * POWER_DENSITY_W_PER_UM2 + 4 * D2D_PHY_WATTS
+    if platform == "intel":
+        routers = n_clusters + 8
+        return (routers * buffered_router_area_um2()
+                * POWER_DENSITY_W_PER_UM2 * INTEL_PROCESS_FACTOR)
+    if platform == "amd":
+        # Per-cluster chiplet PHYs + the central switch.
+        area = (n_clusters + 4) * buffered_router_area_um2()
+        return (area * POWER_DENSITY_W_PER_UM2
+                + n_clusters * IF_SERDES_WATTS)
+    raise ValueError(platform)
+
+
+def run_table6() -> Dict:
+    config = BENCH_SERVER_CONFIG
+    fabrics = {"ours": "multiring", "intel": "mesh", "amd": "switched_star"}
+    n_clusters = config.total_clusters
+    n_cores = config.total_cores
+    out: Dict = {}
+    for platform, fabric in fabrics.items():
+        lat_1 = measure_memory_latency(fabric, 1, config)
+        lat_all = measure_memory_latency(fabric, n_clusters, config)
+        if platform == "intel":
+            lat_all += 20.0  # 2-socket NUMA (see Figure 12 bench)
+        core_watts_static, core_watts_dyn = 1.0, 1.5   # per core
+        process = INTEL_PROCESS_FACTOR if platform == "intel" else 1.0
+        for scope, latency, cores in (("1core", lat_1, 1),
+                                      ("package", lat_all, n_cores)):
+            ips = benchmark_performance(SSJ, latency)
+            peak_ops = ips * cores / 25_000.0   # instructions per ssj op
+            # The whole package is powered even for the 1-core run.
+            static = (n_cores * core_watts_static * process
+                      + _noc_watts(platform, n_clusters))
+            dynamic = cores * core_watts_dyn * process
+            model = SpecPowerModel(f"{platform}/{scope}", peak_ops,
+                                   static, dynamic)
+            out[(platform, scope)] = model.score()
+    return out
+
+
+def get_table6():
+    return memo("table6", run_table6)
+
+
+def test_table6_specpower(benchmark):
+    scores = benchmark.pedantic(get_table6, rounds=1, iterations=1)
+
+    table = ComparisonTable("Table 6: SPECpower score ratios (ours/other)")
+    for scope in ("1core", "package"):
+        for other in ("intel", "amd"):
+            paper_ratio = PAPER[("ours", scope)] / PAPER[(other, scope)]
+            measured = scores[("ours", scope)] / scores[(other, scope)]
+            table.add(f"{scope} vs {other}", round(paper_ratio, 3), measured)
+    print("\n" + save_result("table6_specpower", table.render()))
+
+    # Paper ordering: ours > AMD > Intel at both scopes.
+    for scope in ("1core", "package"):
+        assert scores[("ours", scope)] > scores[("amd", scope)], scope
+        assert scores[("amd", scope)] > scores[("intel", scope)], scope
+    # Package-scale advantage exceeds the single-core one (scaling).
+    ours_intel_1 = scores[("ours", "1core")] / scores[("intel", "1core")]
+    ours_intel_pkg = scores[("ours", "package")] / scores[("intel", "package")]
+    assert ours_intel_pkg > ours_intel_1
+    # Ratios land in the paper's band (single digit percent to ~25%).
+    assert 1.0 < ours_intel_1 < 1.35
+    assert 1.0 < ours_intel_pkg < 1.45

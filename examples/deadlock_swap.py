@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Watch the SWAP mechanism break a cross-ring deadlock (Figure 9).
+
+Two rings joined by an RBRG-L2 with deliberately tiny queues; every node
+fires cross-ring traffic as fast as it can.  The script runs the same
+saturation twice — SWAP enabled and disabled — printing delivery
+progress so the interlock (and its resolution) is visible.
+
+Run:  python examples/deadlock_swap.py
+"""
+
+import random
+
+from repro.core import MultiRingFabric, chiplet_pair
+from repro.core.config import MultiRingConfig
+from repro.fabric import Message, MessageKind
+from repro.params import QueueParams
+
+TIGHT = QueueParams(
+    inject_queue_depth=2, eject_queue_depth=2, bridge_rx_depth=2,
+    bridge_tx_depth=2, bridge_reserved_tx=2, swap_detect_threshold=32,
+)
+
+
+def saturate(enable_swap: bool, cycles: int = 4000) -> None:
+    label = "SWAP enabled " if enable_swap else "SWAP disabled"
+    topology, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    fabric = MultiRingFabric(topology, MultiRingConfig(
+        queues=TIGHT, enable_swap=enable_swap, eject_drain_per_cycle=1))
+    rng = random.Random(0)
+    print(f"\n--- {label} ---")
+    for cycle in range(cycles):
+        for src in ring0:
+            fabric.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                      kind=MessageKind.DATA,
+                                      created_cycle=cycle))
+        for src in ring1:
+            fabric.try_inject(Message(src=src, dst=rng.choice(ring0),
+                                      kind=MessageKind.DATA,
+                                      created_cycle=cycle))
+        fabric.step(cycle)
+        if (cycle + 1) % 1000 == 0:
+            stats = fabric.stats
+            print(f"  cycle {cycle + 1:5d}: delivered {stats.delivered:6d}  "
+                  f"in-flight {stats.in_flight:3d}  "
+                  f"deflections {stats.deflections:7d}  "
+                  f"DRM entries {stats.swap_events}")
+    verdict = ("kept flowing" if fabric.stats.delivered > 500
+               else "WEDGED (no progress)")
+    print(f"  => {verdict}")
+
+
+def main() -> None:
+    print("Cross-ring deadlock testbench: all traffic crosses the RBRG-L2 "
+          "with 2-entry queues (Figure 9).")
+    saturate(enable_swap=True)
+    saturate(enable_swap=False)
+    print("\nWithout SWAP the rings keep spinning but nothing ejects: "
+          "a bufferless deadlock. The reserved-Tx swap drains it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scale-up: a 4P cache-coherent system of >300 cores (Section 4.2).
+
+Four server packages joined all-pairs by Protocol Adapter SerDes links.
+A writer in package 0 dirties lines; readers at increasing distance
+(same die, other die, other package) fetch them coherently, showing the
+latency ladder the chiplet hierarchy creates — while one directory
+protocol spans the whole 4P system.
+
+Run:  python examples/multi_package.py
+"""
+
+from repro.cpu.core import closed_loop
+from repro.cpu.multipackage import MultiPackageConfig, MultiPackageSystem
+from repro.cpu.package import ServerPackageConfig
+from repro.params import cycles_to_ns
+
+PACKAGE = ServerPackageConfig(clusters_per_ccd=4, hn_per_ccd=2, ddr_per_ccd=2)
+LINES = 32
+
+
+def main() -> None:
+    config = MultiPackageConfig(n_packages=4, package=PACKAGE)
+    system = MultiPackageSystem(config)
+    full = MultiPackageConfig(n_packages=4).total_cores
+    print(f"4P system: {config.total_cores} cores in this demo "
+          f"({full} at full package size — 'more than 300'),")
+    print(f"{len(system.fabric.topology.rings)} rings, "
+          f"{len(system.fabric.topology.bridges)} RBRG-L2 bridges "
+          "(incl. 6 inter-package SerDes links)\n")
+
+    addrs = [a for a in range(LINES * 10)
+             if system.system.home_map(a) in system.packages[0].hns[0]][:LINES]
+    writer = system.attach_core(0, 0, 0, iter([("store", a) for a in addrs]),
+                                closed_loop(mlp=4))
+    system.run_until_cores_done()
+
+    ladder = [
+        ("same die", (0, 0, 1)),
+        ("other die, same package", (0, 1, 0)),
+        ("other package", (2, 0, 0)),
+    ]
+    for label, (pkg, ccd, cluster) in ladder:
+        # Re-dirty so every reader sees the M-state path.
+        rewriter = system.attach_core(0, 0, 0,
+                                      iter([("store", a) for a in addrs]),
+                                      closed_loop(mlp=4))
+        system.run_until_cores_done()
+        reader = system.attach_core(pkg, ccd, cluster,
+                                    iter([("load", a) for a in addrs]),
+                                    closed_loop(mlp=1))
+        system.run_until_cores_done()
+        lat = reader.stats.mean_latency()
+        print(f"  {label:26s} {lat:6.1f} cycles ({cycles_to_ns(lat):5.1f} ns)")
+
+    system.system.check_coherence()
+    print("\ncoherence verified across all four packages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a bufferless multi-ring NoC for heterogeneous chiplets.
+
+Reproduction of *"Application Defined On-chip Networks for Heterogeneous
+Chiplets: An Implementation Perspective"* (Wang, Feng, Xiang, Li, Xia —
+HPCA 2022) as a production-quality Python library.
+
+Layer map (bottom up):
+
+- :mod:`repro.sim` — cycle-driven simulation kernel;
+- :mod:`repro.fabric` — fabric-neutral message/interface/probes;
+- :mod:`repro.core` — **the contribution**: bufferless multi-ring NoC
+  (cross stations, I/E-tags, half/full rings, RBRG-L1/L2, SWAP);
+- :mod:`repro.baselines` — comparison fabrics behind the same interface;
+- :mod:`repro.coherence` — AMBA5-CHI-lite protocol substrate;
+- :mod:`repro.cpu` — the Server-CPU package (~96 cores, 2 CCD + 2 IOD);
+- :mod:`repro.ai` — the AI processor (multi-ring mesh, 32 cores, HBM);
+- :mod:`repro.phys` — wire fabrics, repeaters, area, floorplan, energy;
+- :mod:`repro.workloads` — LMBench/SPEC/SPECpower/MLPerf/roofline models;
+- :mod:`repro.analysis` — metrics, knee detection, report tables.
+
+Quickstart::
+
+    from repro.core import MultiRingFabric, chiplet_pair
+    from repro.fabric import Message, MessageKind
+
+    topo, die0, die1 = chiplet_pair(nodes_per_ring=4)
+    fabric = MultiRingFabric(topo)
+    msg = Message(src=die0[0], dst=die1[2], kind=MessageKind.DATA)
+    fabric.try_inject(msg)
+    for cycle in range(200):
+        fabric.step(cycle)
+    print(msg.total_latency)
+"""
+
+from repro.core import (
+    MultiRingFabric,
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+)
+from repro.fabric import Fabric, Message, MessageKind
+from repro.params import BANDWIDTH, LATENCY, QUEUES
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiRingFabric",
+    "chiplet_pair",
+    "grid_of_rings",
+    "single_ring_topology",
+    "Fabric",
+    "Message",
+    "MessageKind",
+    "Simulator",
+    "LATENCY",
+    "QUEUES",
+    "BANDWIDTH",
+    "__version__",
+]

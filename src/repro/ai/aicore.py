@@ -1,0 +1,124 @@
+"""AI-core traffic model.
+
+Section 3.2.2: the AI core's cube/vector/scalar units stream tensors
+through the shared L2 with high arithmetic intensity, sequential
+addresses, and high memory-level parallelism.  The traffic model issues
+reads and writes at a configurable R:W ratio with a deep outstanding
+window — the Table 7 workload classes ("we build several traffic-flows
+with different read/write ratios").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ai.messages import AiMessage, AiOp, next_ai_txn
+from repro.coherence.agent import ProtocolAgent
+from repro.fabric.interface import Fabric
+from repro.params import CACHE_LINE_BYTES
+
+
+@dataclass
+class AiCoreStats:
+    reads_issued: int = 0
+    writes_issued: int = 0
+    reads_done: int = 0
+    writes_done: int = 0
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    read_latencies: List[int] = field(default_factory=list)
+    keep_latencies: bool = False
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+
+class AiCore(ProtocolAgent):
+    """One AI core: issues reads via the LLC and writes to interleaved L2."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        llc_map: Callable[[int], int],
+        l2_map: Callable[[int], int],
+        read_fraction: float = 0.5,
+        mlp: int = 24,
+        seed: int = 0,
+        addr_space: int = 1 << 20,
+        burst_bytes: int = CACHE_LINE_BYTES,
+        issue_interval: int = 1,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.llc_map = llc_map
+        self.l2_map = l2_map
+        self.read_fraction = read_fraction
+        self.mlp = mlp
+        self.burst_bytes = burst_bytes
+        self.issue_interval = max(1, issue_interval)
+        self._next_issue = 0
+        self.stats = AiCoreStats()
+        self._rng = random.Random(seed)
+        self._outstanding: Dict[int, int] = {}  # txn -> issue cycle
+        self._next_addr = self._rng.randrange(addr_space)
+        self._addr_space = addr_space
+        self.enabled = True
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def _sequential_addr(self) -> int:
+        # Streaming tensor access: sequential lines, occasional new tensor.
+        self._next_addr = (self._next_addr + 1) % self._addr_space
+        if self._rng.random() < 0.01:
+            self._next_addr = self._rng.randrange(self._addr_space)
+        return self._next_addr
+
+    def step(self, cycle: int) -> None:
+        super().step(cycle)
+        if not self.enabled:
+            return
+        while len(self._outstanding) < self.mlp:
+            if cycle < self._next_issue:
+                break  # port busy streaming the previous burst's beats
+            self._next_issue = cycle + self.issue_interval
+            addr = self._sequential_addr()
+            txn = next_ai_txn()
+            if self.read_fraction >= 1.0 or (
+                self.read_fraction > 0.0
+                and self._rng.random() < self.read_fraction
+            ):
+                self.send(self.llc_map(addr), AiMessage(
+                    op=AiOp.READ_REQ, addr=addr, txn_id=txn,
+                    requester=self.node_id,
+                ))
+                self.stats.reads_issued += 1
+            else:
+                self.send(self.l2_map(addr), AiMessage(
+                    op=AiOp.WRITE_DATA, addr=addr, txn_id=txn,
+                    requester=self.node_id, data_bytes=self.burst_bytes,
+                ))
+                self.stats.writes_issued += 1
+            self._outstanding[txn] = cycle
+            if len(self._outbox) > self.mlp:
+                break  # fabric is refusing; stop piling into the retry buffer
+
+    def on_message(self, ai: AiMessage, src: int, cycle: int) -> None:
+        issued = self._outstanding.pop(ai.txn_id, None)
+        if issued is None:
+            return
+        if ai.op is AiOp.READ_DATA:
+            self.stats.reads_done += 1
+            self.stats.read_bytes += ai.data_bytes or self.burst_bytes
+            if self.stats.keep_latencies:
+                self.stats.read_latencies.append(cycle - issued)
+        elif ai.op is AiOp.WRITE_ACK:
+            self.stats.writes_done += 1
+            self.stats.write_bytes += self.burst_bytes
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {ai.op}")

@@ -1,0 +1,78 @@
+"""System DMA engine: background tensor movement between L2 and HBM.
+
+Table 7 shows ~1.5-1.7 TB/s of DMA alongside every core traffic class:
+the DMA streams weights/activations between HBM stacks and L2 slices
+while the cores compute.  The engine issues pull requests at a target
+rate; the data flits themselves traverse the horizontal rings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.ai.messages import AiMessage, AiOp, next_ai_txn
+from repro.coherence.agent import ProtocolAgent
+from repro.fabric.interface import Fabric
+from repro.params import CACHE_LINE_BYTES
+
+
+class DmaEngine(ProtocolAgent):
+    """Issues L2->HBM and HBM->L2 line transfers at a target rate."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        l2_nodes: List[int],
+        hbm_nodes: List[int],
+        issues_per_cycle: float = 0.5,
+        max_outstanding: int = 32,
+        seed: int = 0,
+        burst_bytes: int = CACHE_LINE_BYTES,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.burst_bytes = burst_bytes
+        self.l2_nodes = list(l2_nodes)
+        self.hbm_nodes = list(hbm_nodes)
+        self.issues_per_cycle = issues_per_cycle
+        self.max_outstanding = max_outstanding
+        self._rng = random.Random(seed)
+        self._outstanding: Dict[int, int] = {}
+        self._credit = 0.0
+        self.transfers_done = 0
+        self.enabled = True
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.transfers_done * self.burst_bytes
+
+    def step(self, cycle: int) -> None:
+        super().step(cycle)
+        if not self.enabled:
+            return
+        self._credit += self.issues_per_cycle
+        while self._credit >= 1.0 and len(self._outstanding) < self.max_outstanding:
+            self._credit -= 1.0
+            txn = next_ai_txn()
+            addr = self._rng.randrange(1 << 20)
+            if self._rng.random() < 0.5:
+                # L2 -> HBM spill: ask the L2 slice to ship a line out.
+                src_node = self._rng.choice(self.l2_nodes)
+                target = self._rng.choice(self.hbm_nodes)
+            else:
+                # HBM -> L2 prefetch.
+                src_node = self._rng.choice(self.hbm_nodes)
+                target = self._rng.choice(self.l2_nodes)
+            self.send(src_node, AiMessage(
+                op=AiOp.DMA_REQ, addr=addr, txn_id=txn,
+                requester=self.node_id, target=target,
+            ))
+            self._outstanding[txn] = cycle
+
+    def on_message(self, ai: AiMessage, src: int, cycle: int) -> None:
+        if ai.op is not AiOp.DMA_ACK:
+            raise RuntimeError(f"{self.name}: unexpected {ai.op} from {src}")
+        if self._outstanding.pop(ai.txn_id, None) is not None:
+            self.transfers_done += 1

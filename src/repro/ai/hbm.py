@@ -1,0 +1,66 @@
+"""HBM stack model: 500 GB/s per stack (Section 3.2.2), six per chip."""
+
+from __future__ import annotations
+
+from repro.ai.messages import AiMessage, AiOp
+from repro.coherence.agent import ProtocolAgent
+from repro.fabric.interface import Fabric
+from repro.params import BANDWIDTH, CACHE_LINE_BYTES, LATENCY
+
+
+class HbmStack(ProtocolAgent):
+    """Bandwidth-limited HBM endpoint on a horizontal ring."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        bytes_per_cycle: float = BANDWIDTH.hbm_stack_bytes_per_cycle,
+        service_latency: int = LATENCY.hbm_service,
+        burst_bytes: int = CACHE_LINE_BYTES,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.burst_bytes = burst_bytes
+        self.service_interval = burst_bytes / bytes_per_cycle
+        self.service_latency = service_latency
+        self._next_free = 0.0
+        self.reads = 0
+        self.writes = 0
+
+    def _queue_delay(self, cycle: int) -> int:
+        start = max(float(cycle), self._next_free)
+        self._next_free = start + self.service_interval
+        return int(start - cycle) + self.service_latency
+
+    def on_message(self, ai: AiMessage, src: int, cycle: int) -> None:
+        if ai.op is AiOp.FILL_REQ:
+            # Refill the owning L2 slice (Figure 8B path 4).
+            self.reads += 1
+            delay = self._queue_delay(cycle)
+            self.after(delay, lambda c, m=ai: self.send(
+                m.target, AiMessage(
+                    op=AiOp.FILL_DATA, addr=m.addr, txn_id=m.txn_id,
+                    requester=m.requester, data_bytes=self.burst_bytes,
+                )))
+        elif ai.op is AiOp.DMA_REQ:
+            # DMA pull from HBM toward an L2 slice.
+            self.reads += 1
+            delay = self._queue_delay(cycle)
+            self.after(delay, lambda c, m=ai: self.send(
+                m.target, AiMessage(
+                    op=AiOp.DMA_DATA, addr=m.addr, txn_id=m.txn_id,
+                    requester=m.requester, target=m.target,
+                    data_bytes=self.burst_bytes,
+                )))
+        elif ai.op is AiOp.DMA_DATA:
+            # L2 -> HBM spill absorbed; acknowledge to the DMA engine.
+            self.writes += 1
+            self._next_free = max(float(cycle), self._next_free) \
+                + self.service_interval
+            self.send(ai.requester, AiMessage(
+                op=AiOp.DMA_ACK, addr=ai.addr, txn_id=ai.txn_id,
+                requester=ai.requester,
+            ))
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {ai.op} from {src}")

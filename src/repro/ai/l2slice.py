@@ -1,0 +1,100 @@
+"""Interleaved distributed L2 slice.
+
+Section 4.3: "the distributed L2 in the AI processor only provides data
+storage"; the set-associative function lives in the LLC.  A slice serves
+read forwards with data, absorbs writes, sources DMA transfers toward
+HBM, and sinks HBM fills.  Service is SRAM-rate limited.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ai.messages import AiMessage, AiOp
+from repro.coherence.agent import ProtocolAgent
+from repro.fabric.interface import Fabric
+
+
+class L2Slice(ProtocolAgent):
+    """One slice of the interleaved L2 data store."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        access_latency: int = 4,
+        serves_per_cycle: int = 2,
+        burst_bytes: int = 64,
+        llc_map=None,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.llc_map = llc_map
+        self.access_latency = access_latency
+        self.serves_per_cycle = serves_per_cycle
+        self.burst_bytes = burst_bytes
+        self._served_this_cycle = 0
+        self._cycle_seen = -1
+        self.reads_served = 0
+        self.writes_absorbed = 0
+        self.fills = 0
+        self.dma_out = 0
+
+    def _charge(self, cycle: int) -> int:
+        """SRAM bank conflict model: extra wait when over-subscribed."""
+        if cycle != self._cycle_seen:
+            self._cycle_seen = cycle
+            self._served_this_cycle = 0
+        self._served_this_cycle += 1
+        overload = max(0, self._served_this_cycle - self.serves_per_cycle)
+        return self.access_latency + overload
+
+    def on_message(self, ai: AiMessage, src: int, cycle: int) -> None:
+        delay = self._charge(cycle)
+        if ai.op is AiOp.READ_FWD:
+            self.reads_served += 1
+            self.after(delay, lambda c, m=ai: self.send(m.requester, AiMessage(
+                op=AiOp.READ_DATA, addr=m.addr, txn_id=m.txn_id,
+                requester=m.requester, data_bytes=self.burst_bytes,
+            )))
+        elif ai.op is AiOp.WRITE_DATA:
+            self.writes_absorbed += 1
+            self.after(delay, lambda c, m=ai: self.send(m.requester, AiMessage(
+                op=AiOp.WRITE_ACK, addr=m.addr, txn_id=m.txn_id,
+                requester=m.requester,
+            )))
+            if self.llc_map is not None:
+                # Keep the LLC directory current (Section 4.3: the LLC
+                # processes every data request).
+                self.after(delay, lambda c, m=ai: self.send(
+                    self.llc_map(m.addr), AiMessage(
+                        op=AiOp.WRITE_NOTIFY, addr=m.addr, txn_id=m.txn_id,
+                        requester=m.requester,
+                    )))
+        elif ai.op is AiOp.FILL_DATA:
+            # HBM refill landed (Figure 8B path 4): forward to the core
+            # that missed, if the fill carries an original requester.
+            self.fills += 1
+            if ai.requester != self.node_id:
+                self.after(delay, lambda c, m=ai: self.send(
+                    m.requester, AiMessage(
+                        op=AiOp.READ_DATA, addr=m.addr, txn_id=m.txn_id,
+                        requester=m.requester, data_bytes=self.burst_bytes,
+                    )))
+        elif ai.op is AiOp.DMA_REQ:
+            # DMA pull: ship a line to the HBM target.
+            self.dma_out += 1
+            target = ai.target if ai.target is not None else src
+            self.after(delay, lambda c, m=ai, t=target: self.send(t, AiMessage(
+                op=AiOp.DMA_DATA, addr=m.addr, txn_id=m.txn_id,
+                requester=m.requester, target=t,
+                data_bytes=self.burst_bytes,
+            )))
+        elif ai.op is AiOp.DMA_DATA:
+            # HBM -> L2 prefetch landed; acknowledge to the DMA engine.
+            self.send(ai.requester, AiMessage(
+                op=AiOp.DMA_ACK, addr=ai.addr, txn_id=ai.txn_id,
+                requester=ai.requester,
+            ))
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {ai.op} from {src}")

@@ -1,0 +1,68 @@
+"""LLC directory front-end.
+
+Section 4.3: "all data requests initiated by the AI Core are first
+received and processed by LLC.  When the LLC gets a directory hit, data
+can be transferred between L2 and the AI Core, while when the directory
+miss, L2 requests data from HBM through LLC."  The directory itself is
+modelled with a hit probability (workload-dependent reuse), because the
+evaluation traffic classes are defined by their R:W mix, not by a
+concrete tensor placement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.ai.messages import AiMessage, AiOp
+from repro.coherence.agent import ProtocolAgent
+from repro.fabric.interface import Fabric
+
+
+class LlcDirectory(ProtocolAgent):
+    """Directory slice deciding between L2 service and HBM refill."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        l2_map: Callable[[int], int],
+        hbm_map: Callable[[int], int],
+        hit_rate: float = 1.0,
+        lookup_latency: int = 3,
+        seed: int = 0,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.l2_map = l2_map
+        self.hbm_map = hbm_map
+        self.hit_rate = hit_rate
+        self.lookup_latency = lookup_latency
+        self._rng = random.Random(seed)
+        self.hits = 0
+        self.misses = 0
+        self.writes_tracked = 0
+
+    def on_message(self, ai: AiMessage, src: int, cycle: int) -> None:
+        if ai.op is AiOp.WRITE_NOTIFY:
+            # Directory update for a write that landed in L2.
+            self.writes_tracked += 1
+            return
+        if ai.op is not AiOp.READ_REQ:
+            raise RuntimeError(f"{self.name}: unexpected {ai.op} from {src}")
+        if self._rng.random() < self.hit_rate:
+            self.hits += 1
+            self.after(self.lookup_latency, lambda c, m=ai: self.send(
+                self.l2_map(m.addr), AiMessage(
+                    op=AiOp.READ_FWD, addr=m.addr, txn_id=m.txn_id,
+                    requester=m.requester,
+                )))
+        else:
+            # Miss: HBM refills the owning L2 slice, which then forwards
+            # to the requester (paths 4 then 2).
+            self.misses += 1
+            self.after(self.lookup_latency, lambda c, m=ai: self.send(
+                self.hbm_map(m.addr), AiMessage(
+                    op=AiOp.FILL_REQ, addr=m.addr, txn_id=m.txn_id,
+                    requester=m.requester, target=self.l2_map(m.addr),
+                )))

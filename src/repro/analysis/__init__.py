@@ -1,0 +1,16 @@
+"""Result processing: latency statistics, knee detection, report tables."""
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    find_knee,
+    summarize_latencies,
+)
+from repro.analysis.report import ComparisonTable, format_table
+
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "find_knee",
+    "ComparisonTable",
+    "format_table",
+]

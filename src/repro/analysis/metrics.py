@@ -1,0 +1,84 @@
+"""Latency statistics and the knee ("turning point") detector.
+
+Figure 11 plots one core's DDR latency against rising background traffic
+and reads off the turning point where latency departs from its flat
+zero-load regime.  :func:`find_knee` formalizes that: the first sweep
+point whose latency exceeds the baseline by a threshold factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    if not ordered:
+        raise ValueError("no samples")
+    idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+    return float(ordered[idx])
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    if not samples:
+        raise ValueError("no latency samples to summarize")
+    ordered = sorted(samples)
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 50),
+        p95=_percentile(ordered, 95),
+        p99=_percentile(ordered, 99),
+        maximum=float(ordered[-1]),
+    )
+
+
+def find_knee(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    threshold: float = 1.5,
+    baseline_points: int = 1,
+) -> Optional[float]:
+    """First x where y exceeds ``threshold`` x the low-load baseline.
+
+    ``baseline_points`` early points define the flat regime.  Returns
+    None if the curve never leaves it (the system absorbed the sweep).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if len(xs) < baseline_points + 1:
+        raise ValueError("need more sweep points than baseline points")
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0")
+    baseline = sum(ys[:baseline_points]) / baseline_points
+    if baseline <= 0:
+        raise ValueError("baseline latency must be positive")
+    for x, y in zip(xs[baseline_points:], ys[baseline_points:]):
+        if y > threshold * baseline:
+            return float(x)
+    return None
+
+
+def saturation_throughput(
+    offered: Sequence[float], accepted: Sequence[float], tolerance: float = 0.95
+) -> float:
+    """Highest offered load the fabric still accepts at ``tolerance``."""
+    if len(offered) != len(accepted):
+        raise ValueError("offered and accepted must align")
+    best = 0.0
+    for off, acc in zip(offered, accepted):
+        if off > 0 and acc / off >= tolerance:
+            best = max(best, off)
+    return best

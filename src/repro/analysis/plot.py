@@ -1,0 +1,100 @@
+"""Terminal plotting for benchmark output.
+
+The paper's figures are line charts (Figure 11's latency curves,
+Figure 14's probe traces).  These helpers render compact ASCII versions
+so the benchmark harness can show the *shape* inline, next to the
+numeric tables saved in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line intensity strip of ``values`` (resampled to ``width``)."""
+    data = list(values)
+    if not data:
+        return ""
+    if width is not None and width > 0 and len(data) > width:
+        stride = len(data) / width
+        data = [data[int(i * stride)] for i in range(width)]
+    low = min(data)
+    high = max(data)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[1] * len(data)
+    chars = []
+    for v in data:
+        idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    xs: Optional[Sequence[float]] = None,
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII line chart; each series gets its own glyph."""
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+    glyphs = "ox+*#@&%"
+    all_vals = [v for vs in series.values() for v in vs]
+    if not all_vals:
+        raise ValueError("series are empty")
+    low, high = min(all_vals), max(all_vals)
+    span = (high - low) or 1.0
+    npoints = max(len(vs) for vs in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, vs) in enumerate(series.items()):
+        glyph = glyphs[k % len(glyphs)]
+        for i, v in enumerate(vs):
+            col = int(i / max(npoints - 1, 1) * (width - 1))
+            row = height - 1 - int((v - low) / span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    label_high = f"{high:g}"
+    label_low = f"{low:g}"
+    pad = max(len(label_high), len(label_low))
+    for r, row in enumerate(grid):
+        label = label_high if r == 0 else label_low if r == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    if xs is not None and len(xs) >= 2:
+        lines.append(f"{'':>{pad}} +" + "-" * width)
+        lines.append(f"{'':>{pad}}  {xs[0]:g}{'':>{max(width - 12, 1)}}{xs[-1]:g}")
+    legend = "  ".join(f"{glyphs[k % len(glyphs)]}={name}"
+                       for k, name in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40) -> str:
+    """Horizontal ASCII histogram."""
+    data = list(values)
+    if not data:
+        raise ValueError("no values")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    low, high = min(data), max(data)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for v in data:
+        idx = min(bins - 1, int((v - low) / span * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for b, count in enumerate(counts):
+        left = low + span * b / bins
+        bar = "#" * int(count / peak * width) if peak else ""
+        lines.append(f"{left:10.1f} | {bar} {count}")
+    return "\n".join(lines)

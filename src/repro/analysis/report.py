@@ -1,0 +1,59 @@
+"""Uniform paper-vs-measured reporting for the benchmark harness.
+
+Every benchmark renders its table/figure through these helpers so
+EXPERIMENTS.md and the bench output stay consistent: one row per
+measured quantity, with the paper's value alongside and the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text aligned table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """Rows of (label, paper value, measured value)."""
+
+    title: str
+    unit: str = ""
+    rows: List[Dict] = field(default_factory=list)
+
+    def add(self, label: str, paper: Optional[float], measured: float) -> None:
+        self.rows.append({"label": label, "paper": paper, "measured": measured})
+
+    def render(self) -> str:
+        body = []
+        for row in self.rows:
+            paper = row["paper"]
+            measured = row["measured"]
+            if paper in (None, 0):
+                ratio = "-"
+                paper_text = "-" if paper is None else f"{paper:g}"
+            else:
+                ratio = f"{measured / paper:.2f}x"
+                paper_text = f"{paper:g}"
+            body.append([row["label"], paper_text, f"{measured:.3g}", ratio])
+        header = f"== {self.title}" + (f" [{self.unit}]" if self.unit else "")
+        return header + "\n" + format_table(
+            ["case", "paper", "measured", "measured/paper"], body
+        )
+
+    def measured(self, label: str) -> float:
+        for row in self.rows:
+            if row["label"] == label:
+                return row["measured"]
+        raise KeyError(label)

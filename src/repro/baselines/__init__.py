@@ -1,0 +1,30 @@
+"""Baseline fabrics the paper compares against, behind the same interface.
+
+Each baseline models the NoC *organization* of a comparison system, run
+under the identical coherence and workload layers as the paper's NoC:
+
+- :class:`repro.baselines.mesh.BufferedMeshFabric` — input-queued,
+  credit-flow-controlled mesh with a multi-cycle router pipeline (the
+  Intel mesh-era organization, Ice Lake-SP / Intel-6148/6248 class);
+- :func:`repro.baselines.single_ring.single_ring_fabric` — one monolithic
+  bufferless ring (the Intel ring-era organization, Intel-8280 class);
+- :class:`repro.baselines.switched_star.SwitchedStarFabric` — compute
+  chiplets around a central switch die (the AMD EPYC IOD organization,
+  AMD-7742 class);
+- :class:`repro.baselines.ideal.IdealFabric` — fixed-latency, infinite
+  bandwidth; the zero-load calibration reference.
+"""
+
+from repro.baselines.ideal import IdealFabric
+from repro.baselines.mesh import BufferedMeshFabric, MeshConfig
+from repro.baselines.single_ring import single_ring_fabric
+from repro.baselines.switched_star import SwitchedStarConfig, SwitchedStarFabric
+
+__all__ = [
+    "IdealFabric",
+    "BufferedMeshFabric",
+    "MeshConfig",
+    "single_ring_fabric",
+    "SwitchedStarFabric",
+    "SwitchedStarConfig",
+]

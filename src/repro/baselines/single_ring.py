@@ -1,0 +1,38 @@
+"""Monolithic bufferless single-ring baseline (Intel ring-era, e.g. 8280).
+
+Intel's pre-mesh server CPUs connected all cores, LLC slices, and memory
+controllers with one (or two interlocked) bufferless rings on a single
+die.  Structurally this is the paper's own fabric restricted to one ring
+and zero bridges, so the baseline simply reuses
+:class:`repro.core.network.MultiRingFabric` on a single-ring topology:
+what the comparison isolates is the *multi-ring + bridges* part of the
+design, with the bufferless ring mechanics held identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.topology import single_ring_topology
+
+
+def single_ring_fabric(
+    n_nodes: int,
+    bidirectional: bool = True,
+    stop_spacing: int = 1,
+    config: Optional[MultiRingConfig] = None,
+) -> Tuple[MultiRingFabric, List[int]]:
+    """One big ring with ``n_nodes`` stations.
+
+    A monolithic die keeps stations physically close, hence the default
+    ``stop_spacing=1``; a larger spacing models the longer wires of a
+    reticle-sized die (Section 3.3's distance-per-cycle concern — this is
+    exactly why single rings stop scaling and is measurable with this
+    builder).
+
+    Returns (fabric, node ids in ring order).
+    """
+    topo, nodes = single_ring_topology(n_nodes, bidirectional, stop_spacing)
+    return MultiRingFabric(topo, config or MultiRingConfig()), nodes

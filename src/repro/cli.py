@@ -1,0 +1,224 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Run ``python -m repro --help`` (or ``repro-noc --help`` once installed)
+for the command list.  Each subcommand is a compact version of one of
+the library's experiments; the full benchmark harness lives under
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.plot import line_chart, sparkline
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — bufferless multi-ring NoC for "
+          "heterogeneous chiplets (HPCA 2022 reproduction)")
+    print("layers: sim, fabric, core, baselines, coherence, cpu, ai, "
+          "phys, workloads, analysis")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_ring(args: argparse.Namespace) -> int:
+    from repro.core import MultiRingFabric, single_ring_topology
+    from repro.testing import inject_all, run_to_drain, uniform_messages
+
+    topo, nodes = single_ring_topology(args.nodes,
+                                       bidirectional=not args.half)
+    fabric = MultiRingFabric(topo)
+    msgs = uniform_messages(nodes, nodes, args.messages, seed=args.seed)
+    cycle = inject_all(fabric, msgs)
+    run_to_drain(fabric, cycle)
+    stats = fabric.stats
+    kind = "half" if args.half else "full"
+    print(f"{kind} ring, {args.nodes} stations: delivered "
+          f"{stats.delivered}/{args.messages}, mean latency "
+          f"{stats.mean_network_latency():.1f} cycles, p99 "
+          f"{stats.latency_percentile(99):.0f}")
+    return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.cpu import ServerPackage, ServerPackageConfig, closed_loop
+    from repro.cpu.core import sequential_stream
+
+    config = ServerPackageConfig(clusters_per_ccd=6, hn_per_ccd=2,
+                                 ddr_per_ccd=2)
+    package = ServerPackage(config, fabric_kind=args.fabric)
+    writer = package.attach_core(0, 0, sequential_stream("store", 0, 48),
+                                 closed_loop(mlp=4))
+    package.run_until_cores_done()
+    reader_ccd = 1 if args.inter else 0
+    reader = package.attach_core(reader_ccd, 1,
+                                 sequential_stream("load", 0, 48),
+                                 closed_loop(mlp=1))
+    package.run_until_cores_done()
+    package.system.check_coherence()
+    scope = "inter" if args.inter else "intra"
+    print(f"{args.fabric}: {scope}-chiplet M-state read latency "
+          f"{reader.stats.mean_latency():.1f} cycles")
+    return 0
+
+
+def _cmd_ai(args: argparse.Namespace) -> int:
+    from repro.ai import AiProcessor, AiProcessorConfig
+
+    config = AiProcessorConfig(
+        read_fraction=args.read_fraction,
+        n_hrings=6, n_llc=12, n_l2=36, n_hbm=6, n_dma=6,
+        core_mlp=48, dma_issues_per_cycle=0.4,
+    )
+    processor = AiProcessor(config, probe_window=max(args.cycles // 16, 64))
+    processor.run(args.cycles)
+    report = processor.bandwidth_report()
+    print(f"AI fabric, R:W={args.read_fraction:.2f}, {args.cycles} cycles:")
+    for key in ("total", "read", "write", "dma"):
+        print(f"  {key:6s} {report[key]:6.2f} TB/s")
+    processor.core_probes.finalize()
+    ratios = processor.core_probes.min_over_max()
+    if ratios:
+        print(f"  equilibrium min/max per window: {sparkline(ratios)}")
+    return 0
+
+
+def _cmd_deadlock(args: argparse.Namespace) -> int:
+    from repro.core import MultiRingFabric, chiplet_pair
+    from repro.core.config import MultiRingConfig
+    from repro.fabric import Message, MessageKind
+    from repro.params import QueueParams
+
+    queues = QueueParams(inject_queue_depth=2, eject_queue_depth=2,
+                         bridge_rx_depth=2, bridge_tx_depth=2,
+                         bridge_reserved_tx=2, swap_detect_threshold=32)
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    fabric = MultiRingFabric(topo, MultiRingConfig(
+        queues=queues, enable_swap=not args.no_swap,
+        eject_drain_per_cycle=1))
+    rng = random.Random(0)
+    deliveries = []
+    for cycle in range(args.cycles):
+        for src in ring0:
+            fabric.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                      kind=MessageKind.DATA,
+                                      created_cycle=cycle))
+        for src in ring1:
+            fabric.try_inject(Message(src=src, dst=rng.choice(ring0),
+                                      kind=MessageKind.DATA,
+                                      created_cycle=cycle))
+        fabric.step(cycle)
+        deliveries.append(fabric.stats.delivered)
+    mode = "SWAP off" if args.no_swap else "SWAP on"
+    print(f"{mode}: delivered {fabric.stats.delivered} under saturation, "
+          f"DRM entries {fabric.stats.swap_events}")
+    print("progress: " + sparkline(deliveries, width=60))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.core.serialize import describe_topology, save_topology
+
+    if args.system == "server":
+        from repro.cpu.package import build_server_system
+        fabric, _, _ = build_server_system("multiring")
+        spec = fabric.topology
+    elif args.system == "ai":
+        from repro.ai import AiProcessorConfig
+        from repro.core.topology import grid_of_rings
+        cfg = AiProcessorConfig()
+        spec = grid_of_rings(cfg.n_vrings, cfg.n_hrings,
+                             cfg.cores_per_vring,
+                             cfg.memory_per_hring).topology
+    else:
+        from repro.core import chiplet_pair
+        spec, _, _ = chiplet_pair()
+    print(describe_topology(spec))
+    if args.save:
+        with open(args.save, "w") as fh:
+            save_topology(spec, fh)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.ai import AiProcessor, AiProcessorConfig
+
+    ratios = [1.0, 0.8, 2 / 3, 0.6, 0.5, 0.0]
+    totals = []
+    for rf in ratios:
+        config = AiProcessorConfig(read_fraction=rf, n_hrings=6, n_llc=12,
+                                   n_l2=36, n_hbm=6, n_dma=6, core_mlp=48,
+                                   dma_issues_per_cycle=0.4)
+        processor = AiProcessor(config)
+        processor.run(args.cycles)
+        total = processor.bandwidth_report()["total"]
+        totals.append(total)
+        print(f"  read fraction {rf:.2f}: total {total:5.2f} TB/s")
+    print(line_chart({"total TB/s": totals}, xs=ratios, height=8, width=40,
+                     title="total bandwidth vs read fraction"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noc",
+        description="Bufferless multi-ring NoC reproduction (HPCA 2022)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library overview").set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("ring", help="drain random traffic on one ring")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--messages", type=int, default=200)
+    p.add_argument("--half", action="store_true", help="half ring")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_ring)
+
+    p = sub.add_parser("server-latency",
+                       help="Table 5-style coherent read latency")
+    p.add_argument("--fabric", default="multiring",
+                   choices=["multiring", "mesh", "single_ring",
+                            "switched_star", "ideal"])
+    p.add_argument("--inter", action="store_true",
+                   help="reader on the other compute die")
+    p.set_defaults(fn=_cmd_server)
+
+    p = sub.add_parser("ai-bandwidth", help="Table 7-style AI bandwidth")
+    p.add_argument("--cycles", type=int, default=1500)
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.set_defaults(fn=_cmd_ai)
+
+    p = sub.add_parser("deadlock", help="Figure 9 saturation testbench")
+    p.add_argument("--cycles", type=int, default=3000)
+    p.add_argument("--no-swap", action="store_true")
+    p.set_defaults(fn=_cmd_deadlock)
+
+    p = sub.add_parser("topology", help="describe a built-in topology")
+    p.add_argument("system", choices=["server", "ai", "pair"])
+    p.add_argument("--save", metavar="FILE", help="write JSON to FILE")
+    p.set_defaults(fn=_cmd_topology)
+
+    p = sub.add_parser("sweep-rw", help="R:W ratio bandwidth sweep")
+    p.add_argument("--cycles", type=int, default=1200)
+    p.set_defaults(fn=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

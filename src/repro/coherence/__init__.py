@@ -1,0 +1,43 @@
+"""AMBA5-CHI-lite cache-coherence substrate.
+
+Section 3.2: the architecture keeps the shared-memory abstraction via the
+AMBA5 CHI protocol — a layered, packetized, non-blocking, out-of-order
+protocol whose transactions are independent and stateless, which is what
+makes one-transaction-per-flit bufferless routing viable (Section 3.4.3).
+
+This package implements a faithful *subset* of CHI sufficient for the
+paper's experiments:
+
+- requesters (RN-F) with MSHRs, a coherent cache, and writeback buffers;
+- home nodes (HN-F) with a directory, per-address serialization, Direct
+  Cache Transfer (owner sends data straight to the requester) and Direct
+  Memory Transfer (memory sends data straight to the requester);
+- subordinate memory nodes (SN) with bandwidth-limited service;
+- M/E/S/I line states, snoop-miss fallbacks, and writeback/snoop race
+  handling via a writeback buffer.
+
+Every agent talks only to :class:`repro.fabric.Fabric`, so the identical
+protocol runs over the paper's multi-ring NoC and over every baseline.
+"""
+
+from repro.coherence.messages import ChiMessage, ChiOp
+from repro.coherence.states import CacheState, DirEntry, DirState
+from repro.coherence.cache import SetAssociativeCache, CacheLine
+from repro.coherence.requester import RequestNode
+from repro.coherence.home import HomeNode
+from repro.coherence.memory import MemoryNode
+from repro.coherence.system import CoherentSystem
+
+__all__ = [
+    "ChiMessage",
+    "ChiOp",
+    "CacheState",
+    "DirState",
+    "DirEntry",
+    "SetAssociativeCache",
+    "CacheLine",
+    "RequestNode",
+    "HomeNode",
+    "MemoryNode",
+    "CoherentSystem",
+]

@@ -1,0 +1,82 @@
+"""Base class shared by all CHI agents.
+
+An agent owns one fabric node: it receives messages through the fabric's
+delivery callback, models its internal pipeline latencies with a local
+delay queue, and sends through a retry buffer (the only backpressure a
+CHI agent sees from the paper's NoC is a full inject queue).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.coherence.messages import ChiMessage
+from repro.fabric.interface import Fabric, InjectRetryBuffer
+from repro.fabric.message import Message
+from repro.sim.engine import SimComponent
+
+
+class ProtocolAgent(SimComponent):
+    """One coherence agent bound to one fabric node."""
+
+    def __init__(self, node_id: int, fabric: Fabric, name: str = ""):
+        self.node_id = node_id
+        self.fabric = fabric
+        self.name = name or f"{type(self).__name__}@{node_id}"
+        self._outbox = InjectRetryBuffer(fabric)
+        self._delayed: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self.now = 0
+        fabric.attach(node_id, self._receive)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: int, chi: ChiMessage, delay: int = 0) -> None:
+        """Queue ``chi`` for ``dst`` after ``delay`` internal cycles."""
+        if delay <= 0:
+            self._enqueue(dst, chi, self.now)
+        else:
+            self.after(delay, lambda cycle, d=dst, c=chi: self._enqueue(d, c, cycle))
+
+    def _enqueue(self, dst: int, chi: ChiMessage, cycle: int) -> None:
+        msg = Message(
+            src=self.node_id,
+            dst=dst,
+            kind=chi.transport_kind,
+            payload=chi,
+            created_cycle=cycle,
+            data_bytes=getattr(chi, "data_bytes", None),
+        )
+        self._outbox.send(msg)
+
+    # -- internal latency modelling ------------------------------------------
+
+    def after(self, delay: int, action: Callable[[int], None]) -> None:
+        """Run ``action(cycle)`` once ``delay`` cycles have elapsed."""
+        self._seq += 1
+        heapq.heappush(self._delayed, (self.now + max(delay, 1), self._seq, action))
+
+    # -- receiving ------------------------------------------------------------
+
+    def _receive(self, msg: Message) -> None:
+        cycle = msg.delivered_cycle if msg.delivered_cycle is not None else self.now
+        self.now = max(self.now, cycle)
+        self.on_message(msg.payload, msg.src, cycle)
+
+    def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:
+        raise NotImplementedError
+
+    # -- clock ---------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self.now = cycle
+        while self._delayed and self._delayed[0][0] <= cycle:
+            _, _, action = heapq.heappop(self._delayed)
+            action(cycle)
+        self._outbox.pump()
+
+    @property
+    def busy(self) -> bool:
+        """True while internal work or unsent messages remain."""
+        return bool(self._delayed) or len(self._outbox) > 0

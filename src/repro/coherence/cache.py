@@ -1,0 +1,122 @@
+"""Set-associative cache model with per-set LRU replacement.
+
+Used for the requester-side coherent caches (the cluster L3 slices of
+Section 3.2.1) and reused by the AI processor's LLC directory front-end.
+Capacity is expressed in lines; a capacity of zero models a disabled
+cache (the Table 5 / Figure 11 experiments disable L1/L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.states import CacheState
+
+
+@dataclass
+class CacheLine:
+    addr: int
+    state: CacheState
+    value: int
+    last_use: int = 0
+
+
+class SetAssociativeCache:
+    """``sets`` x ``ways`` cache of :class:`CacheLine`, LRU per set."""
+
+    def __init__(self, sets: int, ways: int):
+        if sets < 0 or ways < 0:
+            raise ValueError("sets/ways must be non-negative")
+        self.sets = sets
+        self.ways = ways
+        self._data: List[Dict[int, CacheLine]] = [dict() for _ in range(max(sets, 1))]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.sets * self.ways
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def _set_for(self, addr: int) -> Dict[int, CacheLine]:
+        return self._data[addr % max(self.sets, 1)]
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find a line; counts hit/miss and refreshes LRU on ``touch``."""
+        line = self._set_for(addr).get(addr)
+        if line is None or line.state is CacheState.INVALID:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            self._tick += 1
+            line.last_use = self._tick
+        return line
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Find a line without stat or LRU side effects (snoops use this)."""
+        line = self._set_for(addr).get(addr)
+        if line is None or line.state is CacheState.INVALID:
+            return None
+        return line
+
+    def fill(
+        self,
+        addr: int,
+        state: CacheState,
+        value: int,
+        on_evict: Optional[Callable[[CacheLine], None]] = None,
+        evictable: Optional[Callable[[CacheLine], bool]] = None,
+    ) -> Optional[CacheLine]:
+        """Install a line, evicting the set's LRU victim if needed.
+
+        ``on_evict`` is called with the victim *before* installation (so
+        dirty victims can start a WriteBack).  ``evictable`` restricts
+        victim choice — lines with in-flight transactions must not be
+        evicted (a writeback racing the line's own upgrade corrupts the
+        directory's ownership epoch).  When no way holds an evictable
+        line the set temporarily overflows, modelling the fill buffer a
+        real design would park the line in.  Returns the installed line,
+        or None when the cache is disabled.
+        """
+        if not self.enabled:
+            return None
+        bucket = self._set_for(addr)
+        existing = bucket.get(addr)
+        self._tick += 1
+        if existing is not None:
+            existing.state = state
+            existing.value = value
+            existing.last_use = self._tick
+            return existing
+        if len(bucket) >= self.ways:
+            candidates = [
+                a for a, line in bucket.items()
+                if evictable is None or evictable(line)
+            ]
+            if candidates:
+                victim_addr = min(candidates, key=lambda a: bucket[a].last_use)
+                victim = bucket.pop(victim_addr)
+                self.evictions += 1
+                if on_evict is not None:
+                    on_evict(victim)
+        line = CacheLine(addr=addr, state=state, value=value, last_use=self._tick)
+        bucket[addr] = line
+        return line
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Drop a line (snoop-unique); returns it for data forwarding."""
+        return self._set_for(addr).pop(addr, None)
+
+    def lines(self) -> List[CacheLine]:
+        return [line for bucket in self._data for line in bucket.values()]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._data)

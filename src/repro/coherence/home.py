@@ -1,0 +1,364 @@
+"""HN-F: the home node — directory, ordering point, LLC data slice.
+
+Each home node owns an address partition (the systems interleave lines
+across home nodes, Section 3.2.2's "interleaved manner").  Transactions to
+the same line serialize here; different lines proceed independently and
+statelessly, which is the property the paper's NoC design leans on.
+
+Fast paths implemented: Direct Cache Transfer (the snooped owner ships the
+line straight to the requester) and Direct Memory Transfer (the memory
+node ships the line straight to the requester) — both matter for the
+Table 5 latencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
+
+from repro.coherence.agent import ProtocolAgent
+from repro.coherence.messages import ChiMessage, ChiOp
+from repro.coherence.states import DirEntry, DirState
+from repro.fabric.interface import Fabric
+from repro.params import LATENCY, LatencyParams
+
+
+@dataclass
+class HnTxn:
+    """One active transaction at the home node."""
+
+    op: ChiOp
+    addr: int
+    txn_id: int
+    requester: int
+    pending_snoops: Set[int] = field(default_factory=set)
+    waiting_ack: bool = False
+    ack_received: bool = False
+    #: Set once the directory grant / data serve has been performed; a
+    #: transaction never releases before it (snoop responses and the
+    #: requester's CompAck may arrive in either order on an unordered
+    #: network).
+    resolved: bool = False
+    #: Set once a snooped owner confirmed it DCT'd data to the requester.
+    dct_done: bool = False
+    #: Owner snoop came back empty (silent clean eviction) — fall back.
+    owner_missing: bool = False
+
+
+class HomeNode(ProtocolAgent):
+    """A directory home agent with an LLC data slice (CHI HN-F)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        memory_map: Callable[[int], int],
+        latency: LatencyParams = LATENCY,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.memory_map = memory_map
+        self.lat = latency
+        self.directory: Dict[int, DirEntry] = {}
+        self._active: Dict[int, HnTxn] = {}                 # addr -> txn
+        self._queue: Dict[int, Deque[ChiMessage]] = {}      # addr -> waiting reqs
+        # statistics
+        self.requests = 0
+        self.snoops_sent = 0
+        self.memory_reads = 0
+        self.memory_writes = 0
+        self.dct_transfers = 0
+        self.llc_serves = 0
+
+    def entry(self, addr: int) -> DirEntry:
+        found = self.directory.get(addr)
+        if found is None:
+            found = DirEntry()
+            self.directory[addr] = found
+        return found
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._active) or super().busy
+
+    # -- message dispatch --------------------------------------------------
+
+    def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:
+        op = chi.op
+        if op in (ChiOp.READ_NO_SNP, ChiOp.WRITE_NO_SNP):
+            # Ordering point only: forward to the owning memory node.
+            self.after(self.lat.directory_lookup,
+                       lambda c, m=chi: self._forward_nosnp(m))
+        elif op.is_request or op is ChiOp.WRITEBACK:
+            self.requests += 1
+            self._admit(chi)
+        elif op in (ChiOp.SNP_RESP, ChiOp.SNP_RESP_DATA):
+            self._on_snoop_resp(chi, src)
+        elif op is ChiOp.COMP_ACK:
+            self._on_comp_ack(chi)
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {op} from {src}")
+
+    def _forward_nosnp(self, chi: ChiMessage) -> None:
+        if chi.op is ChiOp.READ_NO_SNP:
+            self.memory_reads += 1
+        else:
+            self.memory_writes += 1
+        self.send(self.memory_map(chi.addr), chi)
+
+    # -- per-address serialization --------------------------------------------
+
+    def _admit(self, chi: ChiMessage) -> None:
+        if chi.addr in self._active:
+            self._queue.setdefault(chi.addr, deque()).append(chi)
+        else:
+            self._start(chi)
+
+    def _start(self, chi: ChiMessage) -> None:
+        txn = HnTxn(op=chi.op, addr=chi.addr, txn_id=chi.txn_id,
+                    requester=chi.requester)
+        self._active[chi.addr] = txn
+        self.after(self.lat.directory_lookup,
+                   lambda c, m=chi, t=txn: self._dispatch(m, t))
+
+    def _release(self, addr: int) -> None:
+        self._active.pop(addr, None)
+        waiting = self._queue.get(addr)
+        if waiting:
+            nxt = waiting.popleft()
+            if not waiting:
+                del self._queue[addr]
+            self._start(nxt)
+
+    # -- request handling ---------------------------------------------------------
+
+    def _dispatch(self, chi: ChiMessage, txn: HnTxn) -> None:
+        if chi.op is ChiOp.READ_SHARED:
+            self._do_read(txn, want_unique=False)
+        elif chi.op is ChiOp.READ_UNIQUE:
+            self._do_read(txn, want_unique=True)
+        elif chi.op is ChiOp.CLEAN_UNIQUE:
+            self._do_clean_unique(txn)
+        elif chi.op is ChiOp.WRITEBACK:
+            self._do_writeback(txn, chi)
+        else:
+            raise RuntimeError(f"{self.name}: cannot dispatch {chi.op}")
+
+    def _do_read(self, txn: HnTxn, want_unique: bool) -> None:
+        entry = self.entry(txn.addr)
+        requester = txn.requester
+        if entry.state is DirState.UNIQUE and entry.owner == requester:
+            # Silent eviction left the directory stale: the requester
+            # itself is the recorded owner.  Reset and fall through.
+            entry.reset_to_invalid()
+        if entry.state is DirState.UNIQUE:
+            snoop = ChiOp.SNP_UNIQUE if want_unique else ChiOp.SNP_SHARED
+            self._send_snoop(txn, entry.owner, snoop, forward_data=True)
+        elif entry.state is DirState.SHARED:
+            if want_unique:
+                targets = entry.sharers - {requester}
+                if targets:
+                    for node in targets:
+                        self._send_snoop(txn, node, ChiOp.SNP_UNIQUE,
+                                         forward_data=False)
+                else:
+                    self._serve_from_llc(txn, exclusive=True)
+            else:
+                self._serve_from_llc(txn, exclusive=False)
+        else:  # INVALID everywhere
+            if entry.llc_valid:
+                self._serve_from_llc(txn, exclusive=True)
+            else:
+                self._fetch_from_memory(txn)
+
+    def _do_clean_unique(self, txn: HnTxn) -> None:
+        entry = self.entry(txn.addr)
+        if entry.state is DirState.SHARED and txn.requester in entry.sharers:
+            targets = entry.sharers - {txn.requester}
+            if targets:
+                for node in targets:
+                    self._send_snoop(txn, node, ChiOp.SNP_UNIQUE,
+                                     forward_data=False)
+            else:
+                self._grant_upgrade(txn)
+        else:
+            # The requester lost its copy since issuing: full read path.
+            self._do_read(txn, want_unique=True)
+
+    def _do_writeback(self, txn: HnTxn, chi: ChiMessage) -> None:
+        entry = self.entry(txn.addr)
+        if entry.state is DirState.UNIQUE and entry.owner == txn.requester:
+            entry.reset_to_invalid()
+            entry.llc_valid = True
+            entry.llc_value = chi.value
+            self._post_memory_write(txn.addr, chi.value)
+        # A stale writeback (owner already snooped away) is acknowledged
+        # and its data dropped — the snoop already carried it.
+        self.send(txn.requester, ChiMessage(
+            op=ChiOp.COMP, addr=txn.addr, txn_id=txn.txn_id,
+            requester=txn.requester,
+        ))
+        txn.resolved = True
+        self._maybe_release(txn)
+
+    # -- building blocks -------------------------------------------------------------
+
+    def _send_snoop(self, txn: HnTxn, target: int, op: ChiOp,
+                    forward_data: bool) -> None:
+        txn.pending_snoops.add(target)
+        self.snoops_sent += 1
+        self.send(target, ChiMessage(
+            op=op, addr=txn.addr, txn_id=txn.txn_id, requester=txn.requester,
+            forward_data=forward_data,
+        ))
+
+    def _serve_from_llc(self, txn: HnTxn, exclusive: bool) -> None:
+        entry = self.entry(txn.addr)
+        if not entry.llc_valid:
+            self._fetch_from_memory(txn)
+            return
+        self.llc_serves += 1
+        txn.waiting_ack = True
+        value = entry.llc_value
+        self.after(self.lat.l3_data_access, lambda c, t=txn, v=value, e=exclusive:
+                   self.send(t.requester, ChiMessage(
+                       op=ChiOp.COMP_DATA, addr=t.addr, txn_id=t.txn_id,
+                       requester=t.requester, value=v, exclusive=e,
+                   )))
+        self._grant_directory(txn, exclusive)
+        txn.resolved = True
+        self._maybe_release(txn)
+
+    def _fetch_from_memory(self, txn: HnTxn) -> None:
+        """Direct Memory Transfer: SN ships the line to the requester."""
+        self.memory_reads += 1
+        txn.waiting_ack = True
+        self.send(self.memory_map(txn.addr), ChiMessage(
+            op=ChiOp.READ_NO_SNP, addr=txn.addr, txn_id=txn.txn_id,
+            requester=txn.requester, exclusive=True,
+        ))
+        self._grant_directory(txn, exclusive=True)
+        txn.resolved = True
+        self._maybe_release(txn)
+
+    def _post_memory_write(self, addr: int, value: int) -> None:
+        self.memory_writes += 1
+        self.send(self.memory_map(addr), ChiMessage(
+            op=ChiOp.WRITE_NO_SNP, addr=addr, txn_id=0, requester=self.node_id,
+            value=value, posted=True,
+        ))
+
+    def _grant_directory(self, txn: HnTxn, exclusive: bool) -> None:
+        """Update the directory for a data grant to the requester."""
+        entry = self.entry(txn.addr)
+        if exclusive:
+            entry.state = DirState.UNIQUE
+            entry.owner = txn.requester
+            entry.sharers.clear()
+            entry.llc_valid = False
+        else:
+            entry.state = DirState.SHARED
+            entry.owner = None
+            entry.sharers.add(txn.requester)
+
+    def _grant_upgrade(self, txn: HnTxn) -> None:
+        entry = self.entry(txn.addr)
+        entry.state = DirState.UNIQUE
+        entry.owner = txn.requester
+        entry.sharers.clear()
+        entry.llc_valid = False
+        self.send(txn.requester, ChiMessage(
+            op=ChiOp.COMP, addr=txn.addr, txn_id=txn.txn_id,
+            requester=txn.requester,
+        ))
+        txn.resolved = True
+        self._maybe_release(txn)
+
+    # -- snoop responses ----------------------------------------------------------------
+
+    def _on_snoop_resp(self, chi: ChiMessage, src: int) -> None:
+        txn = self._active.get(chi.addr)
+        if txn is None or chi.txn_id != txn.txn_id:
+            return  # stale response for an already-finished transaction
+        txn.pending_snoops.discard(src)
+        entry = self.entry(chi.addr)
+        if chi.op is ChiOp.SNP_RESP_DATA:
+            if chi.dirty:
+                entry.llc_value = chi.value
+                entry.llc_valid = True
+                self._post_memory_write(chi.addr, chi.value)
+            else:
+                entry.llc_value = chi.value
+                entry.llc_valid = True
+            if chi.forward_data and chi.snoop_found in ("M", "E"):
+                txn.dct_done = True
+                self.dct_transfers += 1
+        elif chi.snoop_found == "I" and txn.op in (
+            ChiOp.READ_SHARED, ChiOp.READ_UNIQUE
+        ):
+            txn.owner_missing = True
+        if not txn.pending_snoops:
+            self._after_snoops(txn, src)
+
+    def _after_snoops(self, txn: HnTxn, last_responder: int) -> None:
+        entry = self.entry(txn.addr)
+        if txn.op is ChiOp.READ_SHARED:
+            if txn.dct_done:
+                old_owner = entry.owner
+                entry.state = DirState.SHARED
+                entry.sharers = ({old_owner} if old_owner is not None else set())
+                entry.sharers.add(txn.requester)
+                entry.owner = None
+                txn.waiting_ack = True
+                txn.resolved = True
+                self._maybe_release(txn)
+            else:
+                # Owner vanished (silent eviction); serve it ourselves.
+                entry.reset_to_invalid()
+                if entry.llc_valid:
+                    self._serve_from_llc(txn, exclusive=True)
+                else:
+                    self._fetch_from_memory(txn)
+        elif txn.op in (ChiOp.READ_UNIQUE, ChiOp.CLEAN_UNIQUE):
+            if txn.dct_done:
+                self._grant_directory(txn, exclusive=True)
+                txn.waiting_ack = True
+                txn.resolved = True
+                self._maybe_release(txn)
+            elif txn.op is ChiOp.CLEAN_UNIQUE and entry.state is DirState.SHARED \
+                    and txn.requester in entry.sharers:
+                self._grant_upgrade(txn)
+            elif entry.state is DirState.SHARED:
+                # Sharers invalidated; serve exclusive data from the LLC.
+                entry.sharers.clear()
+                entry.state = DirState.INVALID
+                self._serve_from_llc(txn, exclusive=True)
+            else:
+                entry.reset_to_invalid()
+                if entry.llc_valid:
+                    self._serve_from_llc(txn, exclusive=True)
+                else:
+                    self._fetch_from_memory(txn)
+
+    def _on_comp_ack(self, chi: ChiMessage) -> None:
+        txn = self._active.get(chi.addr)
+        if txn is None or txn.txn_id != chi.txn_id:
+            return
+        txn.ack_received = True
+        self._maybe_release(txn)
+
+    def _maybe_release(self, txn: HnTxn) -> None:
+        """Release only once resolved, snoops answered, and ack'd.
+
+        On an unordered network the requester's CompAck (triggered by a
+        DCT straight from the old owner) can overtake the owner's snoop
+        response to us; releasing early would skip the directory grant
+        and admit a conflicting transaction against a stale directory.
+        """
+        if not txn.resolved or txn.pending_snoops:
+            return
+        if txn.waiting_ack and not txn.ack_received:
+            return
+        if self._active.get(txn.addr) is txn:
+            self._release(txn.addr)

@@ -1,0 +1,92 @@
+"""SN: subordinate memory node — a DDR channel or HBM stack.
+
+Service is bandwidth-limited: back-to-back line transfers are spaced by
+``line_bytes / bytes_per_cycle`` cycles, and each access additionally pays
+the device latency.  Reads use Direct Memory Transfer — the response goes
+straight to the original requester, not back through the home node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.coherence.agent import ProtocolAgent
+from repro.coherence.messages import ChiMessage, ChiOp
+from repro.fabric.interface import Fabric
+from repro.params import CACHE_LINE_BYTES
+
+
+class MemoryNode(ProtocolAgent):
+    """Bandwidth- and latency-modelled memory endpoint (CHI SN)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        service_latency: int,
+        bytes_per_cycle: float,
+        write_cost_factor: float = 0.6,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if write_cost_factor <= 0:
+            raise ValueError("write_cost_factor must be positive")
+        self.service_latency = service_latency
+        self.service_interval = CACHE_LINE_BYTES / bytes_per_cycle
+        #: Writes drain through the controller's write buffer and cost
+        #: less channel occupancy than reads (no turnaround-critical
+        #: read data burst) — this is what separates Figure 11's read
+        #: vs write background-noise curves.
+        self.write_cost_factor = write_cost_factor
+        self.mem: Dict[int, int] = {}
+        self._next_free = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.busy_cycles = 0.0
+
+    def read_value(self, addr: int) -> int:
+        """Functional backdoor for invariant checks (no timing)."""
+        return self.mem.get(addr, 0)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of the channel's bandwidth consumed so far."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def _queue_delay(self, cycle: int, interval_scale: float = 1.0) -> int:
+        interval = self.service_interval * interval_scale
+        start = max(float(cycle), self._next_free)
+        self._next_free = start + interval
+        self.busy_cycles += interval
+        return int(start - cycle) + self.service_latency
+
+    def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:
+        if chi.op is ChiOp.READ_NO_SNP:
+            self.reads += 1
+            delay = self._queue_delay(cycle)
+            value = self.mem.get(chi.addr, 0)
+            self.after(delay, lambda c, m=chi, v=value: self.send(
+                m.requester,
+                ChiMessage(op=ChiOp.COMP_DATA, addr=m.addr, txn_id=m.txn_id,
+                           requester=m.requester, value=v,
+                           exclusive=m.exclusive),
+            ))
+        elif chi.op is ChiOp.WRITE_NO_SNP:
+            self.writes += 1
+            delay = self._queue_delay(cycle, self.write_cost_factor)
+            # Posted writes from successive transactions can reorder on an
+            # unordered fabric; the controller orders same-address writes
+            # (values are monotone versions, so newest-wins implements it).
+            if chi.value is not None and chi.value >= self.mem.get(chi.addr, 0):
+                self.mem[chi.addr] = chi.value
+            if not chi.posted:
+                self.after(delay, lambda c, m=chi: self.send(
+                    m.requester,
+                    ChiMessage(op=ChiOp.COMP, addr=m.addr, txn_id=m.txn_id,
+                               requester=m.requester),
+                ))
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {chi.op} from {src}")

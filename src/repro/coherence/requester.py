@@ -1,0 +1,353 @@
+"""RN-F: the requester agent (a cluster's L3 slice in the Server-CPU).
+
+Exposes ``load``/``store`` (coherent) and ``read_nosnp``/``write_nosnp``
+(non-coherent, used by the cache-disabled latency experiments and DMA).
+Each operation returns False when resources (MSHRs, writeback in flight)
+force the caller to retry — the same local-backpressure-only discipline
+the fabric itself uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.agent import ProtocolAgent
+from repro.coherence.cache import CacheLine, SetAssociativeCache
+from repro.coherence.messages import ChiMessage, ChiOp, next_txn_id
+from repro.coherence.states import CacheState
+from repro.fabric.interface import Fabric
+from repro.params import LATENCY, LatencyParams
+
+#: Completion callback: (value, cycle).
+Callback = Callable[[Optional[int], int], None]
+
+
+@dataclass
+class Mshr:
+    """One outstanding transaction."""
+
+    kind: str                 # load | store | upgrade | wb | nosnp_r | nosnp_w
+    addr: int
+    txn_id: int
+    issue_cycle: int
+    #: (op, callback) pairs; later ops to the same line merge here.
+    callbacks: List[Tuple[str, Callback]] = field(default_factory=list)
+    #: For upgrades: the S-state value held when the upgrade was issued.
+    stored_value: Optional[int] = None
+
+
+class RequestNode(ProtocolAgent):
+    """A fully-coherent requester (CHI RN-F)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: Fabric,
+        home_map: Callable[[int], int],
+        cache: SetAssociativeCache,
+        version_source: Callable[[], int],
+        latency: LatencyParams = LATENCY,
+        max_mshrs: int = 16,
+        name: str = "",
+    ):
+        super().__init__(node_id, fabric, name)
+        self.home_map = home_map
+        self.cache = cache
+        self.version_source = version_source
+        self.lat = latency
+        self.max_mshrs = max_mshrs
+        self._mshrs: Dict[int, Mshr] = {}        # txn_id -> Mshr
+        self._by_addr: Dict[int, int] = {}       # addr -> txn_id
+        self.wb_buffer: Dict[int, int] = {}      # addr -> dirty value
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.snoops_received = 0
+
+    # -- public operation API ------------------------------------------------
+
+    def load(self, addr: int, callback: Callback) -> bool:
+        """Coherent read; returns False if the caller must retry."""
+        return self._coherent_op("load", addr, callback)
+
+    def store(self, addr: int, callback: Callback) -> bool:
+        """Coherent write; returns False if the caller must retry."""
+        return self._coherent_op("store", addr, callback)
+
+    def read_nosnp(self, addr: int, callback: Callback) -> bool:
+        """Uncached read straight through the home to memory."""
+        return self._nosnp(ChiOp.READ_NO_SNP, "nosnp_r", addr, callback, None)
+
+    def write_nosnp(self, addr: int, value: Optional[int], callback: Callback) -> bool:
+        """Uncached write; ``value`` defaults to a fresh version."""
+        if value is None:
+            value = self.version_source()
+        return self._nosnp(ChiOp.WRITE_NO_SNP, "nosnp_w", addr, callback, value)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._mshrs)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._mshrs) or super().busy
+
+    # -- coherent path ----------------------------------------------------------
+
+    def _coherent_op(self, op: str, addr: int, callback: Callback) -> bool:
+        if not self.cache.enabled:
+            raise RuntimeError(
+                "coherent load/store needs an enabled cache; use the "
+                "nosnp operations with a disabled cache"
+            )
+        if addr in self.wb_buffer:
+            return False  # writeback racing; retry after it completes
+        line = self.cache.lookup(addr)
+        if line is not None:
+            if op == "load" or line.state.writable:
+                self.hits += 1
+                self.after(
+                    self.lat.l3_tag_lookup,
+                    lambda cycle, a=addr, o=op: self._hit(o, a, callback, cycle),
+                )
+                return True
+            # S-state store: upgrade without data transfer.
+            return self._start_txn(
+                "upgrade", ChiOp.CLEAN_UNIQUE, addr, ("store", callback),
+                stored_value=line.value,
+            )
+        existing = self._by_addr.get(addr)
+        if existing is not None:
+            mshr = self._mshrs[existing]
+            if mshr.kind in ("load", "store", "upgrade"):
+                mshr.callbacks.append((op, callback))
+                return True
+            return False  # writeback transaction occupies the address
+        self.misses += 1
+        chi_op = ChiOp.READ_SHARED if op == "load" else ChiOp.READ_UNIQUE
+        return self._start_txn(op, chi_op, addr, (op, callback))
+
+    def _hit(self, op: str, addr: int, callback: Callback, cycle: int) -> None:
+        # Re-validate: a snoop or an eviction may have raced the tag
+        # pipeline between lookup and access (hit-under-snoop).  If the
+        # line changed underneath us, reissue the operation.
+        line = self.cache.peek(addr)
+        if line is None or (op == "store" and not line.state.writable):
+            self._reissue(op, addr, callback)
+            return
+        if op == "store":
+            line.state = CacheState.MODIFIED
+            line.value = self.version_source()
+        callback(line.value, cycle)
+
+    def _reissue(self, op: str, addr: int, callback: Callback) -> None:
+        """Retry an operation until the requester accepts it."""
+        if not self._coherent_op(op, addr, callback):
+            self.after(1, lambda c: self._reissue(op, addr, callback))
+
+    def _start_txn(
+        self,
+        kind: str,
+        chi_op: ChiOp,
+        addr: int,
+        first_callback: Optional[Tuple[str, Callback]],
+        stored_value: Optional[int] = None,
+        value: Optional[int] = None,
+    ) -> bool:
+        if kind != "wb" and len(self._mshrs) >= self.max_mshrs:
+            # Writebacks are exempt: they are issued from the eviction
+            # path, which cannot retry, and real designs drain them
+            # through a dedicated writeback queue.
+            return False
+        txn_id = next_txn_id()
+        mshr = Mshr(kind=kind, addr=addr, txn_id=txn_id, issue_cycle=self.now,
+                    stored_value=stored_value)
+        if first_callback is not None:
+            mshr.callbacks.append(first_callback)
+        self._mshrs[txn_id] = mshr
+        if kind != "nosnp_r" and kind != "nosnp_w":
+            self._by_addr[addr] = txn_id
+        self.send(
+            self.home_map(addr),
+            ChiMessage(op=chi_op, addr=addr, txn_id=txn_id,
+                       requester=self.node_id, value=value),
+            delay=self.lat.requester_pipeline,
+        )
+        return True
+
+    def _nosnp(self, chi_op: ChiOp, kind: str, addr: int,
+               callback: Callback, value: Optional[int]) -> bool:
+        return self._start_txn(kind, chi_op, addr, (kind, callback), value=value)
+
+    # -- eviction / writeback ------------------------------------------------------
+
+    def _evictable(self, line: CacheLine) -> bool:
+        """A line with an in-flight transaction must stay resident.
+
+        Evicting it would let its WriteBack race its own upgrade at the
+        home node and corrupt the ownership epoch; real designs park such
+        lines in the MSHR/fill buffer, which the set-overflow in
+        :meth:`SetAssociativeCache.fill` models.
+        """
+        return line.addr not in self._by_addr and line.addr not in self.wb_buffer
+
+    def _evict(self, victim: CacheLine) -> None:
+        if victim.state is not CacheState.MODIFIED:
+            return  # clean lines drop silently; the directory self-heals
+        self.wb_buffer[victim.addr] = victim.value
+        self._start_txn("wb", ChiOp.WRITEBACK, victim.addr, None,
+                        value=victim.value)
+
+    # -- message handling ------------------------------------------------------------
+
+    def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:
+        if chi.op in (ChiOp.SNP_SHARED, ChiOp.SNP_UNIQUE):
+            self.snoops_received += 1
+            self.after(self.lat.snoop_response,
+                       lambda c, m=chi: self._answer_snoop(m, c))
+        elif chi.op is ChiOp.COMP_DATA:
+            self._on_comp_data(chi, cycle)
+        elif chi.op is ChiOp.COMP:
+            self._on_comp(chi, cycle)
+        else:
+            raise RuntimeError(f"{self.name}: unexpected {chi.op} from {src}")
+
+    # -- snoops ---------------------------------------------------------------------
+
+    def _answer_snoop(self, chi: ChiMessage, cycle: int) -> None:
+        home = self.home_map(chi.addr)
+        wb_value = self.wb_buffer.get(chi.addr)
+        if wb_value is not None:
+            # The dirty line is in flight to the home; answer from the
+            # writeback buffer so the race resolves with fresh data.
+            if chi.forward_data:
+                self._dct(chi, wb_value, dirty=chi.op is ChiOp.SNP_UNIQUE)
+            self.send(home, ChiMessage(
+                op=ChiOp.SNP_RESP_DATA, addr=chi.addr, txn_id=chi.txn_id,
+                requester=chi.requester, value=wb_value, snoop_found="M",
+                dirty=True, forward_data=chi.forward_data,
+            ))
+            return
+        line = self.cache.peek(chi.addr)
+        if line is None:
+            self.send(home, ChiMessage(
+                op=ChiOp.SNP_RESP, addr=chi.addr, txn_id=chi.txn_id,
+                requester=chi.requester, snoop_found="I",
+            ))
+            return
+        found = line.state.value
+        if chi.op is ChiOp.SNP_SHARED:
+            if line.state.is_unique:
+                if chi.forward_data:
+                    self._dct(chi, line.value, dirty=False)
+                self.send(home, ChiMessage(
+                    op=ChiOp.SNP_RESP_DATA, addr=chi.addr, txn_id=chi.txn_id,
+                    requester=chi.requester, value=line.value,
+                    snoop_found=found, dirty=line.state is CacheState.MODIFIED,
+                    forward_data=chi.forward_data,
+                ))
+                line.state = CacheState.SHARED
+            else:
+                self.send(home, ChiMessage(
+                    op=ChiOp.SNP_RESP, addr=chi.addr, txn_id=chi.txn_id,
+                    requester=chi.requester, snoop_found=found,
+                ))
+        else:  # SNP_UNIQUE
+            self.cache.invalidate(chi.addr)
+            if line.state.is_unique:
+                if chi.forward_data:
+                    self._dct(chi, line.value,
+                              dirty=line.state is CacheState.MODIFIED)
+                self.send(home, ChiMessage(
+                    op=ChiOp.SNP_RESP_DATA, addr=chi.addr, txn_id=chi.txn_id,
+                    requester=chi.requester, value=line.value,
+                    snoop_found=found, dirty=line.state is CacheState.MODIFIED,
+                    forward_data=chi.forward_data,
+                ))
+            else:
+                self.send(home, ChiMessage(
+                    op=ChiOp.SNP_RESP, addr=chi.addr, txn_id=chi.txn_id,
+                    requester=chi.requester, snoop_found=found,
+                ))
+
+    def _dct(self, snoop: ChiMessage, value: int, dirty: bool) -> None:
+        """Direct Cache Transfer: owner ships data straight to requester."""
+        grant_exclusive = snoop.op is ChiOp.SNP_UNIQUE
+        self.send(snoop.requester, ChiMessage(
+            op=ChiOp.COMP_DATA, addr=snoop.addr, txn_id=snoop.txn_id,
+            requester=snoop.requester, value=value,
+            exclusive=grant_exclusive, dirty=dirty and grant_exclusive,
+        ))
+
+    # -- completions ---------------------------------------------------------------
+
+    def _on_comp_data(self, chi: ChiMessage, cycle: int) -> None:
+        mshr = self._mshrs.get(chi.txn_id)
+        if mshr is None:
+            return  # stale duplicate; nothing outstanding
+        if mshr.kind == "nosnp_r":
+            self._retire(mshr)
+            for _, cb in mshr.callbacks:
+                cb(chi.value, cycle)
+            return
+        # Coherent fill (load/store/upgrade-turned-fill).
+        if chi.dirty:
+            state = CacheState.MODIFIED
+        elif chi.exclusive:
+            state = CacheState.EXCLUSIVE
+        else:
+            state = CacheState.SHARED
+        line = self.cache.fill(chi.addr, state, chi.value,
+                               on_evict=self._evict,
+                               evictable=self._evictable)
+        self.send(self.home_map(chi.addr), ChiMessage(
+            op=ChiOp.COMP_ACK, addr=chi.addr, txn_id=chi.txn_id,
+            requester=self.node_id,
+        ), delay=1)
+        self._retire(mshr)
+        self._apply_callbacks(mshr, line, cycle)
+
+    def _on_comp(self, chi: ChiMessage, cycle: int) -> None:
+        mshr = self._mshrs.get(chi.txn_id)
+        if mshr is None:
+            return
+        if mshr.kind == "wb":
+            self.wb_buffer.pop(mshr.addr, None)
+            self._retire(mshr)
+            return
+        if mshr.kind == "nosnp_w":
+            self._retire(mshr)
+            for _, cb in mshr.callbacks:
+                cb(None, cycle)
+            return
+        if mshr.kind == "upgrade":
+            # Permission granted without data; resurrect from stored value.
+            line = self.cache.fill(
+                mshr.addr, CacheState.EXCLUSIVE, mshr.stored_value,
+                on_evict=self._evict, evictable=self._evictable,
+            )
+            self._retire(mshr)
+            self._apply_callbacks(mshr, line, cycle)
+            return
+        raise RuntimeError(f"{self.name}: COMP for unexpected mshr {mshr.kind}")
+
+    def _apply_callbacks(self, mshr: Mshr, line: Optional[CacheLine],
+                         cycle: int) -> None:
+        for op, cb in mshr.callbacks:
+            if op == "store":
+                if line is None or not line.state.writable:
+                    # A store merged into a load MSHR got only a shared
+                    # grant; it must acquire unique permission properly.
+                    self._reissue("store", mshr.addr, cb)
+                    continue
+                line.state = CacheState.MODIFIED
+                line.value = self.version_source()
+                cb(line.value, cycle)
+            else:
+                cb(line.value if line is not None else None, cycle)
+
+    def _retire(self, mshr: Mshr) -> None:
+        del self._mshrs[mshr.txn_id]
+        if self._by_addr.get(mshr.addr) == mshr.txn_id:
+            del self._by_addr[mshr.addr]

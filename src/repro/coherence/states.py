@@ -1,0 +1,67 @@
+"""Cache-line and directory states for the CHI-lite protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Set
+
+
+class CacheState(Enum):
+    """MESI states as held by a requester's cache."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"   # unique clean (CHI UC)
+    MODIFIED = "M"    # unique dirty (CHI UD)
+
+    @property
+    def is_unique(self) -> bool:
+        return self in (CacheState.EXCLUSIVE, CacheState.MODIFIED)
+
+    @property
+    def readable(self) -> bool:
+        return self is not CacheState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        return self.is_unique
+
+
+class DirState(Enum):
+    """Directory view of a line at the home node."""
+
+    INVALID = "I"     # no requester holds it
+    SHARED = "S"      # one or more requesters hold S
+    UNIQUE = "U"      # exactly one requester holds E or M
+
+
+@dataclass
+class DirEntry:
+    """Home-node directory entry plus the LLC-side data copy.
+
+    ``llc_valid``/``llc_value`` model the hybrid L3 of Section 3.2.1: the
+    home keeps a clean data copy in the L3-data/LLC slice, so shared reads
+    are served on-die without a memory round trip.  ``mem_value`` is what
+    a snoop-miss fallback would read from DRAM (kept here for invariant
+    checks; the actual fetch still pays the memory node's latency).
+    """
+
+    state: DirState = DirState.INVALID
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+    llc_valid: bool = False
+    llc_value: int = 0
+
+    def reset_to_invalid(self) -> None:
+        self.state = DirState.INVALID
+        self.owner = None
+        self.sharers.clear()
+
+    def consistent(self) -> bool:
+        """Internal consistency of the entry itself."""
+        if self.state is DirState.UNIQUE:
+            return self.owner is not None and not self.sharers
+        if self.state is DirState.SHARED:
+            return self.owner is None and bool(self.sharers)
+        return self.owner is None and not self.sharers

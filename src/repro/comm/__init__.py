@@ -1,0 +1,24 @@
+"""Baseband-processor scenario (the paper's third deployment).
+
+The abstract claims the NoC "is portable and can be used in diverse
+scenarios, like Server-CPU, AI-Processor, and Baseband-Processor", and
+Section 2.1's Lego catalogue includes the Communication Die (DSPs and
+protocol accelerators, Table 1).  This package assembles that scenario
+from the same parts: a communication die (full ring of DSP nodes) and an
+IO die (half ring carrying the antenna front-end and the protocol
+accelerator), joined by an RBRG-L2.
+
+The workload is the defining one for a wireless station: *periodic
+frames with deadlines*.  Antenna data arrives every ``frame_interval``
+cycles, is sprayed across the DSP nodes, and the processed symbols must
+all reach the protocol accelerator before the next frame — the metric is
+the deadline hit rate and the latency jitter, not raw bandwidth.
+"""
+
+from repro.comm.baseband import (
+    BasebandConfig,
+    BasebandStation,
+    FrameStats,
+)
+
+__all__ = ["BasebandConfig", "BasebandStation", "FrameStats"]

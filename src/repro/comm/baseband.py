@@ -1,0 +1,221 @@
+"""Baseband station: periodic frame processing over the multi-ring NoC.
+
+Pipeline per frame (one LTE/NR-style symbol period):
+
+1. the **antenna front-end** (IO die) emits ``chunks_per_frame`` sample
+   bursts, sprayed round-robin across the DSP nodes (communication die);
+2. each **DSP node** spends ``dsp_cycles`` on a chunk (FFT/equalize) and
+   ships the result to the **protocol accelerator** (IO die);
+3. the accelerator closes the frame when every chunk arrived; a frame
+   *misses its deadline* if it closes later than ``frame_interval``
+   cycles after its start.
+
+All transport is ordinary fabric traffic — the same cross stations,
+tags, and RBRG-L2 as the other two scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coherence.agent import ProtocolAgent
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.topology import TopologyBuilder
+from repro.fabric.interface import Fabric
+from repro.fabric.message import MessageKind
+from repro.sim.engine import SimComponent
+
+
+@dataclass
+class BbMessage:
+    """Payload on the baseband fabric: one sample/symbol chunk."""
+
+    op: str           # "samples" (antenna->DSP) | "symbols" (DSP->sink)
+    frame: int
+    chunk: int
+    data_bytes: Optional[int] = 256
+
+    @property
+    def transport_kind(self) -> MessageKind:
+        return MessageKind.DATA
+
+
+@dataclass
+class BasebandConfig:
+    """Sizing and timing of the station."""
+
+    n_dsp: int = 8
+    chunks_per_frame: int = 16
+    #: Cycles between frame starts — also the processing deadline.
+    frame_interval: int = 400
+    #: DSP compute time per chunk.
+    dsp_cycles: int = 60
+    n_frames: int = 20
+    stop_spacing: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_dsp < 1 or self.chunks_per_frame < 1:
+            raise ValueError("need at least one DSP and one chunk")
+        if self.frame_interval < 1:
+            raise ValueError("frame interval must be positive")
+
+
+@dataclass
+class FrameStats:
+    """Per-frame completion record."""
+
+    frame: int
+    start_cycle: int
+    complete_cycle: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.start_cycle
+
+
+class AntennaFrontEnd(ProtocolAgent):
+    """Emits one frame of sample chunks every ``frame_interval`` cycles."""
+
+    def __init__(self, node_id: int, fabric: Fabric, config: BasebandConfig,
+                 dsp_nodes: List[int]):
+        super().__init__(node_id, fabric, name="antenna")
+        self.config = config
+        self.dsp_nodes = dsp_nodes
+        self.frames_emitted = 0
+
+    def step(self, cycle: int) -> None:
+        super().step(cycle)
+        cfg = self.config
+        if (self.frames_emitted < cfg.n_frames
+                and cycle == self.frames_emitted * cfg.frame_interval):
+            frame = self.frames_emitted
+            for chunk in range(cfg.chunks_per_frame):
+                dsp = self.dsp_nodes[chunk % len(self.dsp_nodes)]
+                self.send(dsp, BbMessage("samples", frame, chunk))
+            self.frames_emitted += 1
+
+    def on_message(self, payload, src, cycle):
+        raise RuntimeError("antenna front-end receives nothing")
+
+
+class DspNode(ProtocolAgent):
+    """Processes sample chunks and forwards symbols to the accelerator."""
+
+    def __init__(self, node_id: int, fabric: Fabric, config: BasebandConfig,
+                 sink_node: int, index: int):
+        super().__init__(node_id, fabric, name=f"dsp{index}")
+        self.config = config
+        self.sink_node = sink_node
+        self.chunks_processed = 0
+        self._busy_until = 0
+
+    def on_message(self, payload: BbMessage, src: int, cycle: int) -> None:
+        if payload.op != "samples":
+            raise RuntimeError(f"{self.name}: unexpected {payload.op}")
+        # Single execution unit: chunks queue behind each other.
+        start = max(cycle, self._busy_until)
+        self._busy_until = start + self.config.dsp_cycles
+        self.after(self._busy_until - cycle,
+                   lambda c, m=payload: self._emit(m))
+
+    def _emit(self, payload: BbMessage) -> None:
+        self.chunks_processed += 1
+        self.send(self.sink_node,
+                  BbMessage("symbols", payload.frame, payload.chunk))
+
+
+class ProtocolAccelerator(ProtocolAgent):
+    """Collects symbols; closes frames; tracks deadlines."""
+
+    def __init__(self, node_id: int, fabric: Fabric, config: BasebandConfig):
+        super().__init__(node_id, fabric, name="protocol-acc")
+        self.config = config
+        self.frames: Dict[int, FrameStats] = {}
+        self._received: Dict[int, int] = {}
+
+    def on_message(self, payload: BbMessage, src: int, cycle: int) -> None:
+        if payload.op != "symbols":
+            raise RuntimeError(f"{self.name}: unexpected {payload.op}")
+        cfg = self.config
+        stats = self.frames.setdefault(
+            payload.frame,
+            FrameStats(payload.frame, payload.frame * cfg.frame_interval),
+        )
+        self._received[payload.frame] = self._received.get(payload.frame, 0) + 1
+        if self._received[payload.frame] == cfg.chunks_per_frame:
+            stats.complete_cycle = cycle
+
+    @property
+    def completed_frames(self) -> List[FrameStats]:
+        return [f for f in self.frames.values() if f.complete_cycle is not None]
+
+
+class BasebandStation(SimComponent):
+    """Communication die + IO die assembled for frame processing."""
+
+    def __init__(self, config: Optional[BasebandConfig] = None,
+                 ring_config: Optional[MultiRingConfig] = None):
+        self.config = cfg = config or BasebandConfig()
+        builder = TopologyBuilder()
+        # Communication die: full ring of DSP nodes (stations at >=1 so
+        # stop 0 stays free for the bridge).
+        n_stations = (cfg.n_dsp + 1) // 2 + 1
+        builder.add_ring(0, max(2, n_stations * cfg.stop_spacing), True)
+        dsp_nodes = [
+            builder.add_node(0, ((i // 2) + 1) * cfg.stop_spacing)
+            for i in range(cfg.n_dsp)
+        ]
+        # IO die: half ring with the antenna and the accelerator.
+        builder.add_ring(100, max(2, 4 * cfg.stop_spacing), False)
+        antenna_node = builder.add_node(100, cfg.stop_spacing)
+        sink_node = builder.add_node(100, 2 * cfg.stop_spacing)
+        builder.add_bridge(0, 0, 100, 0, level=2)
+        self.fabric = MultiRingFabric(builder.build(),
+                                      ring_config or MultiRingConfig())
+
+        self.antenna = AntennaFrontEnd(antenna_node, self.fabric, cfg,
+                                       dsp_nodes)
+        self.sink = ProtocolAccelerator(sink_node, self.fabric, cfg)
+        self.dsps = [
+            DspNode(node, self.fabric, cfg, sink_node, i)
+            for i, node in enumerate(dsp_nodes)
+        ]
+        self._agents = [self.antenna, self.sink] + self.dsps
+        self._cycle = 0
+
+    def step(self, cycle: int) -> None:
+        for agent in self._agents:
+            agent.step(cycle)
+        self.fabric.step(cycle)
+        self._cycle = cycle + 1
+
+    def run_all_frames(self, slack_cycles: int = 5000) -> None:
+        total = self.config.n_frames * self.config.frame_interval + slack_cycles
+        for _ in range(total):
+            self.step(self._cycle)
+            if (len(self.sink.completed_frames) == self.config.n_frames
+                    and self.fabric.stats.in_flight == 0):
+                break
+
+    # -- metrics --------------------------------------------------------------
+
+    def deadline_hit_rate(self) -> float:
+        frames = self.sink.completed_frames
+        if not frames:
+            return 0.0
+        hits = sum(1 for f in frames
+                   if f.latency is not None
+                   and f.latency <= self.config.frame_interval)
+        return hits / self.config.n_frames
+
+    def latency_jitter(self) -> float:
+        """Max - min completed-frame latency (cycles)."""
+        latencies = [f.latency for f in self.sink.completed_frames
+                     if f.latency is not None]
+        if not latencies:
+            return 0.0
+        return float(max(latencies) - min(latencies))

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: a bufferless multi-ring NoC.
+
+The package implements every mechanism of Section 4:
+
+- :mod:`repro.core.station` — cross stations with two node interfaces,
+  round-robin injection, on-the-fly-flit priority, and the I-tag/E-tag
+  starvation/livelock guards;
+- :mod:`repro.core.ring` — half (unidirectional) and full (bidirectional)
+  rings built from rotating slot lanes;
+- :mod:`repro.core.bridge` — RBRG-L1 (intra-chiplet) and RBRG-L2
+  (inter-chiplet, with a die-to-die link model and the SWAP
+  deadlock-resolution mode);
+- :mod:`repro.core.routing` — shortest-direction selection and
+  segment-based cross-ring routing (X-Y/Y-X on the AI mesh);
+- :mod:`repro.core.network` — :class:`MultiRingFabric`, the
+  :class:`repro.fabric.Fabric` implementation tying it together;
+- :mod:`repro.core.topology` — topology builders for rings, grids of
+  rings, and chiplet systems.
+"""
+
+from repro.core.config import (
+    BridgeSpec,
+    MultiRingConfig,
+    NodePlacement,
+    RingSpec,
+    TopologySpec,
+)
+from repro.core.network import MultiRingFabric
+from repro.core.topology import (
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+)
+
+__all__ = [
+    "RingSpec",
+    "NodePlacement",
+    "BridgeSpec",
+    "TopologySpec",
+    "MultiRingConfig",
+    "MultiRingFabric",
+    "single_ring_topology",
+    "grid_of_rings",
+    "chiplet_pair",
+]

@@ -1,0 +1,159 @@
+"""Ring bridges: RBRG-L1 (intra-chiplet) and RBRG-L2 (inter-chiplet).
+
+Section 4.1.3: RBRG-L1s "act as devices that reside in every intersection"
+of the interwoven multi-ring — they buffer flits changing rings and
+regenerate routing information.  RBRG-L2 connects rings on *different*
+dies: same buffering and routing role, plus backpressure flow control, a
+parallel-IO die-to-die link, and the SWAP deadlock-resolution duty of
+Section 4.4.
+
+Both bridges occupy one node interface (a :class:`repro.core.station.Port`)
+on each of the two rings they join: they drain that port's Eject Queue and
+fill the peer port's Inject Queue.  Backpressure is implicit and purely
+local — a full internal stage simply stops draining the Eject Queue, the
+Eject Queue fills, and arriving flits deflect with E-tags.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import BridgeSpec, MultiRingConfig
+from repro.core.flit import Flit
+from repro.core.station import Port
+from repro.core.swap import SwapController
+from repro.fabric.stats import FabricStats
+from repro.params import LATENCY
+
+
+class RingBridgeL1:
+    """Intra-chiplet ring bridge: a short buffered crossover."""
+
+    def __init__(
+        self,
+        spec: BridgeSpec,
+        port_a: Port,
+        port_b: Port,
+        config: MultiRingConfig,
+        stats: FabricStats,
+        latency: int = LATENCY.bridge_l1,
+    ):
+        self.spec = spec
+        self.stats = stats
+        self._latency = latency
+        self._depth = config.queues.bridge_rx_depth
+        # One pipeline per direction: entries are [ready_cycle, flit].
+        self._paths: List[Tuple[Port, Port, List[List]]] = [
+            (port_a, port_b, []),
+            (port_b, port_a, []),
+        ]
+
+    def step(self, cycle: int) -> None:
+        for src_port, dst_port, pipe in self._paths:
+            # Drain the pipeline head onto the peer ring's inject queue.
+            if pipe and pipe[0][0] <= cycle and not dst_port.inject_full:
+                dst_port.inject_queue.append(pipe.pop(0)[1])
+            # Intake from our Eject Queue; stalling here is the
+            # backpressure that makes upstream flits deflect.
+            if src_port.eject_queue and len(pipe) < self._depth:
+                flit: Flit = src_port.eject_queue.popleft()
+                flit.advance_hop()
+                pipe.append([cycle + self._latency, flit])
+
+    def occupancy(self) -> int:
+        return sum(len(pipe) for _, _, pipe in self._paths)
+
+    def flits_in_flight(self) -> List[Flit]:
+        return [entry[1] for _, _, pipe in self._paths for entry in pipe]
+
+
+class RingBridgeL2:
+    """Inter-chiplet ring bridge with die-to-die link and SWAP.
+
+    Per direction the path is::
+
+        Eject Queue -> Tx buffers -> link pipe -> peer Inject Queue
+                   \\-> reserved Tx (DRM only, priority on the link)
+    """
+
+    def __init__(
+        self,
+        spec: BridgeSpec,
+        port_a: Port,
+        port_b: Port,
+        config: MultiRingConfig,
+        stats: FabricStats,
+        bridge_latency: int = LATENCY.bridge_l2,
+    ):
+        self.spec = spec
+        self.stats = stats
+        self._config = config
+        self._bridge_latency = bridge_latency
+        self._link_latency = spec.link_latency
+        queues = config.queues
+        self._tx_depth = queues.bridge_tx_depth
+        self.swap_a = SwapController(queues, stats, config.enable_swap)
+        self.swap_b = SwapController(queues, stats, config.enable_swap)
+        # Per direction: (src_port, dst_port, tx, link_pipe, src_swap).
+        # ``src_swap`` guards the direction's Tx because DRM frees the
+        # *source* side's Eject Queue.
+        self._paths = [
+            (port_a, port_b, [], [], self.swap_a),
+            (port_b, port_a, [], [], self.swap_b),
+        ]
+        self.port_a = port_a
+        self.port_b = port_b
+
+    def step(self, cycle: int) -> None:
+        # Detection runs on the Inject Queue of each endpoint's station:
+        # consecutive injection failures over threshold mean the local
+        # ring cannot absorb cross-ring flits (Section 4.4).
+        self.swap_a.update(self.port_a.consecutive_failures)
+        self.swap_b.update(self.port_b.consecutive_failures)
+        self.port_a.drm_active = self.swap_a.in_drm
+        self.port_b.drm_active = self.swap_b.in_drm
+
+        for src_port, dst_port, tx, link, swap in self._paths:
+            # 4) link exit -> peer Inject Queue.
+            if link and link[0][0] <= cycle and not dst_port.inject_full:
+                dst_port.inject_queue.append(link.pop(0)[1])
+
+            # 3) Tx -> link, one flit per cycle, reserved Tx first.
+            if len(link) <= self._link_latency:
+                if swap.has_priority_flit:
+                    link.append([cycle + self._link_latency, swap.pop_priority_flit()])
+                elif tx and tx[0][0] <= cycle:
+                    link.append([cycle + self._link_latency, tx.pop(0)[1]])
+
+            # 2) DRM: when normal Tx is full, push an Eject-Queue flit into
+            # the reserved Tx to vacate eject space for a circling flit.
+            if (
+                swap.in_drm
+                and src_port.eject_queue
+                and len(tx) >= self._tx_depth
+                and swap.reserved_capacity_free > 0
+            ):
+                swap.try_absorb(self._take(src_port))
+
+            # 1) Eject Queue -> Tx.
+            if src_port.eject_queue and len(tx) < self._tx_depth:
+                flit = self._take(src_port)
+                tx.append([cycle + self._bridge_latency, flit])
+
+    def _take(self, port: Port) -> Flit:
+        flit: Flit = port.eject_queue.popleft()
+        flit.advance_hop()
+        return flit
+
+    def occupancy(self) -> int:
+        total = len(self.swap_a.reserved_tx) + len(self.swap_b.reserved_tx)
+        for _, _, tx, link, _ in self._paths:
+            total += len(tx) + len(link)
+        return total
+
+    def flits_in_flight(self) -> List[Flit]:
+        out = list(self.swap_a.reserved_tx) + list(self.swap_b.reserved_tx)
+        for _, _, tx, link, _ in self._paths:
+            out.extend(entry[1] for entry in tx)
+            out.extend(entry[1] for entry in link)
+        return out

@@ -1,0 +1,63 @@
+"""In-network representation of a transaction on the multi-ring fabric.
+
+One :class:`repro.fabric.Message` becomes exactly one :class:`Flit`
+(Section 3.4.3: transactions are independent and stateless, so a
+transaction is "a single flit attached necessary header information").
+The flit carries its full route because a bufferless network routes every
+flit independently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.routing import Hop
+from repro.fabric.message import Message
+
+
+class Flit:
+    """A message plus its route and in-network bookkeeping."""
+
+    __slots__ = (
+        "msg",
+        "route",
+        "hop_index",
+        "deflections",
+        "laps_deflected",
+        "injected_any",
+    )
+
+    def __init__(self, msg: Message, route: List[Hop]):
+        self.msg = msg
+        self.route = route
+        self.hop_index = 0
+        #: Times this flit failed to eject and had to pass through.
+        self.deflections = 0
+        #: Deflections charged after its E-tag reservation existed; the
+        #: one-lap guarantee bounds this (property-tested).
+        self.laps_deflected = 0
+        #: Whether the flit has ever won a ring slot (for injected stats).
+        self.injected_any = False
+
+    @property
+    def current_hop(self) -> Hop:
+        return self.route[self.hop_index]
+
+    @property
+    def final_hop(self) -> bool:
+        return self.hop_index == len(self.route) - 1
+
+    def advance_hop(self) -> None:
+        """Move to the next route segment (called when crossing a bridge)."""
+        self.hop_index += 1
+        if self.hop_index >= len(self.route):
+            raise RuntimeError(f"flit {self.msg.msg_id} advanced past its route")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hop: Optional[Hop] = (
+            self.route[self.hop_index] if self.hop_index < len(self.route) else None
+        )
+        return (
+            f"Flit(msg={self.msg.msg_id}, {self.msg.src}->{self.msg.dst}, "
+            f"hop={self.hop_index}/{len(self.route)} {hop}, defl={self.deflections})"
+        )

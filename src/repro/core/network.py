@@ -1,0 +1,126 @@
+"""The bufferless multi-ring fabric — assembly of rings, stations, bridges.
+
+:class:`MultiRingFabric` is the concrete :class:`repro.fabric.Fabric` for
+the paper's NoC.  It owns the rings (with their cross stations), the
+RBRG-L1/L2 bridges, the router, and the delivery drain, and exposes the
+bandwidth probes used by the equilibrium experiment (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.bridge import RingBridgeL1, RingBridgeL2
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.flit import Flit
+from repro.core.ring import Ring
+from repro.core.routing import Router
+from repro.core.station import Port
+from repro.fabric.interface import Fabric
+from repro.fabric.message import Message
+from repro.fabric.probes import BandwidthProbe
+
+
+class MultiRingFabric(Fabric):
+    """Bufferless multi-ring NoC implementing the fabric interface."""
+
+    def __init__(self, topology: TopologySpec, config: Optional[MultiRingConfig] = None):
+        super().__init__()
+        topology.validate()
+        self.topology = topology
+        self.config = config or MultiRingConfig()
+        self.router = Router(topology, self.config.bridge_route_penalty)
+
+        self.rings: Dict[int, Ring] = {
+            spec.ring_id: Ring(spec, self.config, self.stats)
+            for spec in topology.rings
+        }
+
+        self._node_ports: Dict[int, Port] = {}
+        for placement in topology.nodes:
+            station = self.rings[placement.ring].station_at(placement.stop)
+            self._node_ports[placement.node] = station.add_port(
+                ("node", placement.node)
+            )
+
+        self.bridges: List = []
+        for spec in topology.bridges:
+            port_a = self.rings[spec.ring_a].station_at(spec.stop_a).add_port(
+                ("bridge", spec.bridge_id, 0)
+            )
+            port_b = self.rings[spec.ring_b].station_at(spec.stop_b).add_port(
+                ("bridge", spec.bridge_id, 1)
+            )
+            cls = RingBridgeL1 if spec.level == 1 else RingBridgeL2
+            self.bridges.append(cls(spec, port_a, port_b, self.config, self.stats))
+
+        #: Optional per-node delivery probes (Figure 14 instrumentation).
+        self.delivery_probes: Dict[int, BandwidthProbe] = {}
+        self._ring_list = list(self.rings.values())
+
+    # -- Fabric interface --------------------------------------------------
+
+    def nodes(self) -> List[int]:
+        return list(self._node_ports)
+
+    def node_port(self, node: int) -> Port:
+        """The station port serving ``node`` (tests and probes use this)."""
+        return self._node_ports[node]
+
+    def try_inject(self, msg: Message) -> bool:
+        port = self._node_ports.get(msg.src)
+        if port is None:
+            raise KeyError(f"message source {msg.src} is not a fabric node")
+        if msg.dst not in self._node_ports:
+            raise KeyError(f"message destination {msg.dst} is not a fabric node")
+        if port.inject_full:
+            self.stats.rejected += 1
+            return False
+        route = self.router.route(msg.src, msg.dst)
+        port.inject_queue.append(Flit(msg, route))
+        self.stats.accepted += 1
+        return True
+
+    def step(self, cycle: int) -> None:
+        for ring in self._ring_list:
+            ring.step(cycle)
+        for bridge in self.bridges:
+            bridge.step(cycle)
+        self._drain(cycle)
+
+    def _drain(self, cycle: int) -> None:
+        """Hand ejected flits to their destination nodes."""
+        budget = self.config.eject_drain_per_cycle
+        for node, port in self._node_ports.items():
+            queue = port.eject_queue
+            for _ in range(budget):
+                if not queue:
+                    break
+                flit = queue.popleft()
+                probe = self.delivery_probes.get(node)
+                if probe is not None:
+                    probe.observe(flit.msg.size_bytes, cycle)
+                self._deliver(flit.msg, cycle, flit.deflections)
+
+    # -- instrumentation ----------------------------------------------------
+
+    def add_delivery_probe(self, node: int, window_cycles: int = 256) -> BandwidthProbe:
+        probe = BandwidthProbe(f"node{node}", window_cycles)
+        self.delivery_probes[node] = probe
+        return probe
+
+    def flits_in_flight(self) -> List[Flit]:
+        """Every flit currently inside the network (for conservation tests)."""
+        out: List[Flit] = []
+        for ring in self._ring_list:
+            out.extend(ring.flits_in_flight())
+            for station in ring.stations:
+                for port in station.ports:
+                    out.extend(port.inject_queue)
+                    out.extend(port.eject_queue)
+        for bridge in self.bridges:
+            out.extend(bridge.flits_in_flight())
+        return out
+
+    def occupancy(self) -> int:
+        return len(self.flits_in_flight())

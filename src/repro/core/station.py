@@ -1,0 +1,287 @@
+"""Cross stations — the ring stop of Figure 7(A).
+
+A cross station crosses the connection fabric at one stop and hosts up to
+two node interfaces (ports).  Each port has an Inject Queue that can
+inject to both ring directions and an Eject Queue that can receive from
+both directions.  The station implements the paper's priority rule
+(on-the-fly flits always beat new injections), round-robin arbitration
+between the two node interfaces, shortest-path direction selection, and
+the I-tag / E-tag starvation and livelock guards of Section 4.1.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MultiRingConfig, RingSpec
+from repro.core.flit import Flit
+from repro.core.routing import ring_direction
+from repro.fabric.stats import FabricStats
+
+
+class Port:
+    """One node interface on a cross station.
+
+    ``key`` is the routing port key: ``("node", node_id)`` for an attached
+    device or ``("bridge", bridge_id, side)`` for a ring-bridge endpoint.
+    """
+
+    def __init__(
+        self,
+        key: Tuple,
+        station: "CrossStation",
+        inject_depth: int,
+        eject_depth: int,
+    ):
+        self.key = key
+        self.station = station
+        #: Bridge ports may use escape slots (the escape-VC alternative
+        #: to SWAP); node ports may not.
+        self.is_bridge_port = key[0] == "bridge"
+        self.inject_queue: Deque[Flit] = deque()
+        self.eject_queue: Deque[Flit] = deque()
+        self.inject_depth = inject_depth
+        self.eject_depth = eject_depth
+        #: E-tag reservations: msg ids of deflected flits owed an eject buffer.
+        self.etag_reservations: Set[int] = set()
+        #: Consecutive cycles the inject-queue head failed to win a slot.
+        self.consecutive_failures = 0
+        #: Whether an I-tag from this port is circulating, per direction.
+        self.itag_pending: Dict[int, bool] = {1: False, -1: False}
+        #: Set by an attached RBRG-L2 while its SWAP controller is in DRM:
+        #: an eject at this port is immediately followed by injecting this
+        #: port's Inject-Queue head into the freed slot (the swap of
+        #: Section 4.4), overriding I-tag reservations and direction
+        #: preference — recovery beats fairness while deadlocked.
+        self.drm_active = False
+
+    # -- injection side ---------------------------------------------------
+
+    @property
+    def inject_full(self) -> bool:
+        return len(self.inject_queue) >= self.inject_depth
+
+    def head_for_direction(self, direction: int) -> Optional[Flit]:
+        """Inject-queue head if it prefers ``direction``, else None."""
+        if not self.inject_queue:
+            return None
+        flit = self.inject_queue[0]
+        spec = self.station.ring_spec
+        want = ring_direction(
+            spec.nstops, self.station.stop, flit.current_hop.exit_stop,
+            spec.bidirectional,
+        )
+        return flit if want == direction else None
+
+    # -- ejection side ----------------------------------------------------
+
+    def try_accept_eject(self, flit: Flit, stats: FabricStats, enable_etags: bool) -> bool:
+        """Offer an arriving flit to the Eject Queue.
+
+        Returns True if accepted.  On refusal the caller deflects the flit
+        and — with E-tags enabled — this port reserves the next freed
+        buffer for it, which bounds deflection to roughly one lap.
+        """
+        queue = self.eject_queue
+        if enable_etags:
+            reservations = self.etag_reservations
+            msg_id = flit.msg.msg_id
+            if msg_id in reservations:
+                if len(queue) < self.eject_depth:
+                    reservations.discard(msg_id)
+                    queue.append(flit)
+                    return True
+                flit.deflections += 1
+                flit.laps_deflected += 1
+                stats.deflections += 1
+                return False
+            if len(queue) < self.eject_depth - len(reservations):
+                queue.append(flit)
+                return True
+            reservations.add(msg_id)
+            stats.etags_placed += 1
+        else:
+            if len(queue) < self.eject_depth:
+                queue.append(flit)
+                return True
+        flit.deflections += 1
+        stats.deflections += 1
+        return False
+
+
+class CrossStation:
+    """A stop on one ring, hosting 1–2 ports.
+
+    The station is stepped by its ring once per lane per cycle; slot
+    motion itself is implicit in the lane's rotating index (see
+    :class:`repro.core.ring.Lane`).
+    """
+
+    def __init__(
+        self,
+        ring_spec: RingSpec,
+        stop: int,
+        config: MultiRingConfig,
+        stats: FabricStats,
+    ):
+        self.ring_spec = ring_spec
+        self.stop = stop
+        self.config = config
+        self.stats = stats
+        self.ports: List[Port] = []
+        self.port_by_key: Dict[Tuple, Port] = {}
+        self._rr = 0
+
+    def add_port(self, key: Tuple) -> Port:
+        if len(self.ports) >= 2:
+            raise ValueError(
+                f"cross station ({self.ring_spec.ring_id},{self.stop}) already "
+                "has two node interfaces"
+            )
+        queues = self.config.queues
+        port = Port(key, self, queues.inject_queue_depth, queues.eject_queue_depth)
+        self.ports.append(port)
+        self.port_by_key[key] = port
+        return port
+
+    # -- local (same-stop) transfers ---------------------------------------
+
+    def process_local(self, cycle: int) -> None:
+        """Move inject-queue heads whose destination is this very stop.
+
+        A flit whose exit stop equals its inject stop never needs the ring
+        (e.g. the station's other node interface); it transfers directly,
+        using the normal eject admission so E-tag accounting stays exact.
+        """
+        for port in self.ports:
+            if not port.inject_queue:
+                continue
+            flit = port.inject_queue[0]
+            hop = flit.current_hop
+            if hop.exit_stop != self.stop or hop.ring != self.ring_spec.ring_id:
+                continue
+            target = self.port_by_key.get(hop.port_key)
+            if target is None:
+                raise RuntimeError(
+                    f"flit {flit.msg.msg_id} exits at ({hop.ring},{hop.exit_stop}) "
+                    f"to {hop.port_key}, but no such port exists there"
+                )
+            if target.try_accept_eject(flit, self.stats, self.config.enable_etags):
+                port.inject_queue.popleft()
+                port.consecutive_failures = 0
+                if not flit.injected_any:
+                    flit.injected_any = True
+                    flit.msg.injected_cycle = cycle
+                    self.stats.injected += 1
+            else:
+                port.consecutive_failures += 1
+
+    # -- per-lane processing -------------------------------------------------
+
+    def process_lane(self, lane, cycle: int) -> None:
+        """Eject, then inject, on this station's slot of ``lane``."""
+        idx = lane.index_at(self.stop, cycle)
+        flits = lane.flits
+        flit = flits[idx]
+
+        # Ejection: on-the-fly flits have absolute priority, so a flit
+        # leaving here frees the slot before any injection is considered —
+        # this is also what lets SWAP exchange an eject and an inject in
+        # the same cycle (Section 4.4).
+        if flit is not None:
+            hop = flit.current_hop
+            if hop.exit_stop == self.stop and hop.ring == self.ring_spec.ring_id:
+                port = self.port_by_key.get(hop.port_key)
+                if port is None:
+                    raise RuntimeError(
+                        f"flit {flit.msg.msg_id} wants port {hop.port_key} at "
+                        f"({hop.ring},{hop.exit_stop}) but it does not exist"
+                    )
+                if port.try_accept_eject(flit, self.stats, self.config.enable_etags):
+                    flits[idx] = None
+                    if port.drm_active and port.inject_queue:
+                        # SWAP (Section 4.4): "the header in the Inject
+                        # Queue takes [the ejected flit]'s place to move
+                        # forward on the ring" — simultaneous ejection and
+                        # injection at the cross station.
+                        self._inject(lane, idx, port, cycle)
+                        return
+
+        # Injection: only into an empty slot, honouring I-tag reservations.
+        if flits[idx] is None:
+            self._try_inject(lane, idx, cycle)
+        else:
+            self._count_failures(lane, idx, None)
+
+    def _try_inject(self, lane, idx: int, cycle: int) -> None:
+        tag_port: Optional[Port] = lane.itags[idx]
+        injected_port: Optional[Port] = None
+
+        if tag_port is not None:
+            if tag_port.station is self:
+                # The reserved slot returned to its reserver: inject the
+                # waiting head (or release the tag if the head changed its
+                # mind about direction / is gone).
+                lane.itags[idx] = None
+                tag_port.itag_pending[lane.direction] = False
+                head = tag_port.head_for_direction(lane.direction)
+                if head is not None:
+                    self._inject(lane, idx, tag_port, cycle)
+                    injected_port = tag_port
+                # fall through: if not injected, normal arbitration may use
+                # the now-unreserved slot this same cycle.
+            else:
+                # Reserved for another station; nobody here may use it.
+                self._count_failures(lane, idx, None)
+                return
+
+        if injected_port is None:
+            escape_slot = lane.is_escape(idx)
+            nports = len(self.ports)
+            for offset in range(nports):
+                port = self.ports[(self._rr + offset) % nports]
+                if escape_slot and not port.is_bridge_port:
+                    continue  # escape slots are reserved for bridges
+                if port.head_for_direction(lane.direction) is not None:
+                    self._inject(lane, idx, port, cycle)
+                    injected_port = port
+                    self._rr = (self.ports.index(port) + 1) % nports
+                    break
+
+        self._count_failures(lane, idx, injected_port)
+
+    def _inject(self, lane, idx: int, port: Port, cycle: int) -> None:
+        flit = port.inject_queue.popleft()
+        lane.flits[idx] = flit
+        port.consecutive_failures = 0
+        if not flit.injected_any:
+            flit.injected_any = True
+            flit.msg.injected_cycle = cycle
+            self.stats.injected += 1
+
+    def _count_failures(self, lane, idx: int, injected_port: Optional[Port]) -> None:
+        """Charge a failed cycle to every port that wanted this lane and lost.
+
+        At the I-tag threshold the loser reserves the slot currently
+        passing (Section 4.1.2): the slot is tagged even if occupied; no
+        other station may fill it once empty, and one lap later the
+        reserver injects into it.
+        """
+        queues = self.config.queues
+        for port in self.ports:
+            if port is injected_port:
+                continue
+            if port.head_for_direction(lane.direction) is None:
+                continue
+            port.consecutive_failures += 1
+            if (
+                self.config.enable_itags
+                and not port.itag_pending[lane.direction]
+                and port.consecutive_failures % queues.itag_threshold == 0
+                and lane.itags[idx] is None
+                and not lane.is_escape(idx)  # escape slots stay unreserved
+            ):
+                lane.itags[idx] = port
+                port.itag_pending[lane.direction] = True
+                self.stats.itags_placed += 1

@@ -1,0 +1,66 @@
+"""SWAP deadlock detection and resolution (Section 4.4, Figure 9).
+
+Cross-ring traffic can interlock: every slot on both rings carries a flit
+bound for the other ring, the bridge Rx (Eject Queue), Tx buffers and the
+remote Inject Queue are all full, so no flit makes progress even though
+the rings keep spinning.  Detection is local: the RBRG-L2-attached cross
+station "consecutively fails to inject flits over a threshold cycle".
+Resolution enters Deadlock Resolution Mode (DRM): reserved Tx buffers are
+activated, a flit from the Eject Queue is pushed into them (freeing eject
+space), a circling cross-ring flit ejects into the freed space, and in the
+same cycle the Inject Queue head takes the freed ring slot — the swap.
+DRM exits once the occupied reserved Tx buffers drain below a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.flit import Flit
+from repro.fabric.stats import FabricStats
+from repro.params import QueueParams
+
+
+class SwapController:
+    """Per-endpoint DRM state machine for an RBRG-L2."""
+
+    def __init__(self, queues: QueueParams, stats: FabricStats, enabled: bool = True):
+        self._queues = queues
+        self._stats = stats
+        self._enabled = enabled
+        self.in_drm = False
+        #: Reserved Tx buffers; only populated while in DRM.
+        self.reserved_tx: List[Flit] = []
+        self.activations = 0
+
+    @property
+    def reserved_capacity_free(self) -> int:
+        return self._queues.bridge_reserved_tx - len(self.reserved_tx)
+
+    def update(self, consecutive_inject_failures: int) -> None:
+        """Advance the detect/exit state machine once per cycle."""
+        if not self._enabled:
+            return
+        if not self.in_drm:
+            if consecutive_inject_failures >= self._queues.swap_detect_threshold:
+                self.in_drm = True
+                self.activations += 1
+                self._stats.swap_events += 1
+        else:
+            if len(self.reserved_tx) < self._queues.swap_exit_threshold:
+                self.in_drm = False
+
+    def try_absorb(self, flit: Flit) -> bool:
+        """During DRM, pull a deadlocked flit into a reserved Tx buffer."""
+        if not self.in_drm or self.reserved_capacity_free <= 0:
+            return False
+        self.reserved_tx.append(flit)
+        return True
+
+    def pop_priority_flit(self) -> Flit:
+        """Reserved flits cross the die-to-die link ahead of normal Tx."""
+        return self.reserved_tx.pop(0)
+
+    @property
+    def has_priority_flit(self) -> bool:
+        return bool(self.reserved_tx)

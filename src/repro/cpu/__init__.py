@@ -1,0 +1,31 @@
+"""Server-CPU system model (Section 4.2, Figure 8A).
+
+A package is two CPU Compute Dies (full rings carrying CPU clusters,
+distributed L3-data/home slices, and DDR controllers) plus two IO dies
+(half rings carrying PCIe/Ethernet stubs and the Protocol Adapter),
+joined by RBRG-L2 bridges.  Around one hundred cores per package, in
+4-core clusters that share an L3-tag slice — the cluster is the NoC
+agent, exactly as in the paper.
+
+``build_server_system`` can also assemble the *same* coherent system over
+every baseline fabric (buffered mesh, monolithic single ring, switched
+star, ideal), which is how the evaluation compares NoC organizations
+with everything else held constant.
+"""
+
+from repro.cpu.core import Core, CoreStats, closed_loop, open_loop
+from repro.cpu.package import (
+    ServerPackage,
+    ServerPackageConfig,
+    build_server_system,
+)
+
+__all__ = [
+    "Core",
+    "CoreStats",
+    "closed_loop",
+    "open_loop",
+    "ServerPackage",
+    "ServerPackageConfig",
+    "build_server_system",
+]

@@ -1,0 +1,226 @@
+"""CPU core traffic model.
+
+A core drives its cluster's request node (RN) with a stream of
+operations.  Two disciplines cover every experiment in the paper:
+
+- *closed loop*: at most ``mlp`` operations outstanding, optional think
+  time between completions and the next issue — the latency-measurement
+  probes (Table 5, Figure 11's measured core);
+- *open loop*: Bernoulli arrivals at a target rate, dropped when the RN
+  refuses — the background-noise cores of Figure 11.
+
+The operation stream is any iterator of ``(op, addr)`` pairs where op is
+``"load"``/``"store"`` (coherent, through the cluster's L3 slice) or
+``"read"``/``"write"`` (NoSnp, straight to DDR — the paper's
+"disable all L1/L2 cache" latency experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.coherence.requester import RequestNode
+from repro.sim.engine import SimComponent
+
+Op = Tuple[str, int]
+
+
+@dataclass
+class CoreStats:
+    """Per-core measurements."""
+
+    issued: int = 0
+    completed: int = 0
+    dropped: int = 0           # open-loop arrivals refused by the RN
+    latencies: List[int] = field(default_factory=list)
+    keep_latencies: bool = True
+
+    def mean_latency(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, pct: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
+        return float(ordered[idx])
+
+
+@dataclass
+class closed_loop:
+    """Issue discipline: ``mlp`` outstanding, ``think`` idle cycles."""
+
+    mlp: int = 1
+    think: int = 0
+
+
+@dataclass
+class open_loop:
+    """Issue discipline: Bernoulli(``rate``) arrivals per cycle."""
+
+    rate: float = 0.1
+
+
+class Core(SimComponent):
+    """One CPU core bound to its cluster's request node.
+
+    ``l12_hit_rate`` models the private L1/L2 levels (Section 3.2.1:
+    "the multi-level cache hierarchy can block most of the memory
+    requests from CPU cores; only the L3 cache hit/miss event can invoke
+    an NoC transaction"): that fraction of coherent accesses completes
+    locally after ``l12_latency`` cycles and never reaches the cluster's
+    RN.  NoSnp accesses bypass it (the cache-disabled experiments).
+    """
+
+    def __init__(
+        self,
+        rn: RequestNode,
+        stream: Iterator[Op],
+        discipline=None,
+        seed: int = 0,
+        l12_hit_rate: float = 0.0,
+        l12_latency: int = 3,
+        name: str = "",
+    ):
+        if not 0.0 <= l12_hit_rate <= 1.0:
+            raise ValueError("l12_hit_rate must be a probability")
+        self.rn = rn
+        self.stream = stream
+        self.discipline = discipline or closed_loop()
+        self.stats = CoreStats()
+        self.name = name or f"core@{rn.name}"
+        self._rng = random.Random(seed)
+        self._outstanding = 0
+        self._think_until = 0
+        self._pending: Optional[Op] = None
+        self.l12_hit_rate = l12_hit_rate
+        self.l12_latency = l12_latency
+        self.l12_hits = 0
+        self._local_completions: List[int] = []  # ready cycles
+        self.done = False
+
+    # -- operation plumbing -----------------------------------------------
+
+    def _next_op(self) -> Optional[Op]:
+        if self._pending is not None:
+            op, self._pending = self._pending, None
+            return op
+        try:
+            return next(self.stream)
+        except StopIteration:
+            self.done = True
+            return None
+
+    def _issue(self, op: str, addr: int, cycle: int) -> bool:
+        def complete(value, done_cycle, issued=cycle):
+            self._outstanding -= 1
+            self.stats.completed += 1
+            if self.stats.keep_latencies:
+                self.stats.latencies.append(done_cycle - issued)
+            if isinstance(self.discipline, closed_loop) and self.discipline.think:
+                self._think_until = done_cycle + self.discipline.think
+
+        if op in ("load", "store") and self.l12_hit_rate > 0 \
+                and self._rng.random() < self.l12_hit_rate:
+            # Private-cache hit: never becomes an NoC transaction.
+            self.l12_hits += 1
+            self._outstanding += 1
+            self.stats.issued += 1
+            self._local_completions.append(cycle + self.l12_latency)
+            return True
+        if op == "load":
+            accepted = self.rn.load(addr, complete)
+        elif op == "store":
+            accepted = self.rn.store(addr, complete)
+        elif op == "read":
+            accepted = self.rn.read_nosnp(addr, complete)
+        elif op == "write":
+            accepted = self.rn.write_nosnp(addr, None, complete)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        if accepted:
+            self._outstanding += 1
+            self.stats.issued += 1
+        return accepted
+
+    # -- clock ------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        if self._local_completions:
+            still_waiting = []
+            for ready in self._local_completions:
+                if ready <= cycle:
+                    self._outstanding -= 1
+                    self.stats.completed += 1
+                    if self.stats.keep_latencies:
+                        self.stats.latencies.append(self.l12_latency)
+                else:
+                    still_waiting.append(ready)
+            self._local_completions = still_waiting
+        if self.done and self._pending is None:
+            return
+        if isinstance(self.discipline, closed_loop):
+            if cycle < self._think_until:
+                return
+            while self._outstanding < self.discipline.mlp:
+                op = self._next_op()
+                if op is None:
+                    return
+                if not self._issue(op[0], op[1], cycle):
+                    self._pending = op  # RN busy: retry next cycle
+                    return
+        else:
+            if self._rng.random() < self.discipline.rate:
+                op = self._next_op()
+                if op is None:
+                    return
+                if not self._issue(op[0], op[1], cycle):
+                    self.stats.dropped += 1
+
+    @property
+    def idle(self) -> bool:
+        return self._outstanding == 0
+
+
+# -- common streams -------------------------------------------------------------
+
+
+def uniform_stream(
+    op_mix: Callable[[random.Random], str],
+    addr_range: int,
+    seed: int = 0,
+    count: Optional[int] = None,
+    addr_offset: int = 0,
+) -> Iterator[Op]:
+    """Random addresses in [offset, offset+range), ops from ``op_mix``."""
+    rng = random.Random(seed)
+    produced = 0
+    while count is None or produced < count:
+        yield op_mix(rng), addr_offset + rng.randrange(addr_range)
+        produced += 1
+
+
+def read_write_mix(read_fraction: float) -> Callable[[random.Random], str]:
+    """NoSnp read/write mix with the given read probability."""
+    def mix(rng: random.Random) -> str:
+        return "read" if rng.random() < read_fraction else "write"
+    return mix
+
+
+def load_store_mix(load_fraction: float) -> Callable[[random.Random], str]:
+    """Coherent load/store mix with the given load probability."""
+    def mix(rng: random.Random) -> str:
+        return "load" if rng.random() < load_fraction else "store"
+    return mix
+
+
+def sequential_stream(
+    op: str, start: int, count: int, stride: int = 1
+) -> Iterator[Op]:
+    """``count`` accesses of ``op`` at start, start+stride, ... ."""
+    for i in range(count):
+        yield op, start + i * stride

@@ -1,0 +1,139 @@
+"""Multi-package scale-up via the Protocol Adapter (Section 4.2).
+
+"Apart from the functionalities and components described above, I/O Die
+provides the scale-up ability ... via PA (Protocol Adapter), which is an
+interconnection module with several SerDes links for inter-chip data
+access across chips.  With the multiple SerDes links on the I/O Die, we
+can scale the chip up to a 4P (4 chips) system with a total core number
+of more than 300 and maintain cache coherence."
+
+The model: N packages (each the Figure 8A layout) with their IO dies
+joined in a ring of SerDes RBRG-L2 bridges.  One coherent system spans
+all packages — addresses interleave across every home and memory node in
+the system, so cache coherence is maintained 4P-wide by construction and
+verified by the same invariant checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.coherence.system import CoherentSystem
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.topology import TopologyBuilder
+from repro.cpu.core import Core
+from repro.cpu.package import (
+    ServerPackageConfig,
+    ServerPlacement,
+    _add_package,
+)
+from repro.params import LATENCY
+from repro.sim.engine import SimComponent
+
+#: Ring-id stride between packages (package p's rings live at p*1000+...).
+PACKAGE_RING_BASE = 1000
+
+
+@dataclass
+class MultiPackageConfig:
+    """An N-package (NP) server system."""
+
+    n_packages: int = 4
+    package: ServerPackageConfig = field(default_factory=ServerPackageConfig)
+    #: One-way latency of an inter-package Protocol Adapter SerDes link.
+    serdes_latency: int = LATENCY.serdes_link
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_packages <= 8:
+            raise ValueError("supported range is 1..8 packages")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_packages * self.package.total_cores
+
+
+class MultiPackageSystem(SimComponent):
+    """A cache-coherent multi-package server (the paper's 4P claim)."""
+
+    def __init__(
+        self,
+        config: Optional[MultiPackageConfig] = None,
+        ring_config: Optional[MultiRingConfig] = None,
+    ):
+        self.config = cfg = config or MultiPackageConfig()
+        builder = TopologyBuilder()
+        #: Per-package placements (node ids are globally unique).
+        self.packages: List[ServerPlacement] = []
+        for p in range(cfg.n_packages):
+            placement = ServerPlacement()
+            _add_package(builder, cfg.package, placement,
+                         ring_base=p * PACKAGE_RING_BASE)
+            self.packages.append(placement)
+
+        # Protocol Adapter SerDes links: all-pairs between packages (the
+        # PA offers "several SerDes links"), each landing on an IO-die
+        # half ring at a free interface slot.
+        if cfg.n_packages > 1:
+            free = {
+                p: [(100, 8), (101, 8), (100, 10), (101, 10),
+                    (100, 2), (101, 2), (100, 4)]
+                for p in range(cfg.n_packages)
+            }
+            for p in range(cfg.n_packages):
+                for q in range(p + 1, cfg.n_packages):
+                    iod_p, stop_p = free[p].pop(0)
+                    iod_q, stop_q = free[q].pop(0)
+                    builder.add_bridge(
+                        p * PACKAGE_RING_BASE + iod_p, stop_p,
+                        q * PACKAGE_RING_BASE + iod_q, stop_q,
+                        level=2, link_latency=cfg.serdes_latency,
+                    )
+
+        self.fabric = MultiRingFabric(builder.build(),
+                                      ring_config or MultiRingConfig())
+        self.system = CoherentSystem(
+            self.fabric,
+            rn_ids=[n for pl in self.packages for n in pl.all_rns],
+            hn_ids=[n for pl in self.packages for n in pl.all_hns],
+            sn_ids=[n for pl in self.packages for n in pl.all_sns],
+            cache_sets=cfg.package.cache_sets,
+            cache_ways=cfg.package.cache_ways,
+            max_mshrs=cfg.package.max_mshrs,
+            memory_bytes_per_cycle=cfg.package.ddr_bytes_per_cycle,
+        )
+        self.cores: List[Core] = []
+        self._cycle = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def rn_of(self, package: int, ccd: int, cluster: int):
+        node = self.packages[package].cluster_rns[ccd][cluster]
+        return next(r for r in self.system.requesters if r.node_id == node)
+
+    def attach_core(self, package: int, ccd: int, cluster: int,
+                    stream: Iterator, discipline=None, seed: int = 0,
+                    **core_kwargs) -> Core:
+        core = Core(self.rn_of(package, ccd, cluster), stream, discipline,
+                    seed=seed, name=f"p{package}.c{ccd}.{cluster}",
+                    **core_kwargs)
+        self.cores.append(core)
+        return core
+
+    # -- clocking ------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        for core in self.cores:
+            core.step(cycle)
+        self.system.step(cycle)
+        self._cycle = cycle + 1
+
+    def run_until_cores_done(self, max_cycles: int = 1_000_000) -> int:
+        deadline = self._cycle + max_cycles
+        while not (all(c.done and c.idle for c in self.cores)
+                   and self.system.idle):
+            if self._cycle >= deadline:
+                raise RuntimeError("multi-package system failed to finish")
+            self.step(self._cycle)
+        return self._cycle

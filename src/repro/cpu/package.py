@@ -1,0 +1,356 @@
+"""Server-CPU package assembly over the multi-ring NoC and all baselines.
+
+The multi-ring package (Figure 8A):
+
+- each CPU Compute Die (CCD) is a **full ring** hosting 4-core clusters
+  (each cluster's shared L3-tag slice is the RN agent), distributed
+  L3-data/home slices (HN agents), and DDR controllers (SN agents);
+- each IO die is a **half ring** hosting IO stubs and the Protocol
+  Adapter for multi-package scale-up;
+- RBRG-L2 bridges join CCD0-CCD1, CCDi-IODi, and IOD0-IOD1.
+
+``build_server_system`` assembles the identical coherent system over a
+baseline fabric instead: a buffered mesh or a monolithic single ring
+(both modelling monolithic-die Intel organizations) or a switched star
+(the AMD IOD organization, home/memory agents on the hub die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.baselines.mesh import BufferedMeshFabric, MeshConfig
+from repro.baselines.ideal import IdealFabric
+from repro.baselines.switched_star import SwitchedStarConfig, SwitchedStarFabric
+from repro.coherence.system import CoherentSystem
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.topology import TopologyBuilder
+from repro.cpu.core import Core
+from repro.fabric.interface import Fabric
+from repro.params import BANDWIDTH, LATENCY
+from repro.sim.engine import SimComponent
+
+FABRIC_KINDS = ("multiring", "mesh", "single_ring", "switched_star", "ideal")
+
+
+@dataclass
+class ServerPackageConfig:
+    """Sizing of one Server-CPU package."""
+
+    n_ccds: int = 2
+    clusters_per_ccd: int = 12      # x 4 cores x 2 CCDs = 96 cores
+    cores_per_cluster: int = 4
+    hn_per_ccd: int = 4             # distributed L3-data/home slices
+    ddr_per_ccd: int = 4            # DDR channels per compute die
+    io_dies: int = 2
+    #: Parallel RBRG-L2 bridges between the two compute dies.  The
+    #: in-house die-to-die parallel IO is wide (Section 4.1.3); several
+    #: bridge instances spread cross-die traffic by source position.
+    ccd_bridges: int = 2
+    stop_spacing: int = 2
+    cache_sets: int = 64
+    cache_ways: int = 8
+    max_mshrs: int = 16
+    ddr_bytes_per_cycle: float = BANDWIDTH.ddr_channel_bytes_per_cycle
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_ccds * self.clusters_per_ccd * self.cores_per_cluster
+
+    @property
+    def total_clusters(self) -> int:
+        return self.n_ccds * self.clusters_per_ccd
+
+
+@dataclass
+class ServerPlacement:
+    """Node ids by role, grouped by die."""
+
+    cluster_rns: List[List[int]] = field(default_factory=list)   # per CCD
+    hns: List[List[int]] = field(default_factory=list)           # per CCD
+    sns: List[List[int]] = field(default_factory=list)           # per CCD
+    io_nodes: List[List[int]] = field(default_factory=list)      # per IOD
+
+    @property
+    def all_rns(self) -> List[int]:
+        return [n for group in self.cluster_rns for n in group]
+
+    @property
+    def all_hns(self) -> List[int]:
+        return [n for group in self.hns for n in group]
+
+    @property
+    def all_sns(self) -> List[int]:
+        return [n for group in self.sns for n in group]
+
+
+def _add_compute_die(builder: TopologyBuilder, cfg: ServerPackageConfig,
+                     ring_id: int, placement: ServerPlacement) -> List[int]:
+    """Add one CCD ring; returns the stops reserved for bridges.
+
+    Interfaces are interleaved (RN/HN/SN, two per cross station) so home
+    and memory agents spread among the clusters; evenly spaced stations
+    stay free for the RBRG-L2 endpoints (ccd_bridges toward the peer
+    compute die, one toward the IO die).
+    """
+    roles: List[str] = []
+    roles.extend(["rn"] * cfg.clusters_per_ccd)
+    hn_stride = max(1, len(roles) // max(cfg.hn_per_ccd, 1))
+    for i in range(cfg.hn_per_ccd):
+        roles.insert(i * (hn_stride + 1) + 1, "hn")
+    sn_stride = max(1, len(roles) // max(cfg.ddr_per_ccd, 1))
+    for i in range(cfg.ddr_per_ccd):
+        roles.insert(i * (sn_stride + 1) + 2, "sn")
+    n_bridge_stations = cfg.ccd_bridges + 1
+    n_node_stations = (len(roles) + 1) // 2
+    n_stations = n_node_stations + n_bridge_stations
+    nstops = max(2, n_stations * cfg.stop_spacing)
+    builder.add_ring(ring_id, nstops, bidirectional=True)
+    stride = n_stations // n_bridge_stations
+    bridge_station_list = [k * stride for k in range(n_bridge_stations)]
+    bridge_stations = set(bridge_station_list)
+    node_stations = [s for s in range(n_stations) if s not in bridge_stations]
+    rns: List[int] = []
+    hns: List[int] = []
+    sns: List[int] = []
+    for i, role in enumerate(roles):
+        stop = node_stations[i // 2] * cfg.stop_spacing
+        node = builder.add_node(ring_id, stop)
+        (rns if role == "rn" else hns if role == "hn" else sns).append(node)
+    placement.cluster_rns.append(rns)
+    placement.hns.append(hns)
+    placement.sns.append(sns)
+    return [st * cfg.stop_spacing for st in bridge_station_list]
+
+
+#: Free stops on an IO-die half ring usable for inter-package Protocol
+#: Adapter links (stations 4 and 5 host at most one stub each).
+IO_DIE_PA_STOPS = (8, 10)
+
+
+def _add_io_die(builder: TopologyBuilder, cfg: ServerPackageConfig,
+                ring_id: int, placement: ServerPlacement) -> int:
+    """Add one IO-die half ring; returns its stop count."""
+    nstops = max(2, 6 * cfg.stop_spacing)
+    stubs = [builder.add_node(ring_id, (k + 1) * cfg.stop_spacing)
+             for k in range(3)]  # PCIe, Ethernet, Protocol Adapter
+    placement.io_nodes.append(stubs)
+    return nstops
+
+
+def _add_package(builder: TopologyBuilder, cfg: ServerPackageConfig,
+                 placement: ServerPlacement, ring_base: int = 0) -> None:
+    """Add one package's dies and intra-package bridges to ``builder``."""
+    ccd_bridge_stops: List[List[int]] = []
+    for ccd in range(cfg.n_ccds):
+        ccd_bridge_stops.append(
+            _add_compute_die(builder, cfg, ring_base + ccd, placement))
+    iod_nstops = 0
+    for iod in range(cfg.io_dies):
+        ring_id = ring_base + 100 + iod
+        nstops = max(2, 6 * cfg.stop_spacing)
+        builder.add_ring(ring_id, nstops, bidirectional=False)
+        iod_nstops = _add_io_die(builder, cfg, ring_id, placement)
+    if cfg.n_ccds >= 2:
+        for k in range(cfg.ccd_bridges):
+            builder.add_bridge(ring_base + 0, ccd_bridge_stops[0][k],
+                               ring_base + 1, ccd_bridge_stops[1][k], level=2)
+    for i in range(min(cfg.n_ccds, cfg.io_dies)):
+        builder.add_bridge(ring_base + i, ccd_bridge_stops[i][-1],
+                           ring_base + 100 + i, 0, level=2)
+    if cfg.io_dies >= 2:
+        builder.add_bridge(ring_base + 100, iod_nstops // 2,
+                           ring_base + 101, iod_nstops // 2, level=2)
+
+
+def _build_multiring(cfg: ServerPackageConfig,
+                     ring_config: Optional[MultiRingConfig] = None
+                     ) -> Tuple[Fabric, ServerPlacement]:
+    builder = TopologyBuilder()
+    placement = ServerPlacement()
+    _add_package(builder, cfg, placement)
+    fabric = MultiRingFabric(builder.build(), ring_config or MultiRingConfig())
+    return fabric, placement
+
+
+def _role_lists(cfg: ServerPackageConfig) -> Tuple[ServerPlacement, int]:
+    """Assign consecutive node ids per role (for flat baseline fabrics)."""
+    placement = ServerPlacement()
+    node = 0
+    for _ in range(cfg.n_ccds):
+        group = list(range(node, node + cfg.clusters_per_ccd))
+        node += cfg.clusters_per_ccd
+        placement.cluster_rns.append(group)
+    for _ in range(cfg.n_ccds):
+        group = list(range(node, node + cfg.hn_per_ccd))
+        node += cfg.hn_per_ccd
+        placement.hns.append(group)
+    for _ in range(cfg.n_ccds):
+        group = list(range(node, node + cfg.ddr_per_ccd))
+        node += cfg.ddr_per_ccd
+        placement.sns.append(group)
+    return placement, node
+
+
+def _build_mesh(cfg: ServerPackageConfig) -> Tuple[Fabric, ServerPlacement]:
+    placement, n_nodes = _role_lists(cfg)
+    cols = 1
+    while cols * cols < n_nodes:
+        cols += 1
+    rows = (n_nodes + cols - 1) // cols
+    mesh_placement: Dict[int, Tuple[int, int]] = {}
+    # Interleave roles across the grid so memory isn't clustered in a corner:
+    # round-robin RN/HN/SN over row-major coordinates.
+    order: List[int] = []
+    groups = (placement.all_rns, placement.all_hns, placement.all_sns)
+    iters = [iter(g) for g in groups]
+    weights = [len(g) for g in groups]
+    while any(weights):
+        for k, it in enumerate(iters):
+            if weights[k]:
+                order.append(next(it))
+                weights[k] -= 1
+    for idx, node in enumerate(order):
+        mesh_placement[node] = (idx % cols, idx // cols)
+    fabric = BufferedMeshFabric(
+        MeshConfig(cols=cols, rows=rows, placement=mesh_placement)
+    )
+    return fabric, placement
+
+
+def _build_single_ring(cfg: ServerPackageConfig) -> Tuple[Fabric, ServerPlacement]:
+    placement, n_nodes = _role_lists(cfg)
+    builder = TopologyBuilder()
+    # Monolithic reticle-limited die: stations closer together than the
+    # chiplet rings but ~n_nodes of them on one loop.
+    nstops = max(2, n_nodes)
+    builder.add_ring(0, nstops, bidirectional=True)
+    order = []
+    groups = (placement.all_rns, placement.all_hns, placement.all_sns)
+    iters = [iter(g) for g in groups]
+    weights = [len(g) for g in groups]
+    while any(weights):
+        for k, it in enumerate(iters):
+            if weights[k]:
+                order.append(next(it))
+                weights[k] -= 1
+    id_remap: Dict[int, int] = {}
+    for idx, node in enumerate(order):
+        actual = builder.add_node(0, idx % nstops)
+        id_remap[node] = actual
+    placement = ServerPlacement(
+        cluster_rns=[[id_remap[n] for n in g] for g in placement.cluster_rns],
+        hns=[[id_remap[n] for n in g] for g in placement.hns],
+        sns=[[id_remap[n] for n in g] for g in placement.sns],
+    )
+    return MultiRingFabric(builder.build()), placement
+
+
+def _build_switched_star(cfg: ServerPackageConfig) -> Tuple[Fabric, ServerPlacement]:
+    placement, _ = _role_lists(cfg)
+    # AMD organization: home agents and memory controllers live on the
+    # central IO die, and every cluster (CCX) reaches any other cluster
+    # only through it — so each cluster is its own star chiplet.  That is
+    # what makes AMD's intra- and inter-chiplet latencies nearly equal in
+    # Table 5.
+    star = SwitchedStarConfig(
+        chiplets=[[rn] for rn in placement.all_rns],
+        hub_nodes=placement.all_hns + placement.all_sns,
+        link_latency=LATENCY.serdes_link // 2,
+    )
+    return SwitchedStarFabric(star), placement
+
+
+def _build_ideal(cfg: ServerPackageConfig) -> Tuple[Fabric, ServerPlacement]:
+    placement, n_nodes = _role_lists(cfg)
+    return IdealFabric(range(n_nodes), latency=4), placement
+
+
+def build_server_system(
+    fabric_kind: str = "multiring",
+    config: Optional[ServerPackageConfig] = None,
+    ring_config: Optional[MultiRingConfig] = None,
+) -> Tuple[Fabric, ServerPlacement, ServerPackageConfig]:
+    """Build the fabric + node placement for a server package."""
+    cfg = config or ServerPackageConfig()
+    if fabric_kind == "multiring":
+        fabric, placement = _build_multiring(cfg, ring_config)
+    elif fabric_kind == "mesh":
+        fabric, placement = _build_mesh(cfg)
+    elif fabric_kind == "single_ring":
+        fabric, placement = _build_single_ring(cfg)
+    elif fabric_kind == "switched_star":
+        fabric, placement = _build_switched_star(cfg)
+    elif fabric_kind == "ideal":
+        fabric, placement = _build_ideal(cfg)
+    else:
+        raise ValueError(
+            f"unknown fabric kind {fabric_kind!r}; pick from {FABRIC_KINDS}"
+        )
+    return fabric, placement, cfg
+
+
+class ServerPackage(SimComponent):
+    """A runnable server package: fabric + coherence + attached cores."""
+
+    def __init__(
+        self,
+        config: Optional[ServerPackageConfig] = None,
+        fabric_kind: str = "multiring",
+        ring_config: Optional[MultiRingConfig] = None,
+    ):
+        self.fabric, self.placement, self.config = build_server_system(
+            fabric_kind, config, ring_config
+        )
+        self.fabric_kind = fabric_kind
+        self.system = CoherentSystem(
+            self.fabric,
+            rn_ids=self.placement.all_rns,
+            hn_ids=self.placement.all_hns,
+            sn_ids=self.placement.all_sns,
+            cache_sets=self.config.cache_sets,
+            cache_ways=self.config.cache_ways,
+            max_mshrs=self.config.max_mshrs,
+            memory_bytes_per_cycle=self.config.ddr_bytes_per_cycle,
+        )
+        self.cores: List[Core] = []
+        self._cycle = 0
+
+    # -- cluster helpers ------------------------------------------------------
+
+    def rn_of_cluster(self, ccd: int, cluster: int):
+        node = self.placement.cluster_rns[ccd][cluster]
+        return next(r for r in self.system.requesters if r.node_id == node)
+
+    def attach_core(self, ccd: int, cluster: int, stream: Iterator,
+                    discipline=None, seed: int = 0, name: str = "",
+                    **core_kwargs) -> Core:
+        core = Core(self.rn_of_cluster(ccd, cluster), stream, discipline,
+                    seed=seed,
+                    name=name or f"c{ccd}.{cluster}.{len(self.cores)}",
+                    **core_kwargs)
+        self.cores.append(core)
+        return core
+
+    # -- clocking --------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        for core in self.cores:
+            core.step(cycle)
+        self.system.step(cycle)
+        self._cycle = cycle + 1
+
+    def run(self, cycles: int) -> int:
+        for _ in range(cycles):
+            self.step(self._cycle)
+        return self._cycle
+
+    def run_until_cores_done(self, max_cycles: int = 500_000) -> int:
+        deadline = self._cycle + max_cycles
+        while not (all(c.done and c.idle for c in self.cores) and self.system.idle):
+            if self._cycle >= deadline:
+                raise RuntimeError("server package failed to finish workload")
+            self.step(self._cycle)
+        return self._cycle

@@ -1,0 +1,26 @@
+"""Fabric-neutral interconnect interface.
+
+Every network in the reproduction — the paper's bufferless multi-ring NoC
+and all baseline fabrics (buffered mesh, monolithic single ring, switched
+star) — implements :class:`Fabric`.  The coherence protocol, the Server-CPU
+and AI-Processor system models, and every workload generator talk only to
+this interface, so an experiment can swap the NoC under an otherwise
+identical system.  That is the apples-to-apples structure behind every
+comparison in the evaluation.
+"""
+
+from repro.fabric.message import Message, MessageKind
+from repro.fabric.interface import Fabric, DeliveryHandler
+from repro.fabric.stats import FabricStats, LatencySample
+from repro.fabric.probes import BandwidthProbe, ProbeSet
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Fabric",
+    "DeliveryHandler",
+    "FabricStats",
+    "LatencySample",
+    "BandwidthProbe",
+    "ProbeSet",
+]

@@ -1,0 +1,109 @@
+"""The abstract fabric every NoC in the reproduction implements."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.fabric.message import Message
+from repro.fabric.stats import FabricStats
+from repro.sim.engine import SimComponent
+
+#: Called when a message reaches its destination node.
+DeliveryHandler = Callable[[Message], None]
+
+
+class Fabric(SimComponent):
+    """Abstract interconnect.
+
+    Concrete fabrics (multi-ring, buffered mesh, single ring, switched
+    star, ideal) implement :meth:`try_inject` and :meth:`step`.  Node ids
+    are small integers assigned by the topology builder; systems look
+    nodes up by role through their own placement maps.
+    """
+
+    def __init__(self) -> None:
+        self.stats = FabricStats()
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._undelivered: Dict[int, List[Message]] = {}
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, node: int, handler: DeliveryHandler) -> None:
+        """Register the delivery callback for ``node``.
+
+        Messages that arrived before attachment are replayed in order.
+        """
+        self._handlers[node] = handler
+        backlog = self._undelivered.pop(node, None)
+        if backlog:
+            for msg in backlog:
+                handler(msg)
+
+    def nodes(self) -> List[int]:
+        """All node ids this fabric can deliver to."""
+        raise NotImplementedError
+
+    # -- data path ------------------------------------------------------
+
+    def try_inject(self, msg: Message) -> bool:
+        """Offer ``msg`` to the source node's injection path.
+
+        Returns False (and counts a rejection) if the source queue is
+        full; the sender must retry a later cycle.  This is the only
+        backpressure a sender ever sees, matching the paper's "purely
+        local and simple flow control".
+        """
+        raise NotImplementedError
+
+    def step(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def idle(self) -> bool:
+        """True when no message is queued or in flight anywhere."""
+        return self.stats.in_flight == 0
+
+    # -- delivery plumbing for subclasses --------------------------------
+
+    def _deliver(self, msg: Message, cycle: int, deflections: int = 0) -> None:
+        msg.delivered_cycle = cycle
+        self.stats.record_delivery(msg, deflections)
+        handler = self._handlers.get(msg.dst)
+        if handler is not None:
+            handler(msg)
+        else:
+            self._undelivered.setdefault(msg.dst, []).append(msg)
+
+
+class InjectRetryBuffer:
+    """Helper for agents: holds messages the fabric refused.
+
+    Agents call :meth:`send`; the buffer retries at every :meth:`pump`
+    until the fabric accepts, preserving order per destination.
+    """
+
+    def __init__(self, fabric: Fabric, capacity: Optional[int] = None):
+        self._fabric = fabric
+        self._pending: List[Message] = []
+        self._capacity = capacity
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return self._capacity is not None and len(self._pending) >= self._capacity
+
+    def send(self, msg: Message) -> bool:
+        """Queue ``msg`` for injection; False if the retry buffer is full."""
+        if self.full:
+            return False
+        self._pending.append(msg)
+        return True
+
+    def pump(self) -> None:
+        """Retry pending messages in FIFO order; stop at first refusal."""
+        while self._pending:
+            if self._fabric.try_inject(self._pending[0]):
+                self._pending.pop(0)
+            else:
+                break

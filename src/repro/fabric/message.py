@@ -1,0 +1,95 @@
+"""The fabric-neutral unit of transport.
+
+Section 3.4.3 of the paper: each NoC transaction is independent and
+stateless, and one transaction travels as a single flit (one cache line
+plus header).  A :class:`Message` is that transaction as seen *above* the
+fabric; each fabric wraps it in its own in-network representation (a slot
+flit for the multi-ring, a packet for the buffered mesh).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.params import FLIT_DATA_BITS, FLIT_HEADER_BITS
+
+
+class MessageKind(Enum):
+    """Coarse transport class of a message.
+
+    The fabric does not interpret protocol opcodes; it only needs to know
+    whether a message carries a data payload (full cache line) or is a
+    short control message, because that determines its size on the wire.
+    """
+
+    REQUEST = "req"
+    SNOOP = "snp"
+    RESPONSE = "rsp"
+    DATA = "dat"
+
+    @property
+    def carries_data(self) -> bool:
+        return self is MessageKind.DATA
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One fabric transaction.
+
+    Attributes:
+        src: logical node id of the sender.
+        dst: logical node id of the receiver.
+        kind: transport class (sizes the flit).
+        payload: opaque protocol-level content (e.g. a CHI message).
+        created_cycle: cycle the sender handed the message to the fabric.
+        injected_cycle: cycle the message won a ring slot / router port.
+        delivered_cycle: cycle the destination received it.
+        msg_id: unique id, for conservation checks and E-tag matching.
+        data_bytes: payload size override for DATA messages; defaults to
+            one cache line.  The AI processor's burst transactions ride
+            the wide high-speed fabric (Table 4: bus width x2.5) and set
+            this to their burst size.
+    """
+
+    src: int
+    dst: int
+    kind: MessageKind = MessageKind.REQUEST
+    payload: Any = None
+    created_cycle: int = 0
+    injected_cycle: Optional[int] = None
+    delivered_cycle: Optional[int] = None
+    data_bytes: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def size_bits(self) -> int:
+        """On-wire size: header always, data payload only for DATA flits."""
+        if self.kind.carries_data:
+            payload_bits = (self.data_bytes * 8 if self.data_bytes is not None
+                            else FLIT_DATA_BITS)
+            return FLIT_HEADER_BITS + payload_bits
+        return FLIT_HEADER_BITS
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_bits / 8.0
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        """Cycles from injection to delivery (excludes source queueing)."""
+        if self.delivered_cycle is None or self.injected_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle
+
+    @property
+    def total_latency(self) -> Optional[int]:
+        """Cycles from creation (handoff to fabric) to delivery."""
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.created_cycle

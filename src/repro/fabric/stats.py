@@ -1,0 +1,93 @@
+"""Fabric-wide counters and latency records.
+
+Every fabric owns one :class:`FabricStats`; the systems and benchmarks read
+it.  Conservation (injected == delivered + in flight) is the first property
+test every fabric must pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fabric.message import Message
+
+
+@dataclass
+class LatencySample:
+    """One delivered message's timing record."""
+
+    msg_id: int
+    src: int
+    dst: int
+    created_cycle: int
+    injected_cycle: int
+    delivered_cycle: int
+    deflections: int = 0
+
+    @property
+    def network_latency(self) -> int:
+        return self.delivered_cycle - self.injected_cycle
+
+    @property
+    def total_latency(self) -> int:
+        return self.delivered_cycle - self.created_cycle
+
+
+@dataclass
+class FabricStats:
+    """Counters kept by every fabric implementation."""
+
+    accepted: int = 0            # messages accepted into a source queue
+    rejected: int = 0            # messages refused (source queue full)
+    injected: int = 0            # messages that won network resources
+    delivered: int = 0           # messages handed to their destination
+    deflections: int = 0         # multi-ring only: eject misses
+    itags_placed: int = 0
+    etags_placed: int = 0
+    swap_events: int = 0         # DRM activations (RBRG-L2)
+    delivered_bytes: float = 0.0
+    samples: List[LatencySample] = field(default_factory=list)
+    keep_samples: bool = True
+    #: Delivered-message count per destination node, for equilibrium checks.
+    per_dst_delivered: Dict[int, int] = field(default_factory=dict)
+
+    def record_delivery(self, msg: Message, deflections: int = 0) -> None:
+        self.delivered += 1
+        self.delivered_bytes += msg.size_bytes
+        self.per_dst_delivered[msg.dst] = self.per_dst_delivered.get(msg.dst, 0) + 1
+        if self.keep_samples and msg.injected_cycle is not None:
+            self.samples.append(
+                LatencySample(
+                    msg_id=msg.msg_id,
+                    src=msg.src,
+                    dst=msg.dst,
+                    created_cycle=msg.created_cycle,
+                    injected_cycle=msg.injected_cycle,
+                    delivered_cycle=msg.delivered_cycle or 0,
+                    deflections=deflections,
+                )
+            )
+
+    @property
+    def in_flight(self) -> int:
+        """Messages accepted but not yet delivered."""
+        return self.accepted - self.delivered
+
+    def mean_network_latency(self) -> Optional[float]:
+        if not self.samples:
+            return None
+        return sum(s.network_latency for s in self.samples) / len(self.samples)
+
+    def mean_total_latency(self) -> Optional[float]:
+        if not self.samples:
+            return None
+        return sum(s.total_latency for s in self.samples) / len(self.samples)
+
+    def latency_percentile(self, pct: float) -> Optional[float]:
+        """Total-latency percentile, pct in [0, 100]."""
+        if not self.samples:
+            return None
+        ordered = sorted(s.total_latency for s in self.samples)
+        idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+        return float(ordered[idx])

@@ -1,0 +1,104 @@
+"""Global calibration parameters shared by every experiment.
+
+The paper evaluates real silicon; a Python reproduction cannot reproduce
+absolute nanoseconds.  Instead all component latencies, widths, and service
+rates live here, set once from the paper's text (Table 4, Section 3/4) and
+public microarchitectural data, and are never tuned per-experiment.  Every
+benchmark imports these same numbers, so cross-experiment comparisons stay
+internally consistent.
+
+All latencies are in NoC clock cycles unless stated otherwise.  The NoC
+clock is 3 GHz (Section 3.3), so 1 cycle = 1/3 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: NoC target frequency, Hz (Section 3.3: "a specific target frequency (3GHz)").
+NOC_FREQ_HZ: float = 3.0e9
+
+#: One NoC transaction carries one cache line (Section 3.4.3).
+CACHE_LINE_BYTES: int = 64
+
+#: Header bits attached to every flit (bufferless NoCs route per-flit,
+#: Section 3.4.3 "header information be transmitted with each flit").
+FLIT_HEADER_BITS: int = 40
+
+#: Payload bits of a data-carrying flit.
+FLIT_DATA_BITS: int = CACHE_LINE_BYTES * 8
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Fixed component latencies (cycles) used across all system models."""
+
+    #: L3 tag slice lookup (hybrid L3, Section 3.2.1).
+    l3_tag_lookup: int = 5
+    #: L3 data slice access (high-capacity SRAM).
+    l3_data_access: int = 12
+    #: Home-node directory lookup inside the LLC/HN-F agent.
+    directory_lookup: int = 4
+    #: Requester-side pipeline (request formation, MSHR allocate).
+    requester_pipeline: int = 3
+    #: DDR controller service latency (queue-empty, row-hit mix).
+    ddr_service: int = 60
+    #: HBM service latency (queue-empty).
+    hbm_service: int = 30
+    #: RBRG-L1 traversal (buffering + route-info regeneration, Section 4.1.3).
+    bridge_l1: int = 2
+    #: RBRG-L2 traversal excluding the die-to-die link itself.
+    bridge_l2: int = 4
+    #: Die-to-die parallel-IO link one-way latency (in-house PHY, Section 4.1.3).
+    d2d_link: int = 8
+    #: Inter-package SerDes link via the Protocol Adapter (Section 4.2).
+    serdes_link: int = 40
+    #: Snoop response generation inside an owning cache.
+    snoop_response: int = 4
+
+
+@dataclass(frozen=True)
+class QueueParams:
+    """Queue depths for stations and bridges (small, per Section 3.4.2)."""
+
+    inject_queue_depth: int = 4
+    eject_queue_depth: int = 4
+    bridge_rx_depth: int = 8
+    bridge_tx_depth: int = 8
+    bridge_reserved_tx: int = 4
+    #: Consecutive injection failures before an I-tag is placed (4.1.2).
+    itag_threshold: int = 8
+    #: Consecutive injection failures at an RBRG-L2 station that signal a
+    #: cross-ring deadlock (Section 4.4).
+    swap_detect_threshold: int = 64
+    #: Occupied reserved-Tx count below which DRM exits (Section 4.4).
+    swap_exit_threshold: int = 1
+
+
+@dataclass(frozen=True)
+class BandwidthParams:
+    """Bandwidths of memory endpoints, in bytes per NoC cycle."""
+
+    #: One DDR4 channel ~25.6 GB/s at 3 GHz NoC -> ~8.5 B/cycle.
+    ddr_channel_bytes_per_cycle: float = 8.5
+    #: One HBM stack 500 GB/s (Section 3.2.2) -> ~167 B/cycle.
+    hbm_stack_bytes_per_cycle: float = 167.0
+    #: Ring link width: 64-byte flit moves one hop per cycle, so one lane
+    #: carries 64 B/cycle = 192 GB/s at 3 GHz.
+    ring_lane_bytes_per_cycle: int = CACHE_LINE_BYTES
+
+
+LATENCY = LatencyParams()
+QUEUES = QueueParams()
+BANDWIDTH = BandwidthParams()
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert NoC cycles to nanoseconds at the 3 GHz design point."""
+    return cycles / NOC_FREQ_HZ * 1e9
+
+
+def bytes_per_cycle_to_tbps(bytes_per_cycle: float) -> float:
+    """Convert a bytes/cycle rate to TB/s at the 3 GHz design point."""
+    return bytes_per_cycle * NOC_FREQ_HZ / 1e12

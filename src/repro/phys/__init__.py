@@ -1,0 +1,37 @@
+"""Physical-implementation model (Section 3.3, Table 4, Figure 6).
+
+The co-design's physical leg: wire fabrics with their jump distance per
+3 GHz cycle, repeater insertion for timing closure, area accounting for
+stations/bridges/buffers, chiplet floorplans that convert physical
+distance into ring stops (the distance-per-cycle metric), and the energy
+model behind the bufferless-vs-buffered comparison and SPECpower.
+"""
+
+from repro.phys.wires import (
+    HIGH_DENSITY,
+    HIGH_SPEED,
+    WireFabric,
+    cycles_for_distance,
+    distance_per_cycle_um,
+)
+from repro.phys.repeaters import RepeaterPlan, plan_repeaters
+from repro.phys.area import AreaBreakdown, buffered_router_area_um2, noc_area
+from repro.phys.floorplan import ChipletFloorplan, ring_stops_for_perimeter
+from repro.phys.energy import EnergyModel, fabric_energy_joules
+
+__all__ = [
+    "WireFabric",
+    "HIGH_DENSITY",
+    "HIGH_SPEED",
+    "distance_per_cycle_um",
+    "cycles_for_distance",
+    "RepeaterPlan",
+    "plan_repeaters",
+    "AreaBreakdown",
+    "noc_area",
+    "buffered_router_area_um2",
+    "ChipletFloorplan",
+    "ring_stops_for_perimeter",
+    "EnergyModel",
+    "fabric_energy_joules",
+]

@@ -1,0 +1,128 @@
+"""NoC area accounting (the Network Area Efficiency KPI, Section 2.2).
+
+The bufferless cross station has no virtual channels and no buffer
+allocation logic, so its area is a mux stage plus the small inject/eject
+queues; a conventional buffered router pays per-port input buffers, VC
+state, and allocators.  The constants are first-order standard-cell and
+SRAM estimates for a 7 nm-class process; the *ratios* between the two
+organizations are what the ablation benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import TopologySpec
+from repro.params import FLIT_DATA_BITS, FLIT_HEADER_BITS, QUEUES, QueueParams
+from repro.phys.wires import WireFabric, wire_track_area_um2
+
+#: Flip-flop/SRAM cost of one buffered flit entry, µm² per bit.
+BUFFER_AREA_PER_BIT_UM2 = 0.35
+#: Mux/arbiter fabric of a bufferless cross station, µm² per bus bit.
+STATION_LOGIC_AREA_PER_BIT_UM2 = 0.8
+#: Route/VC/switch allocators of a buffered router, µm² per bus bit per port.
+ROUTER_LOGIC_AREA_PER_BIT_UM2 = 2.2
+#: RBRG data/control, µm² per bus bit (L1) — L2 adds the PHY macro.
+BRIDGE_L1_AREA_PER_BIT_UM2 = 1.5
+BRIDGE_L2_AREA_PER_BIT_UM2 = 4.0
+
+FLIT_BITS = FLIT_HEADER_BITS + FLIT_DATA_BITS
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """NoC area by component class, µm²."""
+
+    stations_um2: float
+    bridges_um2: float
+    queues_um2: float
+    wires_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return (self.stations_um2 + self.bridges_um2
+                + self.queues_um2 + self.wires_um2)
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+
+def station_area_um2(queues: QueueParams = QUEUES, ports: int = 2) -> float:
+    """One bufferless cross station with ``ports`` node interfaces."""
+    logic = STATION_LOGIC_AREA_PER_BIT_UM2 * FLIT_BITS
+    queue_entries = ports * (queues.inject_queue_depth + queues.eject_queue_depth)
+    buffers = queue_entries * FLIT_BITS * BUFFER_AREA_PER_BIT_UM2
+    return logic + buffers
+
+
+def bridge_area_um2(level: int, queues: QueueParams = QUEUES) -> float:
+    per_bit = BRIDGE_L1_AREA_PER_BIT_UM2 if level == 1 else BRIDGE_L2_AREA_PER_BIT_UM2
+    logic = per_bit * FLIT_BITS
+    entries = 2 * (queues.bridge_rx_depth + queues.bridge_tx_depth)
+    if level == 2:
+        entries += 2 * queues.bridge_reserved_tx
+    return logic + entries * FLIT_BITS * BUFFER_AREA_PER_BIT_UM2
+
+
+def buffered_router_area_um2(
+    ports: int = 5,
+    input_depth: int = 4,
+    virtual_channels: int = 2,
+) -> float:
+    """One conventional input-queued router (the mesh baseline's node)."""
+    buffers = ports * virtual_channels * input_depth * FLIT_BITS \
+        * BUFFER_AREA_PER_BIT_UM2
+    logic = ROUTER_LOGIC_AREA_PER_BIT_UM2 * FLIT_BITS * ports
+    return buffers + logic
+
+
+def noc_area(
+    topology: TopologySpec,
+    fabric: WireFabric,
+    queues: QueueParams = QUEUES,
+    stop_length_um: Optional[float] = None,
+    lanes_per_direction: int = 1,
+) -> AreaBreakdown:
+    """Area of a multi-ring NoC built on ``fabric``.
+
+    ``stop_length_um`` defaults to the fabric's jump distance — one stop
+    of wire per cycle, the distance-per-cycle identity.
+    """
+    if stop_length_um is None:
+        stop_length_um = fabric.jump_um_at_3ghz
+
+    # Station count: one per occupied (ring, stop).
+    occupied = set()
+    node_queue_ports = 0
+    for p in topology.nodes:
+        occupied.add((p.ring, p.stop))
+        node_queue_ports += 1
+    stations_area = 0.0
+    for b in topology.bridges:
+        occupied.add((b.ring_a, b.stop_a))
+        occupied.add((b.ring_b, b.stop_b))
+    stations_area = len(occupied) * STATION_LOGIC_AREA_PER_BIT_UM2 * FLIT_BITS
+    queue_entries = node_queue_ports * (
+        queues.inject_queue_depth + queues.eject_queue_depth
+    )
+    queues_area = queue_entries * FLIT_BITS * BUFFER_AREA_PER_BIT_UM2
+
+    bridges_area = sum(bridge_area_um2(b.level, queues) for b in topology.bridges)
+
+    lane_count = {True: 2, False: 1}
+    wires_area = 0.0
+    for ring in topology.rings:
+        ring_lanes = (ring.lanes if ring.lanes is not None
+                      else lanes_per_direction)
+        lanes = ring_lanes * lane_count[ring.bidirectional]
+        length = ring.nstops * stop_length_um
+        wires_area += lanes * wire_track_area_um2(fabric, length, FLIT_BITS)
+
+    return AreaBreakdown(
+        stations_um2=stations_area,
+        bridges_um2=bridges_area,
+        queues_um2=queues_area,
+        wires_um2=wires_area,
+    )

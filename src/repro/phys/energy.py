@@ -1,0 +1,79 @@
+"""Energy model: the bufferless advantage and the SPECpower substrate.
+
+First-order 7 nm-class energy constants.  A bufferless hop spends wire
+energy plus a mux stage; a buffered hop additionally writes and reads an
+input buffer and runs allocation.  Eliminating those per-hop buffer
+accesses is the energy argument of Section 3.4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.stats import FabricStats
+from repro.params import FLIT_DATA_BITS, FLIT_HEADER_BITS
+
+FLIT_BITS = FLIT_HEADER_BITS + FLIT_DATA_BITS
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules."""
+
+    #: Wire transport per bit per millimetre.
+    wire_pj_per_bit_mm: float = 0.08
+    #: One buffer write + read per bit (input-queued router).
+    buffer_rw_pj_per_bit: float = 0.012
+    #: Mux/pass-through stage per bit (bufferless station).
+    station_pj_per_bit: float = 0.003
+    #: Allocation/arbitration per flit (buffered router only).
+    allocation_pj_per_flit: float = 1.5
+    #: Die-to-die PHY crossing per bit.
+    d2d_pj_per_bit: float = 0.5
+
+    def bufferless_hop_pj(self, hop_mm: float, bits: int = FLIT_BITS) -> float:
+        """One stop-to-stop hop through a cross station."""
+        return bits * (self.wire_pj_per_bit_mm * hop_mm + self.station_pj_per_bit)
+
+    def buffered_hop_pj(self, hop_mm: float, bits: int = FLIT_BITS) -> float:
+        """One router-to-router hop in an input-queued mesh."""
+        return (bits * (self.wire_pj_per_bit_mm * hop_mm
+                        + self.buffer_rw_pj_per_bit)
+                + self.allocation_pj_per_flit)
+
+    def d2d_crossing_pj(self, bits: int = FLIT_BITS) -> float:
+        return bits * self.d2d_pj_per_bit
+
+
+DEFAULT_ENERGY = EnergyModel()
+
+
+def fabric_energy_joules(
+    stats: FabricStats,
+    mean_hops: float,
+    hop_mm: float,
+    buffered: bool,
+    d2d_fraction: float = 0.0,
+    model: EnergyModel = DEFAULT_ENERGY,
+) -> float:
+    """Transport energy of everything a fabric delivered.
+
+    ``mean_hops`` and ``hop_mm`` characterize the topology; the caller
+    measures or derives them.  ``d2d_fraction`` is the fraction of
+    messages that crossed a die-to-die link.
+    """
+    if mean_hops < 0 or hop_mm < 0:
+        raise ValueError("hops and hop length must be non-negative")
+    total_bits = stats.delivered_bytes * 8
+    if buffered:
+        # Wire + buffer write/read per bit-hop, allocation per flit-hop.
+        energy_pj = (total_bits * mean_hops
+                     * (model.wire_pj_per_bit_mm * hop_mm
+                        + model.buffer_rw_pj_per_bit)
+                     + model.allocation_pj_per_flit * stats.delivered * mean_hops)
+    else:
+        energy_pj = total_bits * mean_hops * (
+            model.wire_pj_per_bit_mm * hop_mm + model.station_pj_per_bit
+        )
+    energy_pj += total_bits * d2d_fraction * model.d2d_pj_per_bit
+    return energy_pj * 1e-12

@@ -1,0 +1,90 @@
+"""Chiplet floorplans: physical distance → ring stops.
+
+The bridge between geometry and the cycle-level simulator: a ring routed
+around a die of given dimensions has a perimeter; dividing by the wire
+fabric's distance-per-cycle gives the number of slots (== stops == lap
+cycles) the simulated ring must have.  This is how the distance-per-cycle
+co-design metric (Section 3.3) enters every latency number the simulator
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.phys.wires import WireFabric, cycles_for_distance, usable_stride_area_um2
+
+
+def ring_stops_for_perimeter(
+    fabric: WireFabric, perimeter_um: float, min_stops: int = 2
+) -> int:
+    """Slots needed for a ring of physical length ``perimeter_um``."""
+    return max(min_stops, cycles_for_distance(fabric, perimeter_um))
+
+
+@dataclass(frozen=True)
+class ChipletFloorplan:
+    """One rectangular die with a perimeter ring."""
+
+    name: str
+    width_um: float
+    height_um: float
+    #: Fraction of the perimeter the ring actually follows (rings are
+    #: routed inside the pad ring and around macros).
+    ring_path_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise ValueError("die dimensions must be positive")
+        if not 0 < self.ring_path_fraction <= 1:
+            raise ValueError("ring_path_fraction must be in (0, 1]")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_um * self.height_um / 1e6
+
+    @property
+    def ring_length_um(self) -> float:
+        return 2 * (self.width_um + self.height_um) * self.ring_path_fraction
+
+    def ring_stops(self, fabric: WireFabric) -> int:
+        """Ring circumference in slots for this die on ``fabric``."""
+        return ring_stops_for_perimeter(fabric, self.ring_length_um)
+
+    def lap_time_ns(self, fabric: WireFabric, freq_hz: float = 3.0e9) -> float:
+        return self.ring_stops(fabric) / freq_hz * 1e9
+
+    def blocked_area_mm2(self, fabric: WireFabric,
+                         channel_height_um: float = 50.0) -> float:
+        """Placement area lost to the ring's wire channel.
+
+        The dense fabric's continuous metal blocks everything beneath it
+        (Figure 6); the high-speed fabric gives its stride slots back.
+        """
+        gross = self.ring_length_um * channel_height_um
+        recovered = usable_stride_area_um2(fabric, self.ring_length_um,
+                                           channel_height_um)
+        return max(0.0, gross - recovered) / 1e6
+
+
+#: Representative dies for the paper's systems (order-of-magnitude
+#: dimensions for a reticle-class package; used by Table 4 benches).
+SERVER_COMPUTE_DIE = ChipletFloorplan("server-ccd", 22_000, 18_000)
+SERVER_IO_DIE = ChipletFloorplan("server-iod", 14_000, 10_000)
+AI_COMPUTE_DIE = ChipletFloorplan("ai-die", 25_000, 20_000)
+
+
+def compare_fabrics(
+    floorplan: ChipletFloorplan, fabrics: List[WireFabric]
+) -> Dict[str, Dict[str, float]]:
+    """Per-fabric floorplan metrics — the Table 4 decision as numbers."""
+    out: Dict[str, Dict[str, float]] = {}
+    for fabric in fabrics:
+        out[fabric.name] = {
+            "ring_stops": float(floorplan.ring_stops(fabric)),
+            "lap_time_ns": floorplan.lap_time_ns(fabric),
+            "blocked_area_mm2": floorplan.blocked_area_mm2(fabric),
+            "distance_per_cycle_um": fabric.jump_um_at_3ghz,
+        }
+    return out

@@ -1,0 +1,68 @@
+"""Repeater insertion for timing closure (Section 3.3).
+
+"To meet a specific target frequency (3 GHz), a long wire needs to be
+split into several segments, and repeaters must be inserted between the
+segments."  A repeater station at each jump boundary costs area and
+power; the high-density fabric needs three of them for every one the
+high-speed fabric needs, which is the paper's argument for optimizing
+distance per cycle rather than wire density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import NOC_FREQ_HZ
+from repro.phys.wires import WireFabric, distance_per_cycle_um
+
+#: Area of one repeater bank per bit of bus width, µm².
+REPEATER_AREA_PER_BIT_UM2 = 1.2
+#: Leakage+switching power of one repeater bank per bit at 3 GHz, µW.
+REPEATER_POWER_PER_BIT_UW = 0.9
+
+
+@dataclass(frozen=True)
+class RepeaterPlan:
+    """Repeater placement for one wire run."""
+
+    fabric_name: str
+    length_um: float
+    bus_bits: int
+    segments: int
+    repeater_banks: int
+
+    @property
+    def area_um2(self) -> float:
+        return self.repeater_banks * self.bus_bits * REPEATER_AREA_PER_BIT_UM2
+
+    @property
+    def power_uw(self) -> float:
+        return self.repeater_banks * self.bus_bits * REPEATER_POWER_PER_BIT_UW
+
+    @property
+    def pipeline_cycles(self) -> int:
+        """Wire latency in cycles once segmented."""
+        return self.segments
+
+
+def plan_repeaters(
+    fabric: WireFabric,
+    length_um: float,
+    bus_bits: int,
+    freq_hz: float = NOC_FREQ_HZ,
+) -> RepeaterPlan:
+    """Segment a wire run of ``length_um`` to close timing at ``freq_hz``."""
+    if length_um < 0:
+        raise ValueError("length must be non-negative")
+    if bus_bits <= 0:
+        raise ValueError("bus must be at least one bit")
+    jump = distance_per_cycle_um(fabric, freq_hz)
+    segments = max(1, int(-(-length_um // jump))) if length_um > 0 else 0
+    banks = max(0, segments - 1)
+    return RepeaterPlan(
+        fabric_name=fabric.name,
+        length_um=length_um,
+        bus_bits=bus_bits,
+        segments=segments,
+        repeater_banks=banks,
+    )

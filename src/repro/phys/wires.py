@@ -1,0 +1,119 @@
+"""Wire metal fabrics — Table 4 of the paper.
+
+Two implementations of the NoC's connection fabric:
+
+- the **high-density** Mx-My fabric: minimal width/pitch, but a flit
+  jumps only 600 µm per 3 GHz cycle, the wires are nearly continuous
+  metal, and nothing can be placed under them (Figure 6);
+- the **high-speed** My fabric: 3x width, 3.5x pitch, 2.5x bus width,
+  1800 µm jumps, and 200 µm stride slots between wire groups that SRAM
+  blocks can occupy.
+
+"Distance per cycle" — the paper's co-design metric — is the jump
+distance; everything else in this package derives from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import NOC_FREQ_HZ
+
+
+@dataclass(frozen=True)
+class WireFabric:
+    """One wire-fabric implementation option (a Table 4 row)."""
+
+    name: str
+    metal_layers: str
+    #: Geometry relative to the high-density baseline.
+    rel_width: float
+    rel_pitch: float
+    rel_bus_width: float
+    #: Distance a flit travels in one cycle at the 3 GHz design point.
+    jump_um_at_3ghz: float
+    #: Gap between wire groups usable by other blocks (0 = continuous).
+    stride_um: float
+    #: What may be placed under/over the fabric.
+    over: str
+
+    @property
+    def blocks_placement(self) -> bool:
+        return self.stride_um == 0
+
+    def track_pitch_um(self, base_pitch_um: float = 0.1) -> float:
+        """Physical pitch of one wire track."""
+        return base_pitch_um * self.rel_pitch
+
+
+#: Table 4, row 1.
+HIGH_DENSITY = WireFabric(
+    name="high-density",
+    metal_layers="Mx-My",
+    rel_width=1.0,
+    rel_pitch=1.0,
+    rel_bus_width=1.0,
+    jump_um_at_3ghz=600.0,
+    stride_um=0.0,
+    over="nothing",
+)
+
+#: Table 4, row 2.
+HIGH_SPEED = WireFabric(
+    name="high-speed",
+    metal_layers="My",
+    rel_width=3.0,
+    rel_pitch=3.5,
+    rel_bus_width=2.5,
+    jump_um_at_3ghz=1800.0,
+    stride_um=200.0,
+    over="SRAM",
+)
+
+
+def distance_per_cycle_um(fabric: WireFabric, freq_hz: float = NOC_FREQ_HZ) -> float:
+    """Jump distance at ``freq_hz``.
+
+    RC-limited wires: reachable distance scales inversely with frequency
+    around the characterized 3 GHz point.
+    """
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return fabric.jump_um_at_3ghz * (3.0e9 / freq_hz)
+
+
+def cycles_for_distance(
+    fabric: WireFabric, distance_um: float, freq_hz: float = NOC_FREQ_HZ
+) -> int:
+    """Pipeline stages (== ring stops) needed to cover ``distance_um``."""
+    if distance_um < 0:
+        raise ValueError("distance must be non-negative")
+    jump = distance_per_cycle_um(fabric, freq_hz)
+    stages = int(-(-distance_um // jump)) if distance_um else 0
+    return max(stages, 1) if distance_um > 0 else 0
+
+
+def wire_track_area_um2(
+    fabric: WireFabric,
+    length_um: float,
+    bus_bits: int,
+    base_pitch_um: float = 0.1,
+) -> float:
+    """Silicon area occupied by a ``bus_bits``-wide bundle of this fabric.
+
+    High-speed wires individually cost more area per bit, but carry
+    2.5x the bus per routing channel and free their stride slots for
+    SRAM — the Figure 6 trade-off.
+    """
+    tracks = bus_bits / fabric.rel_bus_width
+    return tracks * fabric.track_pitch_um(base_pitch_um) * length_um
+
+
+def usable_stride_area_um2(fabric: WireFabric, length_um: float,
+                           channel_height_um: float = 50.0) -> float:
+    """Area under the fabric recoverable for SRAM placement."""
+    if fabric.stride_um == 0:
+        return 0.0
+    jump = fabric.jump_um_at_3ghz
+    slots = int(length_um // jump)
+    return slots * fabric.stride_um * channel_height_um

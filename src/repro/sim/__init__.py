@@ -1,0 +1,6 @@
+"""Cycle-driven simulation kernel shared by every fabric and system model."""
+
+from repro.sim.engine import Simulator, SimComponent
+from repro.sim.rng import make_rng
+
+__all__ = ["Simulator", "SimComponent", "make_rng"]

@@ -1,0 +1,90 @@
+"""Synchronous cycle-driven simulation engine.
+
+Every hardware block in this reproduction is a :class:`SimComponent` with a
+``step(cycle)`` method.  The :class:`Simulator` advances a global cycle
+counter and steps components in registration order; registration order is
+therefore part of a model's semantics (fabrics register their rings before
+their bridges, systems register traffic sources before the fabric, and so
+on).  This mirrors a single synchronous clock domain, which matches the
+paper's NoC: one 3 GHz clock across the package, with die-to-die links
+modeled as pipeline delay rather than as a clock-domain crossing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class SimComponent:
+    """Base class for anything that does work once per clock cycle."""
+
+    def step(self, cycle: int) -> None:
+        """Advance this component by one cycle."""
+        raise NotImplementedError
+
+
+class Simulator:
+    """Owns the clock and the ordered list of components.
+
+    The simulator is deliberately minimal: no event queue, no delta cycles.
+    A cycle-driven loop keeps ring-slot semantics exact (one hop per cycle)
+    and keeps the whole reproduction deterministic for a given seed.
+    """
+
+    def __init__(self) -> None:
+        self._components: List[SimComponent] = []
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        """Current cycle (number of completed steps)."""
+        return self._cycle
+
+    def register(self, component: SimComponent) -> None:
+        """Append ``component`` to the per-cycle step order."""
+        self._components.append(component)
+
+    def register_first(self, component: SimComponent) -> None:
+        """Prepend ``component`` so it steps before everything else."""
+        self._components.insert(0, component)
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        cycle = self._cycle
+        for component in self._components:
+            component.step(cycle)
+        self._cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int,
+        check_every: int = 1,
+    ) -> bool:
+        """Run until ``predicate()`` is true or ``max_cycles`` elapse.
+
+        Returns True if the predicate fired, False on timeout.  The
+        predicate is evaluated every ``check_every`` cycles to keep hot
+        loops cheap.
+        """
+        for i in range(max_cycles):
+            self.step()
+            if i % check_every == 0 and predicate():
+                return True
+        return bool(predicate())
+
+
+class FunctionComponent(SimComponent):
+    """Adapter wrapping a plain callable as a component."""
+
+    def __init__(self, fn: Callable[[int], None], name: Optional[str] = None):
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "fn")
+
+    def step(self, cycle: int) -> None:
+        self._fn(cycle)

@@ -1,0 +1,90 @@
+"""Utilities for exercising fabrics in tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.fabric.interface import Fabric
+from repro.fabric.message import Message, MessageKind
+
+
+def run_to_drain(fabric: Fabric, start_cycle: int = 0, max_cycles: int = 100_000) -> int:
+    """Step ``fabric`` until every accepted message is delivered.
+
+    Returns the cycle after draining.  Raises RuntimeError on timeout so a
+    livelocked configuration fails loudly in tests.
+    """
+    cycle = start_cycle
+    while fabric.stats.in_flight > 0:
+        if cycle - start_cycle >= max_cycles:
+            raise RuntimeError(
+                f"fabric failed to drain within {max_cycles} cycles; "
+                f"{fabric.stats.in_flight} messages stuck"
+            )
+        fabric.step(cycle)
+        cycle += 1
+    return cycle
+
+
+def inject_all(
+    fabric: Fabric,
+    messages: Sequence[Message],
+    start_cycle: int = 0,
+    max_cycles: int = 100_000,
+) -> int:
+    """Inject messages (retrying on refusal) while stepping the fabric.
+
+    Returns the cycle after the last acceptance.
+    """
+    cycle = start_cycle
+    pending = list(messages)
+    while pending:
+        if cycle - start_cycle >= max_cycles:
+            raise RuntimeError(f"could not inject within {max_cycles} cycles")
+        while pending and fabric.try_inject(pending[0]):
+            pending.pop(0)
+        fabric.step(cycle)
+        cycle += 1
+    return cycle
+
+
+def uniform_messages(
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    count: int,
+    seed: int = 0,
+    kind: MessageKind = MessageKind.DATA,
+) -> List[Message]:
+    """Uniform-random src/dst message list (src != dst when possible)."""
+    rng = random.Random(seed)
+    out: List[Message] = []
+    for _ in range(count):
+        src = rng.choice(list(sources))
+        choices = [d for d in destinations if d != src] or list(destinations)
+        out.append(Message(src=src, dst=rng.choice(choices), kind=kind))
+    return out
+
+
+def drive(
+    fabric: Fabric,
+    cycles: int,
+    generator: Callable[[int], Optional[List[Message]]],
+    start_cycle: int = 0,
+) -> int:
+    """Step ``cycles`` cycles, offering ``generator(cycle)``'s messages.
+
+    Messages the fabric refuses are dropped (open-loop traffic); use
+    :class:`repro.fabric.interface.InjectRetryBuffer` for closed-loop.
+    Returns how many messages were accepted.
+    """
+    accepted = 0
+    for cycle in range(start_cycle, start_cycle + cycles):
+        batch = generator(cycle)
+        if batch:
+            for msg in batch:
+                msg.created_cycle = cycle
+                if fabric.try_inject(msg):
+                    accepted += 1
+        fabric.step(cycle)
+    return accepted

@@ -1,0 +1,48 @@
+"""Workload and application models driving the evaluation.
+
+Each module models one family the paper evaluates with:
+
+- :mod:`repro.workloads.synthetic` — parameterized traffic classes
+  (uniform/hotspot/transpose, R:W mixes) for raw-fabric experiments;
+- :mod:`repro.workloads.zipf` — Zipfian address streams (server
+  workloads' skewed data access, Section 3.1.1);
+- :mod:`repro.workloads.roofline` — arithmetic-intensity roofline
+  (Figure 3);
+- :mod:`repro.workloads.lmbench` — LMBench bandwidth kernels
+  (Figure 10);
+- :mod:`repro.workloads.spec` — SPECint 2006/2017 CPI+MPKI models
+  (Figures 12-13);
+- :mod:`repro.workloads.specpower` — SPECpower-ssj graduated-load model
+  (Table 6);
+- :mod:`repro.workloads.mlperf` — ResNet-50/BERT/Mask R-CNN layer
+  traces for the end-to-end training comparison (Table 8).
+"""
+
+from repro.workloads.roofline import RooflineModel, WorkloadPoint, FIG3_POINTS
+from repro.workloads.zipf import zipf_addresses
+from repro.workloads.lmbench import LMBENCH_KERNELS, LmbenchKernel
+from repro.workloads.spec import SPECINT_2006, SPECINT_2017, SpecBenchmark
+from repro.workloads.specpower import SpecPowerModel
+from repro.workloads.mlperf import (
+    MLPERF_MODELS,
+    AcceleratorModel,
+    NetworkModel,
+    train_throughput,
+)
+
+__all__ = [
+    "RooflineModel",
+    "WorkloadPoint",
+    "FIG3_POINTS",
+    "zipf_addresses",
+    "LmbenchKernel",
+    "LMBENCH_KERNELS",
+    "SpecBenchmark",
+    "SPECINT_2006",
+    "SPECINT_2017",
+    "SpecPowerModel",
+    "AcceleratorModel",
+    "NetworkModel",
+    "MLPERF_MODELS",
+    "train_throughput",
+]

@@ -1,0 +1,183 @@
+"""MLPerf training comparison — Table 8.
+
+The paper reports end-to-end training speedups over NVIDIA A100 for
+ResNet-50, BERT, and Mask R-CNN, attributing the win to the NoC: "the
+NoC of AI-processors acts as the bridge between the high-density
+floating-point compute engine (bandwidth consumer) and high bandwidth
+off-chip memory (bandwidth producer)" (Section 3.1.2).
+
+The execution model is a three-way roofline per training step:
+
+    achieved FLOP/s = min( peak_compute,
+                           onchip_bw  x operand_intensity,
+                           offchip_bw x offchip_intensity )
+
+``operand_intensity`` is how many FLOPs the engines extract per byte the
+*on-chip* fabric delivers (post-L2-reuse operand traffic); dense
+accelerators need roughly their peak/20 in fabric bandwidth, which the
+paper's 16 TB/s NoC supplies and an A100-class L2 fabric does not.  The
+on-chip bandwidth for "ours" comes from the simulated AI fabric
+(Table 7), closing the loop between the NoC simulator and Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TrainingWorkload:
+    """One MLPerf training case."""
+
+    name: str
+    #: Training FLOPs per sample (fwd + bwd).
+    flops_per_sample: float
+    #: FLOPs per byte of on-chip operand traffic (post-reuse).
+    operand_intensity: float
+    #: FLOPs per byte of off-chip (HBM) traffic (Figure 3 intensities).
+    offchip_intensity: float
+    #: The paper's quality target, for documentation.
+    quality_target: str
+
+    def __post_init__(self) -> None:
+        if min(self.flops_per_sample, self.operand_intensity,
+               self.offchip_intensity) <= 0:
+            raise ValueError("workload parameters must be positive")
+
+
+MLPERF_MODELS: Dict[str, TrainingWorkload] = {
+    "resnet50": TrainingWorkload(
+        "ResNet-50 v1.5", flops_per_sample=12.4e9, operand_intensity=20.0,
+        offchip_intensity=140.0, quality_target="75.90% top-1",
+    ),
+    "bert": TrainingWorkload(
+        "BERT", flops_per_sample=850e9, operand_intensity=21.0,
+        offchip_intensity=120.0, quality_target="0.712 Mask-LM accuracy",
+    ),
+    "maskrcnn": TrainingWorkload(
+        # ROIAlign/NMS phases stream irregular features: less operand
+        # reuse, so fabric bandwidth dominates even harder.
+        "Mask R-CNN", flops_per_sample=260e9, operand_intensity=15.5,
+        offchip_intensity=90.0, quality_target="0.377 Box min AP",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """A training device for the three-way roofline."""
+
+    name: str
+    peak_flops: float          # FP16 FLOP/s
+    offchip_bw: float          # HBM bytes/s
+    onchip_bw: float           # core<->L2 fabric bytes/s
+    power_watts: float
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.offchip_bw, self.onchip_bw,
+               self.power_watts) <= 0:
+            raise ValueError("device parameters must be positive")
+
+    def achieved_flops(self, workload: TrainingWorkload) -> float:
+        return min(
+            self.peak_flops,
+            self.onchip_bw * workload.operand_intensity,
+            self.offchip_bw * workload.offchip_intensity,
+        )
+
+    def bound_by(self, workload: TrainingWorkload) -> str:
+        achieved = self.achieved_flops(workload)
+        if achieved >= self.peak_flops:
+            return "compute"
+        if achieved >= self.offchip_bw * workload.offchip_intensity - 1:
+            return "offchip"
+        return "onchip"
+
+
+#: A100 (PCIe-class): 312 TFLOPS dense FP16, 1.555 TB/s HBM2e, ~5 TB/s L2
+#: fabric, 250 W board power.
+NVIDIA_A100 = AcceleratorModel("NVIDIA-A100", 312e12, 1.555e12, 5.0e12, 250.0)
+
+
+def our_accelerator(noc_bw_bytes_per_s: float,
+                    power_watts: float = 420.0) -> AcceleratorModel:
+    """The paper's AI processor, fed by the *simulated* NoC bandwidth.
+
+    320 TFLOPS FP16 (32 cube cores), 6 x 500 GB/s HBM (Section 3.2.2),
+    and whatever the AI fabric simulation measured as core<->L2
+    bandwidth.
+    """
+    return AcceleratorModel("This-Work", 320e12, 3.0e12,
+                            noc_bw_bytes_per_s, power_watts)
+
+
+class NetworkModel:
+    """Alias kept for the public API: the device-level roofline."""
+
+    A100 = NVIDIA_A100
+    ours = staticmethod(our_accelerator)
+
+
+def train_throughput(device: AcceleratorModel,
+                     workload: TrainingWorkload) -> float:
+    """Samples per second for one device on one workload."""
+    return device.achieved_flops(workload) / workload.flops_per_sample
+
+
+def perf_ratio(ours: AcceleratorModel, baseline: AcceleratorModel,
+               workload: TrainingWorkload) -> float:
+    return train_throughput(ours, workload) / train_throughput(baseline, workload)
+
+
+def efficiency_ratio(ours: AcceleratorModel, baseline: AcceleratorModel,
+                     workload: TrainingWorkload) -> float:
+    """Energy-efficiency (samples/joule) ratio ours/baseline."""
+    ours_eff = train_throughput(ours, workload) / ours.power_watts
+    base_eff = train_throughput(baseline, workload) / baseline.power_watts
+    return ours_eff / base_eff
+
+
+# -- Table 3: the co-design's guideline networks --------------------------------
+
+
+@dataclass(frozen=True)
+class GuidelineNetwork:
+    """One row of Table 3: networks that guided the NoC co-design."""
+
+    name: str
+    domain: str
+    operators: str
+
+
+TABLE3_NETWORKS = [
+    GuidelineNetwork("ResNet", "image classification",
+                     "convolution, skip-connect"),
+    GuidelineNetwork("BERT", "NLP", "transformers"),
+    GuidelineNetwork("Wide & Deep", "recommendation", "embedding, MLP"),
+    GuidelineNetwork("GPT", "NLP", "transformers"),
+]
+
+
+#: Tiny-network inference (Section 3.1.2's "tiny neural networks'
+#: inference (Yolo-v3) used in swing face detection") — latency, not
+#: throughput, is the metric.
+YOLO_V3_TINY = TrainingWorkload(
+    "YOLOv3-tiny (inference)", flops_per_sample=5.6e9,
+    operand_intensity=12.0, offchip_intensity=30.0,
+    quality_target="real-time detection",
+)
+
+
+def inference_latency_ms(device: AcceleratorModel,
+                         workload: TrainingWorkload,
+                         batch: int = 1) -> float:
+    """Per-batch inference latency, milliseconds.
+
+    Small batches underutilize wide engines; the roofline still bounds
+    throughput, and latency = work / achieved rate.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    flops = workload.flops_per_sample * batch
+    return flops / device.achieved_flops(workload) * 1e3

@@ -1,0 +1,78 @@
+"""Roofline model — Figure 3.
+
+The motivation figure: AI workloads sit far to the right of
+general-purpose server workloads on the arithmetic-intensity axis, which
+is why the AI processor's NoC KPI is bandwidth while the server CPU's is
+latency (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Classic roofline: attainable = min(peak, intensity × bandwidth)."""
+
+    name: str
+    peak_flops: float            # FLOP/s
+    memory_bandwidth: float      # bytes/s
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("peaks must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOP/byte where the machine turns compute bound."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak_flops, intensity * self.memory_bandwidth)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_intensity
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One workload on the intensity axis."""
+
+    name: str
+    domain: str
+    arithmetic_intensity: float    # FLOP/byte
+
+    def __post_init__(self) -> None:
+        if self.arithmetic_intensity < 0:
+            raise ValueError("intensity must be non-negative")
+
+
+#: Figure 3's qualitative content as numbers: server/OS workloads are
+#: pointer-chasing and stream-like (well under 1 FLOP/byte); classic HPC
+#: kernels sit in the middle; dense DNN operators reach tens to hundreds
+#: of FLOP/byte thanks to data reuse in GEMM/convolution.
+FIG3_POINTS: List[WorkloadPoint] = [
+    WorkloadPoint("SPECint-like", "server", 0.06),
+    WorkloadPoint("LMBench-stream", "server", 0.04),
+    WorkloadPoint("Database/OLTP", "server", 0.1),
+    WorkloadPoint("SpMV", "hpc", 0.25),
+    WorkloadPoint("Stencil", "hpc", 0.85),
+    WorkloadPoint("FFT", "hpc", 1.6),
+    WorkloadPoint("Wide&Deep", "ai", 8.0),
+    WorkloadPoint("ResNet-50", "ai", 90.0),
+    WorkloadPoint("BERT-large", "ai", 120.0),
+    WorkloadPoint("GPT-3-train", "ai", 160.0),
+]
+
+
+def intensity_ordering_holds(points: List[WorkloadPoint]) -> bool:
+    """Figure 3's claim: every AI point is right of every non-AI point."""
+    ai = [p.arithmetic_intensity for p in points if p.domain == "ai"]
+    rest = [p.arithmetic_intensity for p in points if p.domain != "ai"]
+    if not ai or not rest:
+        return True
+    return min(ai) > max(rest)

@@ -1,0 +1,149 @@
+"""SPECint workload models — Figures 12 and 13.
+
+The paper's SPEC results measure how each machine's memory subsystem
+(NoC + caches + DDR) feeds otherwise-comparable cores.  We model each
+benchmark by its published miss behaviour: performance follows
+
+    time/instruction = CPI_base + (MPKI / 1000) x effective_memory_latency
+
+where the effective latency comes from *simulating* the package under
+the benchmark's load level — so different NoCs produce different scores
+through the same mechanism as the silicon.  CPI_base and MPKI values are
+representative of published characterizations (rate runs, one copy per
+core); absolute scores are not meaningful, ratios between fabrics are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.core import closed_loop, load_store_mix, uniform_stream
+from repro.cpu.package import ServerPackage, ServerPackageConfig
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One SPECint component: base CPI plus L3-miss traffic intensity."""
+
+    name: str
+    cpi_base: float
+    #: Last-level-cache misses per kilo-instruction (memory traffic).
+    mpki: float
+    #: Fraction of misses that are loads (the rest write back/through).
+    load_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.cpi_base <= 0 or self.mpki < 0:
+            raise ValueError("bad benchmark parameters")
+
+
+#: SPECint-2017 rate components.
+SPECINT_2017: List[SpecBenchmark] = [
+    SpecBenchmark("500.perlbench_r", 0.65, 0.8),
+    SpecBenchmark("502.gcc_r", 0.75, 1.9),
+    SpecBenchmark("505.mcf_r", 1.10, 13.5),
+    SpecBenchmark("520.omnetpp_r", 0.95, 8.2),
+    SpecBenchmark("523.xalancbmk_r", 0.80, 3.1),
+    SpecBenchmark("525.x264_r", 0.55, 0.4),
+    SpecBenchmark("531.deepsjeng_r", 0.70, 0.6),
+    SpecBenchmark("541.leela_r", 0.72, 0.4),
+    SpecBenchmark("548.exchange2_r", 0.50, 0.05),
+    SpecBenchmark("557.xz_r", 0.85, 2.8),
+]
+
+#: SPECint-2006 components.
+SPECINT_2006: List[SpecBenchmark] = [
+    SpecBenchmark("400.perlbench", 0.70, 1.0),
+    SpecBenchmark("401.bzip2", 0.80, 2.6),
+    SpecBenchmark("403.gcc", 0.78, 3.3),
+    SpecBenchmark("429.mcf", 1.20, 21.0),
+    SpecBenchmark("445.gobmk", 0.75, 0.7),
+    SpecBenchmark("456.hmmer", 0.55, 0.5),
+    SpecBenchmark("458.sjeng", 0.72, 0.4),
+    SpecBenchmark("462.libquantum", 0.90, 10.5),
+    SpecBenchmark("464.h264ref", 0.60, 0.6),
+    SpecBenchmark("471.omnetpp", 0.95, 9.8),
+    SpecBenchmark("473.astar", 0.85, 3.2),
+    SpecBenchmark("483.xalancbmk", 0.82, 4.1),
+]
+
+
+def measure_memory_latency(
+    fabric_kind: str,
+    n_active_clusters: int,
+    config: Optional[ServerPackageConfig] = None,
+    intensity_mlp: int = 2,
+    ops_per_cluster: int = 48,
+    working_set_lines: int = 1 << 14,
+    seed: int = 11,
+) -> float:
+    """Mean coherent-miss latency with ``n_active_clusters`` loading the NoC.
+
+    This is the simulation step of the SPEC model: one probe workload
+    per active cluster, uniform addresses over a working set far larger
+    than the caches, closed-loop with modest parallelism.
+    """
+    package = ServerPackage(config, fabric_kind=fabric_kind)
+    total = package.config.total_clusters
+    n_active = min(n_active_clusters, total)
+    cores = []
+    for k in range(n_active):
+        ccd = k % package.config.n_ccds
+        cluster = (k // package.config.n_ccds) % package.config.clusters_per_ccd
+        stream = uniform_stream(load_store_mix(0.8), working_set_lines,
+                                seed=seed + k, count=ops_per_cluster)
+        cores.append(package.attach_core(ccd, cluster, stream,
+                                         closed_loop(mlp=intensity_mlp),
+                                         seed=seed + k))
+    package.run_until_cores_done()
+    samples = [s for c in cores for s in c.stats.latencies]
+    if not samples:
+        raise RuntimeError("latency probe produced no samples")
+    return sum(samples) / len(samples)
+
+
+def benchmark_performance(
+    benchmark: SpecBenchmark, memory_latency_cycles: float, freq_hz: float = 3.0e9
+) -> float:
+    """Instructions per second under the CPI + miss-penalty model."""
+    cpi = benchmark.cpi_base + benchmark.mpki / 1000.0 * memory_latency_cycles
+    return freq_hz / cpi
+
+
+def suite_scores(
+    benchmarks: Sequence[SpecBenchmark],
+    memory_latency_cycles: float,
+    n_cores: int = 1,
+    scaling_efficiency: float = 1.0,
+) -> Dict[str, float]:
+    """Per-benchmark throughput (rate-run style: copies x per-core IPS).
+
+    ``scaling_efficiency`` folds in measured all-core bandwidth derating
+    when modelling a full package.
+    """
+    return {
+        b.name: benchmark_performance(b, memory_latency_cycles)
+        * n_cores * scaling_efficiency
+        for b in benchmarks
+    }
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of nothing")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geomean needs positive values")
+        product *= v ** (1.0 / len(values))
+    return product
+
+
+def normalized_suite(
+    ours: Dict[str, float], baseline: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-benchmark ratios ours/baseline plus the geomean ('all')."""
+    ratios = {name: ours[name] / baseline[name] for name in ours}
+    ratios["geomean"] = geomean(list(ratios.values()))
+    return ratios

@@ -1,0 +1,111 @@
+"""Synthetic fabric-level traffic classes.
+
+Raw-fabric experiments (saturation sweeps, ablations, Figure 11's
+background noise) need open-loop message generators with controllable
+rate, spatial pattern, and read/write mix.  :class:`TrafficPattern`
+produces per-cycle message batches that :func:`repro.testing.drive`
+offers to any fabric.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.fabric.message import Message, MessageKind
+
+#: Maps a source node and RNG to a destination node.
+DestinationChooser = Callable[[int, random.Random], int]
+
+
+def uniform_destinations(nodes: Sequence[int]) -> DestinationChooser:
+    """Uniform random over all nodes except the source."""
+    pool = list(nodes)
+
+    def choose(src: int, rng: random.Random) -> int:
+        dst = rng.choice(pool)
+        while dst == src and len(pool) > 1:
+            dst = rng.choice(pool)
+        return dst
+
+    return choose
+
+
+def hotspot_destinations(
+    nodes: Sequence[int], hotspots: Sequence[int], hot_fraction: float = 0.5
+) -> DestinationChooser:
+    """A ``hot_fraction`` of traffic converges on the hotspot nodes."""
+    if not 0 <= hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    uniform = uniform_destinations(nodes)
+    hot_pool = list(hotspots)
+
+    def choose(src: int, rng: random.Random) -> int:
+        if rng.random() < hot_fraction:
+            return rng.choice(hot_pool)
+        return uniform(src, rng)
+
+    return choose
+
+
+def transpose_destinations(nodes: Sequence[int]) -> DestinationChooser:
+    """Node i talks to node (n-1-i): a worst-case permutation."""
+    ordered = list(nodes)
+    index = {n: i for i, n in enumerate(ordered)}
+
+    def choose(src: int, rng: random.Random) -> int:
+        return ordered[len(ordered) - 1 - index[src]]
+
+    return choose
+
+
+def neighbor_destinations(nodes: Sequence[int], distance: int = 1) -> DestinationChooser:
+    """Node i talks to node i+distance (ring-local traffic)."""
+    ordered = list(nodes)
+    index = {n: i for i, n in enumerate(ordered)}
+
+    def choose(src: int, rng: random.Random) -> int:
+        return ordered[(index[src] + distance) % len(ordered)]
+
+    return choose
+
+
+class TrafficPattern:
+    """Open-loop Bernoulli traffic from each source node.
+
+    ``rate`` is the per-source injection probability per cycle;
+    ``read_fraction`` picks between header-only REQUEST messages (reads'
+    request leg) and full DATA messages (writes) so R:W mixes stress the
+    fabric the way Table 7 describes.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[int],
+        chooser: DestinationChooser,
+        rate: float,
+        read_fraction: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be a per-cycle probability")
+        if not 0 <= read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.sources = list(sources)
+        self.chooser = chooser
+        self.rate = rate
+        self.read_fraction = read_fraction
+        self._rng = random.Random(seed)
+        self.generated = 0
+
+    def __call__(self, cycle: int) -> Optional[List[Message]]:
+        batch: List[Message] = []
+        rng = self._rng
+        for src in self.sources:
+            if rng.random() >= self.rate:
+                continue
+            kind = (MessageKind.REQUEST if rng.random() < self.read_fraction
+                    else MessageKind.DATA)
+            batch.append(Message(src=src, dst=self.chooser(src, rng), kind=kind))
+            self.generated += 1
+        return batch or None

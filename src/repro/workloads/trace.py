@@ -1,0 +1,166 @@
+"""Traffic trace record and replay.
+
+Section 5.2: "We use AI-processor's instruction trace record as NoC's
+input and insert several probes."  The recorder captures every message a
+fabric accepts as ``(cycle, src, dst, kind, data_bytes)``; the replayer
+offers the same stream to any other fabric — so a workload captured once
+(from the AI system, a coherence run, or synthetic traffic) can drive
+head-to-head fabric comparisons or regression runs, and traces can be
+saved to and loaded from simple JSON-lines files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, List, Optional
+
+from repro.fabric.interface import Fabric
+from repro.fabric.message import Message, MessageKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One accepted message, normalized to creation-cycle order."""
+
+    cycle: int
+    src: int
+    dst: int
+    kind: str
+    data_bytes: Optional[int] = None
+
+    def to_message(self) -> Message:
+        return Message(src=self.src, dst=self.dst,
+                       kind=MessageKind(self.kind),
+                       created_cycle=self.cycle,
+                       data_bytes=self.data_bytes)
+
+
+class TraceRecorder(Fabric):
+    """Transparent fabric wrapper that records accepted injections.
+
+    Wraps any :class:`Fabric`; behaves identically (same acceptances,
+    same deliveries, same stats object) while appending a
+    :class:`TraceRecord` for every accepted message.
+    """
+
+    def __init__(self, inner: Fabric):
+        # Deliberately not calling super().__init__(): this is a proxy —
+        # stats and handlers belong to the wrapped fabric.
+        self._inner = inner
+        self.records: List[TraceRecord] = []
+        self._cycle = 0
+
+    # -- proxied Fabric interface ------------------------------------------
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def attach(self, node: int, handler) -> None:
+        self._inner.attach(node, handler)
+
+    def nodes(self) -> List[int]:
+        return self._inner.nodes()
+
+    def idle(self) -> bool:
+        return self._inner.idle()
+
+    def try_inject(self, msg: Message) -> bool:
+        accepted = self._inner.try_inject(msg)
+        if accepted:
+            self.records.append(TraceRecord(
+                cycle=msg.created_cycle, src=msg.src, dst=msg.dst,
+                kind=msg.kind.value, data_bytes=msg.data_bytes,
+            ))
+        return accepted
+
+    def step(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._inner.step(cycle)
+
+    # -- persistence ----------------------------------------------------------
+
+    def dump(self, fh: IO[str]) -> int:
+        """Write the trace as JSON lines; returns record count."""
+        return dump_trace(self.records, fh)
+
+
+def dump_trace(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    count = 0
+    for record in records:
+        fh.write(json.dumps({
+            "cycle": record.cycle, "src": record.src, "dst": record.dst,
+            "kind": record.kind, "data_bytes": record.data_bytes,
+        }) + "\n")
+        count += 1
+    return count
+
+
+def load_trace(fh: IO[str]) -> List[TraceRecord]:
+    records = []
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        records.append(TraceRecord(
+            cycle=int(raw["cycle"]), src=int(raw["src"]), dst=int(raw["dst"]),
+            kind=str(raw["kind"]), data_bytes=raw.get("data_bytes"),
+        ))
+    return records
+
+
+class TraceReplayer:
+    """Offers a recorded trace to a fabric at the recorded cycles.
+
+    Messages whose cycle has come are offered in order; refusals retry
+    on subsequent cycles (closed-loop replay preserves the stream, it
+    does not drop).  Node ids must exist on the target fabric — use
+    ``node_map`` to translate between topologies.
+    """
+
+    def __init__(self, records: List[TraceRecord], fabric: Fabric,
+                 node_map: Optional[dict] = None):
+        self.fabric = fabric
+        remap = node_map or {}
+        self._pending = [
+            TraceRecord(r.cycle, remap.get(r.src, r.src),
+                        remap.get(r.dst, r.dst), r.kind, r.data_bytes)
+            for r in sorted(records, key=lambda r: r.cycle)
+        ]
+        self._index = 0
+        self.offered = 0
+        self.retried = 0
+        self._retry: List[Message] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._pending) and not self._retry
+
+    def step(self, cycle: int) -> None:
+        """Offer due messages, retry earlier refusals, step the fabric."""
+        while self._retry:
+            if self.fabric.try_inject(self._retry[0]):
+                self._retry.pop(0)
+            else:
+                self.retried += 1
+                break
+        while (self._index < len(self._pending)
+               and self._pending[self._index].cycle <= cycle):
+            msg = self._pending[self._index].to_message()
+            msg.created_cycle = cycle
+            self._index += 1
+            self.offered += 1
+            if not self.fabric.try_inject(msg):
+                self._retry.append(msg)
+        self.fabric.step(cycle)
+
+    def run_to_completion(self, max_cycles: int = 200_000) -> int:
+        cycle = 0
+        while not (self.exhausted and self.fabric.stats.in_flight == 0):
+            if cycle >= max_cycles:
+                raise RuntimeError("trace replay did not complete")
+            self.step(cycle)
+            cycle += 1
+        return cycle

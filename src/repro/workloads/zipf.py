@@ -1,0 +1,52 @@
+"""Zipfian address streams.
+
+Section 3.1.1: server workloads "compute on big data and the data follow
+the Zipfian distribution", producing long-tailed, irregular request
+streams.  The generator is used by the server workload models and the
+latency-competition experiment's background noise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Iterator, List, Optional
+
+
+def _zipf_cdf(n: int, alpha: float) -> List[float]:
+    weights = [1.0 / (k ** alpha) for k in range(1, n + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+def zipf_addresses(
+    n_addresses: int,
+    alpha: float = 0.99,
+    seed: int = 0,
+    count: Optional[int] = None,
+    shuffle: bool = True,
+) -> Iterator[int]:
+    """Yield addresses in [0, n_addresses) with Zipf(alpha) popularity.
+
+    ``shuffle`` decorrelates popularity rank from address value so hot
+    lines spread across homes/channels (as any real allocator would).
+    """
+    if n_addresses < 1:
+        raise ValueError("need at least one address")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = random.Random(seed)
+    cdf = _zipf_cdf(n_addresses, alpha)
+    mapping = list(range(n_addresses))
+    if shuffle:
+        rng.shuffle(mapping)
+    produced = 0
+    while count is None or produced < count:
+        rank = bisect.bisect_left(cdf, rng.random())
+        yield mapping[min(rank, n_addresses - 1)]
+        produced += 1

@@ -1,0 +1,182 @@
+"""Unit tests for the protocol-agent layer: base class, home-node race
+paths, and memory-node service accounting."""
+
+import pytest
+
+from repro.baselines import IdealFabric
+from repro.coherence import CoherentSystem, HomeNode, MemoryNode, RequestNode
+from repro.coherence.agent import ProtocolAgent
+from repro.coherence.messages import ChiMessage, ChiOp, next_txn_id
+from repro.coherence.states import CacheState, DirState
+
+
+class Echo(ProtocolAgent):
+    """Returns every message to its sender after a fixed delay."""
+
+    def __init__(self, node_id, fabric, delay=3):
+        super().__init__(node_id, fabric, name=f"echo@{node_id}")
+        self.delay = delay
+        self.seen = []
+
+    def on_message(self, chi, src, cycle):
+        self.seen.append((chi.op, src, cycle))
+        self.after(self.delay, lambda c, m=chi, s=src: self.send(s, m))
+
+
+def test_agent_after_ordering_and_delay():
+    fabric = IdealFabric([0, 1], latency=1)
+    echo = Echo(1, fabric, delay=5)
+    fired = []
+    echo.after(3, lambda c: fired.append(("late", c)))
+    echo.after(1, lambda c: fired.append(("early", c)))
+    for cycle in range(6):
+        echo.step(cycle)
+    assert [tag for tag, _ in fired] == ["early", "late"]
+    assert fired[0][1] >= 1 and fired[1][1] >= 3
+
+
+def test_agent_send_delay_defers_enqueue():
+    fabric = IdealFabric([0, 1], latency=1)
+    echo = Echo(1, fabric)
+    received = []
+    fabric.attach(0, received.append)
+    chi = ChiMessage(op=ChiOp.COMP, addr=0, txn_id=1, requester=0)
+    echo.send(0, chi, delay=4)
+    for cycle in range(3):
+        echo.step(cycle)
+        fabric.step(cycle)
+    assert not received  # still inside the internal pipeline
+    for cycle in range(3, 8):
+        echo.step(cycle)
+        fabric.step(cycle)
+    assert len(received) == 1
+
+
+def test_agent_busy_reflects_work():
+    fabric = IdealFabric([0, 1], latency=1)
+    echo = Echo(1, fabric)
+    assert not echo.busy
+    echo.after(2, lambda c: None)
+    assert echo.busy
+    for cycle in range(4):
+        echo.step(cycle)
+    assert not echo.busy
+
+
+# -- home-node paths driven directly -------------------------------------------
+
+
+def make_sys():
+    fabric = IdealFabric(range(6), latency=2)
+    system = CoherentSystem(fabric, rn_ids=[0, 1], hn_ids=[2], sn_ids=[3],
+                            cache_sets=8, cache_ways=2)
+    return system
+
+
+def quiesce(system):
+    system.run_until_idle()
+
+
+def test_stale_writeback_is_acknowledged_and_ignored():
+    """A WriteBack arriving after ownership moved must not corrupt the
+    directory (the ownership-epoch hazard)."""
+    system = make_sys()
+    home = system.homes[0]
+    rn0, rn1 = system.requesters
+
+    done = []
+    rn0.store(0, lambda v, c: done.append(v))
+    quiesce(system)
+    rn1.store(0, lambda v, c: done.append(v))
+    quiesce(system)
+    entry = home.entry(0)
+    assert entry.state is DirState.UNIQUE and entry.owner == rn1.node_id
+
+    # Forge the stale WriteBack rn0 might have emitted late.
+    stale = ChiMessage(op=ChiOp.WRITEBACK, addr=0, txn_id=next_txn_id(),
+                       requester=rn0.node_id, value=done[0])
+    home.on_message(stale, src=rn0.node_id, cycle=100)
+    quiesce(system)
+    entry = home.entry(0)
+    assert entry.state is DirState.UNIQUE and entry.owner == rn1.node_id
+    assert not entry.llc_valid  # unique owner: LLC must stay invalid
+    system.check_coherence()
+
+
+def test_clean_unique_falls_back_when_not_sharer():
+    """CleanUnique from a requester the directory no longer lists turns
+    into a full ReadUnique (fresh data, no stale resurrect)."""
+    system = make_sys()
+    rn0, rn1 = system.requesters
+    got = []
+    rn0.store(4, lambda v, c: got.append(v))
+    quiesce(system)
+    # rn1 issues CleanUnique while it is not a sharer at all.
+    chi = ChiMessage(op=ChiOp.CLEAN_UNIQUE, addr=4, txn_id=next_txn_id(),
+                     requester=rn1.node_id)
+    # Register a fake MSHR so the response retires cleanly.
+    from repro.coherence.requester import Mshr
+    mshr = Mshr(kind="upgrade", addr=4, txn_id=chi.txn_id, issue_cycle=0)
+    mshr.callbacks.append(("store", lambda v, c: got.append(v)))
+    rn1._mshrs[chi.txn_id] = mshr
+    rn1._by_addr[4] = chi.txn_id
+    system.homes[0].on_message(chi, src=rn1.node_id, cycle=10)
+    quiesce(system)
+    line = rn1.cache.peek(4)
+    assert line is not None and line.state is CacheState.MODIFIED
+    assert got[-1] > got[0]  # the fallback produced a fresh version
+    system.check_coherence()
+
+
+def test_home_queues_requests_per_address():
+    system = make_sys()
+    home = system.homes[0]
+    rn0, rn1 = system.requesters
+    results = []
+    rn0.store(8, lambda v, c: results.append(("rn0", c)))
+    rn1.store(8, lambda v, c: results.append(("rn1", c)))
+    quiesce(system)
+    assert len(results) == 2
+    # Serialized: completions are ordered, and both landed.
+    assert results[0][1] < results[1][1]
+    system.check_coherence()
+
+
+def test_memory_node_bandwidth_accounting():
+    fabric = IdealFabric(range(4), latency=1)
+    sn = MemoryNode(0, fabric, service_latency=10, bytes_per_cycle=8.0)
+    assert sn.service_interval == 8.0
+    assert sn.utilization(100) == 0.0
+    for i in range(4):
+        sn.on_message(ChiMessage(op=ChiOp.READ_NO_SNP, addr=i, txn_id=i + 1,
+                                 requester=1), src=1, cycle=0)
+    assert sn.reads == 4
+    assert sn.utilization(32) == pytest.approx(1.0)
+
+
+def test_memory_node_validation():
+    fabric = IdealFabric(range(2), latency=1)
+    with pytest.raises(ValueError):
+        MemoryNode(0, fabric, service_latency=1, bytes_per_cycle=0)
+    with pytest.raises(ValueError):
+        MemoryNode(1, fabric, service_latency=1, bytes_per_cycle=8,
+                   write_cost_factor=0)
+
+
+def test_memory_write_cost_factor_scales_occupancy():
+    fabric = IdealFabric(range(4), latency=1)
+    sn = MemoryNode(0, fabric, service_latency=5, bytes_per_cycle=8.0,
+                    write_cost_factor=0.5)
+    sn.on_message(ChiMessage(op=ChiOp.WRITE_NO_SNP, addr=0, txn_id=1,
+                             requester=1, value=1, posted=True),
+                  src=1, cycle=0)
+    assert sn.busy_cycles == pytest.approx(4.0)  # 8 * 0.5
+    sn.on_message(ChiMessage(op=ChiOp.READ_NO_SNP, addr=0, txn_id=2,
+                             requester=1), src=1, cycle=0)
+    assert sn.busy_cycles == pytest.approx(12.0)
+
+
+def test_coherent_system_validation():
+    fabric = IdealFabric(range(4), latency=1)
+    with pytest.raises(ValueError):
+        CoherentSystem(fabric, rn_ids=[], hn_ids=[1], sn_ids=[2])

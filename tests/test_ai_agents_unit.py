@@ -1,0 +1,156 @@
+"""Unit tests for individual AI-processor agents over an ideal fabric."""
+
+import pytest
+
+from repro.ai.aicore import AiCore
+from repro.ai.dma import DmaEngine
+from repro.ai.hbm import HbmStack
+from repro.ai.l2slice import L2Slice
+from repro.ai.llc import LlcDirectory
+from repro.ai.messages import AiMessage, AiOp, next_ai_txn
+from repro.baselines import IdealFabric
+
+
+def pump(agents, fabric, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        for agent in agents:
+            agent.step(cycle)
+        fabric.step(cycle)
+    return start + cycles
+
+
+def test_l2_read_fwd_returns_burst():
+    fabric = IdealFabric(range(4), latency=1)
+    l2 = L2Slice(0, fabric, burst_bytes=256)
+    got = []
+    fabric.attach(1, got.append)
+    l2.on_message(AiMessage(op=AiOp.READ_FWD, addr=7, txn_id=1, requester=1),
+                  src=2, cycle=0)
+    pump([l2], fabric, 10)
+    assert len(got) == 1
+    payload = got[0].payload
+    assert payload.op is AiOp.READ_DATA
+    assert payload.data_bytes == 256
+    assert l2.reads_served == 1
+
+
+def test_l2_write_acks_and_notifies_llc():
+    fabric = IdealFabric(range(6), latency=1)
+    notifications = []
+    fabric.attach(5, lambda m: notifications.append(m.payload.op))
+    acks = []
+    fabric.attach(1, lambda m: acks.append(m.payload.op))
+    l2 = L2Slice(0, fabric, llc_map=lambda addr: 5)
+    l2.on_message(AiMessage(op=AiOp.WRITE_DATA, addr=3, txn_id=2,
+                            requester=1, data_bytes=256), src=1, cycle=0)
+    pump([l2], fabric, 10)
+    assert acks == [AiOp.WRITE_ACK]
+    assert notifications == [AiOp.WRITE_NOTIFY]
+
+
+def test_l2_bank_conflict_charges_extra_latency():
+    fabric = IdealFabric(range(8), latency=1)
+    l2 = L2Slice(0, fabric, access_latency=4, serves_per_cycle=1)
+    arrivals = []
+    fabric.attach(1, lambda m: arrivals.append(m.delivered_cycle))
+    for k in range(3):
+        l2.on_message(AiMessage(op=AiOp.READ_FWD, addr=k, txn_id=k + 1,
+                                requester=1), src=2, cycle=0)
+    pump([l2], fabric, 20)
+    assert len(arrivals) == 3
+    assert arrivals[0] < arrivals[-1]  # over-subscription spread them out
+
+
+def test_llc_hit_and_miss_paths():
+    fabric = IdealFabric(range(8), latency=1)
+    to_l2, to_hbm = [], []
+    fabric.attach(2, lambda m: to_l2.append(m.payload.op))
+    fabric.attach(3, lambda m: to_hbm.append(m.payload.op))
+    always_hit = LlcDirectory(0, fabric, l2_map=lambda a: 2,
+                              hbm_map=lambda a: 3, hit_rate=1.0)
+    always_hit.on_message(AiMessage(op=AiOp.READ_REQ, addr=1, txn_id=1,
+                                    requester=4), src=4, cycle=0)
+    pump([always_hit], fabric, 8)
+    assert to_l2 == [AiOp.READ_FWD] and to_hbm == []
+
+    always_miss = LlcDirectory(1, fabric, l2_map=lambda a: 2,
+                               hbm_map=lambda a: 3, hit_rate=0.0)
+    always_miss.on_message(AiMessage(op=AiOp.READ_REQ, addr=1, txn_id=2,
+                                     requester=4), src=4, cycle=10)
+    pump([always_miss], fabric, 8, start=10)
+    assert to_hbm == [AiOp.FILL_REQ]
+    assert always_miss.misses == 1
+
+
+def test_llc_rejects_garbage():
+    fabric = IdealFabric(range(4), latency=1)
+    llc = LlcDirectory(0, fabric, l2_map=lambda a: 1, hbm_map=lambda a: 2)
+    with pytest.raises(RuntimeError):
+        llc.on_message(AiMessage(op=AiOp.READ_DATA, addr=0, txn_id=1,
+                                 requester=1), src=1, cycle=0)
+
+
+def test_hbm_fill_targets_l2_slice():
+    fabric = IdealFabric(range(6), latency=1)
+    fills = []
+    fabric.attach(2, lambda m: fills.append(m.payload))
+    hbm = HbmStack(0, fabric, burst_bytes=256)
+    hbm.on_message(AiMessage(op=AiOp.FILL_REQ, addr=9, txn_id=1,
+                             requester=4, target=2), src=1, cycle=0)
+    pump([hbm], fabric, 80)
+    assert len(fills) == 1
+    assert fills[0].op is AiOp.FILL_DATA
+    assert fills[0].requester == 4   # preserved for the L2 forward
+
+
+def test_hbm_bandwidth_spaces_requests():
+    fabric = IdealFabric(range(6), latency=1)
+    arrivals = []
+    fabric.attach(2, lambda m: arrivals.append(m.delivered_cycle))
+    hbm = HbmStack(0, fabric, bytes_per_cycle=32.0, burst_bytes=256)
+    for k in range(4):
+        hbm.on_message(AiMessage(op=AiOp.FILL_REQ, addr=k, txn_id=k + 1,
+                                 requester=4, target=2), src=1, cycle=0)
+    pump([hbm], fabric, 120)
+    assert len(arrivals) == 4
+    # 256B at 32 B/cycle = 8 cycles apart at minimum.
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(g >= 7 for g in gaps)
+
+
+def test_dma_engine_round_trips():
+    fabric = IdealFabric(range(8), latency=2)
+    l2 = L2Slice(1, fabric, burst_bytes=256)
+    hbm = HbmStack(2, fabric, burst_bytes=256)
+    dma = DmaEngine(3, fabric, l2_nodes=[1], hbm_nodes=[2],
+                    issues_per_cycle=0.25, burst_bytes=256)
+    agents = [l2, hbm, dma]
+    pump(agents, fabric, 400)
+    assert dma.transfers_done > 10
+    assert dma.bytes_moved == dma.transfers_done * 256
+    # Outstanding window respected.
+    assert len(dma._outstanding) <= dma.max_outstanding
+
+
+def test_dma_engine_disabled():
+    fabric = IdealFabric(range(4), latency=1)
+    dma = DmaEngine(0, fabric, l2_nodes=[1], hbm_nodes=[2])
+    dma.enabled = False
+    pump([dma], fabric, 50)
+    assert dma.transfers_done == 0
+
+
+def test_aicore_respects_mlp_window():
+    fabric = IdealFabric(range(8), latency=2)
+    l2 = L2Slice(1, fabric, burst_bytes=256)
+    llc = LlcDirectory(2, fabric, l2_map=lambda a: 1, hbm_map=lambda a: 3)
+    core = AiCore(4, fabric, llc_map=lambda a: 2, l2_map=lambda a: 1,
+                  read_fraction=1.0, mlp=6, burst_bytes=256)
+    for cycle in range(120):
+        core.step(cycle)
+        llc.step(cycle)
+        l2.step(cycle)
+        fabric.step(cycle)
+        assert core.outstanding <= 6
+    assert core.stats.reads_done > 10
+    assert core.stats.read_bytes == core.stats.reads_done * 256

@@ -1,0 +1,138 @@
+"""Tests for the AI-Processor system model (Figure 8B)."""
+
+import pytest
+
+from repro.ai import AiProcessor, AiProcessorConfig
+from repro.ai.messages import AiMessage, AiOp
+from repro.fabric.message import MessageKind
+
+#: Small configuration for fast unit tests.
+TINY = dict(n_vrings=3, cores_per_vring=2, n_hrings=2, n_l2=4, n_llc=2,
+            n_hbm=2, n_dma=1, core_mlp=8)
+
+
+def test_ai_ops_transport_kinds():
+    assert AiOp.READ_REQ.message_kind is MessageKind.REQUEST
+    assert AiOp.READ_DATA.message_kind is MessageKind.DATA
+    assert AiOp.WRITE_DATA.message_kind is MessageKind.DATA
+    assert AiOp.WRITE_ACK.message_kind is MessageKind.RESPONSE
+    assert AiOp.DMA_ACK.message_kind is MessageKind.RESPONSE
+    assert AiOp.WRITE_NOTIFY.message_kind is MessageKind.REQUEST
+
+
+def test_burst_size_reflected_on_the_wire():
+    msg_kind = AiMessage(op=AiOp.READ_DATA, addr=0, txn_id=1, requester=0,
+                         data_bytes=256)
+    assert msg_kind.transport_kind is MessageKind.DATA
+
+
+def test_config_counts():
+    cfg = AiProcessorConfig()
+    assert cfg.n_cores == 32
+    assert cfg.memory_per_hring * cfg.n_hrings >= (
+        cfg.n_l2 + cfg.n_llc + cfg.n_hbm + cfg.n_dma
+    )
+
+
+def test_tiny_processor_moves_data():
+    proc = AiProcessor(AiProcessorConfig(read_fraction=0.5, **TINY))
+    proc.run(800)
+    assert sum(c.stats.reads_done for c in proc.cores) > 0
+    assert sum(c.stats.writes_done for c in proc.cores) > 0
+    assert sum(d.transfers_done for d in proc.dmas) > 0
+    rep = proc.bandwidth_report()
+    assert rep["total"] > 0
+    assert rep["total"] == pytest.approx(
+        rep["read"] + rep["write"] + rep["dma"])
+
+
+def test_read_only_and_write_only_classes():
+    read_only = AiProcessor(AiProcessorConfig(read_fraction=1.0, **TINY))
+    read_only.run(600)
+    assert sum(c.stats.writes_issued for c in read_only.cores) == 0
+    assert sum(c.stats.reads_done for c in read_only.cores) > 0
+
+    write_only = AiProcessor(AiProcessorConfig(read_fraction=0.0, **TINY))
+    write_only.run(600)
+    assert sum(c.stats.reads_issued for c in write_only.cores) == 0
+    assert sum(c.stats.writes_done for c in write_only.cores) > 0
+
+
+def test_llc_miss_path_reaches_hbm():
+    cfg = AiProcessorConfig(read_fraction=1.0, llc_hit_rate=0.0, **TINY)
+    proc = AiProcessor(cfg)
+    proc.run(800)
+    assert sum(h.reads for h in proc.hbms) > 0        # fills requested
+    assert sum(l.fills for l in proc.l2_slices) > 0   # fills landed
+    assert sum(c.stats.reads_done for c in proc.cores) > 0  # and forwarded
+
+
+def test_llc_hit_path_avoids_hbm():
+    cfg = AiProcessorConfig(read_fraction=1.0, llc_hit_rate=1.0,
+                            dma_issues_per_cycle=0.0, **TINY)
+    proc = AiProcessor(cfg)
+    proc.run(600)
+    assert sum(h.reads for h in proc.hbms) == 0
+    assert sum(c.stats.reads_done for c in proc.cores) > 0
+
+
+def test_write_notify_keeps_directory_current():
+    cfg = AiProcessorConfig(read_fraction=0.0, dma_issues_per_cycle=0.0, **TINY)
+    proc = AiProcessor(cfg)
+    proc.run(600)
+    absorbed = sum(l.writes_absorbed for l in proc.l2_slices)
+    tracked = sum(l.writes_tracked for l in proc.llcs)
+    assert absorbed > 0
+    # Every absorbed write eventually notifies; allow in-flight slack.
+    assert tracked >= absorbed * 0.8
+
+
+def test_dma_disabled_moves_nothing():
+    cfg = AiProcessorConfig(dma_issues_per_cycle=0.0, **TINY)
+    proc = AiProcessor(cfg)
+    proc.run(400)
+    assert sum(d.transfers_done for d in proc.dmas) == 0
+    assert proc.bandwidth_report()["dma"] == 0.0
+
+
+def test_mixed_beats_pure_total_bandwidth():
+    """Table 7's headline shape: mixed R/W outperforms either pure flow."""
+    def total(rf):
+        proc = AiProcessor(AiProcessorConfig(read_fraction=rf, **TINY))
+        proc.run(1200)
+        return proc.bandwidth_report()["total"]
+
+    mixed = total(0.5)
+    read_only = total(1.0)
+    write_only = total(0.0)
+    # The tiny unit-test config is noisier than the full benchmark
+    # configuration; assert the mixed class is at least competitive here
+    # (the Table 7 benchmark asserts the full-scale shape).
+    assert mixed > 0.95 * read_only, (mixed, read_only)
+    assert mixed > 0.85 * write_only, (mixed, write_only)
+
+
+def test_equilibrium_across_cores():
+    """Figure 14: all probes near the per-window max most of the time."""
+    proc = AiProcessor(AiProcessorConfig(read_fraction=0.5, **TINY),
+                       probe_window=200)
+    proc.run(2000)
+    proc.core_probes.finalize()
+    frac = proc.core_probes.equilibrium_fraction(threshold=0.5)
+    assert frac > 0.7, f"bandwidth severely unbalanced: {frac}"
+
+
+def test_grid_route_property_in_real_config():
+    proc = AiProcessor(AiProcessorConfig(**TINY))
+    router = proc.fabric.router
+    for core in proc.cores[:4]:
+        for l2 in proc.l2_slices[:3]:
+            assert len(router.route(core.node_id, l2.node_id)) <= 2
+
+
+def test_half_ring_variant_builds_and_runs():
+    cfg = AiProcessorConfig(vring_bidirectional=False,
+                            hring_bidirectional=False, **TINY)
+    proc = AiProcessor(cfg)
+    proc.run(600)
+    assert proc.bandwidth_report()["total"] > 0

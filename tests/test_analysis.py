@@ -1,0 +1,62 @@
+"""Tests for metrics and report rendering."""
+
+import pytest
+
+from repro.analysis import ComparisonTable, find_knee, format_table, summarize_latencies
+from repro.analysis.metrics import saturation_throughput
+
+
+def test_summarize_latencies():
+    summary = summarize_latencies(list(range(1, 101)))
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p50 == 51  # nearest-rank on 1..100
+    assert summary.p99 == 99
+    assert summary.maximum == 100
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize_latencies([])
+
+
+def test_find_knee_detects_turning_point():
+    xs = [0.1, 0.2, 0.3, 0.4, 0.5]
+    ys = [50, 52, 55, 90, 300]
+    assert find_knee(xs, ys, threshold=1.5) == 0.4
+
+
+def test_find_knee_flat_curve_returns_none():
+    assert find_knee([1, 2, 3], [50, 51, 52]) is None
+
+
+def test_find_knee_validation():
+    with pytest.raises(ValueError):
+        find_knee([1, 2], [1])
+    with pytest.raises(ValueError):
+        find_knee([1, 2], [1, 2], threshold=1.0)
+
+
+def test_saturation_throughput():
+    offered = [0.1, 0.2, 0.3, 0.4]
+    accepted = [0.1, 0.2, 0.25, 0.26]
+    assert saturation_throughput(offered, accepted) == 0.2
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+
+
+def test_comparison_table_render_and_lookup():
+    table = ComparisonTable("Table X", unit="cycles")
+    table.add("intra", 44, 48.0)
+    table.add("no-paper-value", None, 10.0)
+    text = table.render()
+    assert "Table X" in text
+    assert "1.09x" in text
+    assert table.measured("intra") == 48.0
+    with pytest.raises(KeyError):
+        table.measured("missing")

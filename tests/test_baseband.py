@@ -1,0 +1,65 @@
+"""Tests for the baseband-station scenario (the third deployment)."""
+
+import pytest
+
+from repro.comm import BasebandConfig, BasebandStation
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BasebandConfig(n_dsp=0)
+    with pytest.raises(ValueError):
+        BasebandConfig(frame_interval=0)
+
+
+def test_all_frames_complete_at_nominal_load():
+    station = BasebandStation(BasebandConfig(n_frames=10))
+    station.run_all_frames()
+    assert len(station.sink.completed_frames) == 10
+    assert station.fabric.stats.in_flight == 0
+    # Every chunk was processed exactly once.
+    assert sum(d.chunks_processed for d in station.dsps) == 10 * 16
+
+
+def test_deadlines_met_at_nominal_load():
+    """16 chunks over 8 DSPs at 60 cycles each: 2 serial chunks + NoC
+    transit fits comfortably inside a 400-cycle frame."""
+    station = BasebandStation(BasebandConfig(n_frames=12))
+    station.run_all_frames()
+    assert station.deadline_hit_rate() == 1.0
+    # Steady-state jitter stays a small fraction of the frame time.
+    assert station.latency_jitter() < station.config.frame_interval / 2
+
+
+def test_overload_degrades_gracefully():
+    """Halving the frame interval below the DSP service time misses
+    deadlines but still completes every frame (no loss, no wedge)."""
+    overloaded = BasebandConfig(n_frames=10, frame_interval=100,
+                                chunks_per_frame=16, dsp_cycles=60)
+    station = BasebandStation(overloaded)
+    station.run_all_frames(slack_cycles=20_000)
+    assert len(station.sink.completed_frames) == 10      # nothing lost
+    assert station.deadline_hit_rate() < 0.5             # but late
+
+
+def test_more_dsps_reduce_frame_latency():
+    def mean_latency(n_dsp):
+        station = BasebandStation(BasebandConfig(n_dsp=n_dsp, n_frames=8))
+        station.run_all_frames()
+        frames = station.sink.completed_frames
+        return sum(f.latency for f in frames) / len(frames)
+
+    assert mean_latency(8) < mean_latency(2)
+
+
+def test_reuses_the_same_noc_mechanisms():
+    """The scenario rides the standard fabric: RBRG-L2 between the dies,
+    full + half ring, normal stats."""
+    station = BasebandStation(BasebandConfig(n_frames=4))
+    topo = station.fabric.topology
+    by_id = {r.ring_id: r for r in topo.rings}
+    assert by_id[0].bidirectional and not by_id[100].bidirectional
+    assert topo.bridges[0].level == 2
+    station.run_all_frames()
+    stats = station.fabric.stats
+    assert stats.delivered == stats.accepted > 0

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "HPCA 2022" in out
+
+
+def test_ring_command(capsys):
+    assert main(["ring", "--nodes", "8", "--messages", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered 50/50" in out
+
+
+def test_half_ring_command(capsys):
+    assert main(["ring", "--nodes", "6", "--messages", "30", "--half"]) == 0
+    assert "half ring" in capsys.readouterr().out
+
+
+def test_deadlock_command_swap_on(capsys):
+    assert main(["deadlock", "--cycles", "800"]) == 0
+    out = capsys.readouterr().out
+    assert "SWAP on" in out
+
+
+def test_deadlock_command_swap_off_wedges(capsys):
+    assert main(["deadlock", "--cycles", "800", "--no-swap"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered 0" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["--version"])
+    assert exc.value.code == 0
+
+
+def test_topology_command(capsys, tmp_path):
+    out_file = tmp_path / "topo.json"
+    assert main(["topology", "server", "--save", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "rings" in out and "RBRG-L2" in out
+    # The saved file loads back into a valid topology.
+    from repro.core.serialize import load_topology
+    with open(out_file) as fh:
+        spec = load_topology(fh)
+    assert len(spec.rings) == 4

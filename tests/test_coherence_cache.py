@@ -1,0 +1,89 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.coherence.cache import SetAssociativeCache
+from repro.coherence.states import CacheState
+
+
+def test_capacity_and_enabled():
+    assert SetAssociativeCache(4, 2).capacity == 8
+    assert not SetAssociativeCache(0, 0).enabled
+    with pytest.raises(ValueError):
+        SetAssociativeCache(-1, 2)
+
+
+def test_fill_and_lookup():
+    cache = SetAssociativeCache(4, 2)
+    cache.fill(5, CacheState.SHARED, 42)
+    line = cache.lookup(5)
+    assert line.value == 42
+    assert line.state is CacheState.SHARED
+    assert cache.hits == 1
+    assert cache.lookup(9) is None
+    assert cache.misses == 1
+
+
+def test_peek_has_no_side_effects():
+    cache = SetAssociativeCache(4, 2)
+    cache.fill(5, CacheState.SHARED, 1)
+    cache.peek(5)
+    cache.peek(99)
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_disabled_cache_fill_returns_none():
+    cache = SetAssociativeCache(0, 0)
+    assert cache.fill(1, CacheState.SHARED, 1) is None
+    assert cache.lookup(1) is None
+
+
+def test_lru_eviction_within_set():
+    cache = SetAssociativeCache(1, 2)
+    cache.fill(0, CacheState.SHARED, 0)
+    cache.fill(1, CacheState.SHARED, 1)
+    cache.lookup(0)  # refresh 0: 1 becomes LRU
+    evicted = []
+    cache.fill(2, CacheState.SHARED, 2, on_evict=lambda ln: evicted.append(ln.addr))
+    assert evicted == [1]
+    assert cache.peek(0) is not None
+    assert cache.peek(1) is None
+
+
+def test_fill_existing_updates_in_place():
+    cache = SetAssociativeCache(1, 1)
+    cache.fill(0, CacheState.SHARED, 1)
+    cache.fill(0, CacheState.MODIFIED, 2)
+    assert cache.evictions == 0
+    line = cache.peek(0)
+    assert line.state is CacheState.MODIFIED and line.value == 2
+
+
+def test_evictable_filter_causes_overflow():
+    """Unevictable lines force set overflow (the fill-buffer model)."""
+    cache = SetAssociativeCache(1, 2)
+    cache.fill(0, CacheState.MODIFIED, 0)
+    cache.fill(1, CacheState.MODIFIED, 1)
+    cache.fill(2, CacheState.SHARED, 2, evictable=lambda ln: False)
+    assert cache.occupancy == 3  # overflow, nothing evicted
+    assert cache.evictions == 0
+    # With an evictable victim present, normal eviction resumes.
+    cache.fill(3, CacheState.SHARED, 3, evictable=lambda ln: ln.addr == 0)
+    assert cache.peek(0) is None
+    assert cache.evictions == 1
+
+
+def test_invalidate_returns_line():
+    cache = SetAssociativeCache(2, 2)
+    cache.fill(7, CacheState.EXCLUSIVE, 3)
+    line = cache.invalidate(7)
+    assert line.value == 3
+    assert cache.peek(7) is None
+    assert cache.invalidate(7) is None
+
+
+def test_lines_enumerates_all_sets():
+    cache = SetAssociativeCache(4, 2)
+    for addr in range(8):
+        cache.fill(addr, CacheState.SHARED, addr)
+    assert sorted(ln.addr for ln in cache.lines()) == list(range(8))

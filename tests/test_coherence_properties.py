@@ -1,0 +1,131 @@
+"""Property-based tests for coherence invariants (DESIGN §6).
+
+Random operation soups over random fabrics must always quiesce, pass the
+structural coherence check, and satisfy per-location linearizability: a
+read never returns a value older than one returned by any operation that
+completed before the read was issued.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BufferedMeshFabric, IdealFabric
+from repro.baselines.mesh import square_mesh_placement
+from repro.core import MultiRingFabric, chiplet_pair
+from repro.coherence import CoherentSystem
+
+
+def run_soup(sys, seed, n_ops=400, n_addrs=24, store_frac=0.4, max_cycles=120_000):
+    """Drive random loads/stores; return per-address operation history."""
+    rng = random.Random(seed)
+    history = {}
+
+    def mk_cb(addr, issue):
+        def cb(value, cycle):
+            history.setdefault(addr, []).append((issue, cycle, value))
+        return cb
+
+    issued = 0
+    cycle = 0
+    while True:
+        if issued < n_ops:
+            rn = rng.choice(sys.requesters)
+            addr = rng.randrange(n_addrs)
+            op = rn.store if rng.random() < store_frac else rn.load
+            if op(addr, mk_cb(addr, cycle)):
+                issued += 1
+        sys.step(cycle)
+        cycle += 1
+        if issued >= n_ops and sys.idle:
+            break
+        assert cycle < max_cycles, "system failed to quiesce"
+    return history
+
+
+def assert_linearizable(history):
+    for addr, ops in history.items():
+        for issue1, _, value1 in ops:
+            for _, complete2, value2 in ops:
+                assert not (complete2 < issue1 and value2 > value1), (
+                    f"addr {addr}: read issued at {issue1} returned {value1}, "
+                    f"older than {value2} completed at {complete2}"
+                )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_soup_on_ideal_fabric(seed):
+    fab = IdealFabric(range(8), latency=2)
+    sys = CoherentSystem(fab, rn_ids=list(range(4)), hn_ids=[4, 5],
+                         sn_ids=[6, 7], cache_sets=8, cache_ways=2)
+    history = run_soup(sys, seed)
+    sys.check_coherence()
+    assert_linearizable(history)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=6, deadline=None)
+def test_soup_on_multiring(seed):
+    topo, r0, r1 = chiplet_pair(nodes_per_ring=4, stop_spacing=2)
+    fab = MultiRingFabric(topo)
+    sys = CoherentSystem(fab, rn_ids=r0, hn_ids=r1[:2], sn_ids=r1[2:],
+                         cache_sets=8, cache_ways=2)
+    history = run_soup(sys, seed)
+    sys.check_coherence()
+    assert_linearizable(history)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_soup_on_buffered_mesh(seed):
+    fab = BufferedMeshFabric(square_mesh_placement(8))
+    sys = CoherentSystem(fab, rn_ids=[0, 1, 2, 3], hn_ids=[4, 5],
+                         sn_ids=[6, 7], cache_sets=8, cache_ways=2)
+    history = run_soup(sys, seed)
+    sys.check_coherence()
+    assert_linearizable(history)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    ways=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=6, deadline=None)
+def test_soup_with_tiny_caches_heavy_eviction(seed, ways):
+    """Tiny caches maximize evictions/writebacks — the hazard hot path."""
+    fab = IdealFabric(range(8), latency=2)
+    sys = CoherentSystem(fab, rn_ids=list(range(4)), hn_ids=[4, 5],
+                         sn_ids=[6, 7], cache_sets=2, cache_ways=ways)
+    history = run_soup(sys, seed, n_ops=300, n_addrs=32, store_frac=0.5)
+    sys.check_coherence()
+    assert_linearizable(history)
+    for rn in sys.requesters:
+        assert not rn.wb_buffer, "leaked writeback buffer entry"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_single_writer_multiple_reader_during_run(seed):
+    """Sampled mid-run: never two unique owners for one line."""
+    fab = IdealFabric(range(8), latency=2)
+    sys = CoherentSystem(fab, rn_ids=list(range(4)), hn_ids=[4, 5],
+                         sn_ids=[6, 7], cache_sets=8, cache_ways=2)
+    rng = random.Random(seed)
+    cycle = 0
+    for step in range(3000):
+        rn = rng.choice(sys.requesters)
+        addr = rng.randrange(16)
+        (rn.store if rng.random() < 0.5 else rn.load)(addr, lambda v, c: None)
+        sys.step(cycle)
+        cycle += 1
+        if step % 50 == 0:
+            owners = {}
+            for r in sys.requesters:
+                for line in r.cache.lines():
+                    if line.state.is_unique:
+                        owners.setdefault(line.addr, []).append(r.name)
+            for addr2, names in owners.items():
+                assert len(names) == 1, (addr2, names)
+    sys.run_until_idle()
+    sys.check_coherence()

@@ -1,0 +1,173 @@
+"""Tests for the Server-CPU package model and core traffic drivers."""
+
+import pytest
+
+from repro.cpu import ServerPackage, ServerPackageConfig, closed_loop, open_loop
+from repro.cpu.core import (
+    load_store_mix,
+    read_write_mix,
+    sequential_stream,
+    uniform_stream,
+)
+
+SMALL = ServerPackageConfig(clusters_per_ccd=4, hn_per_ccd=2, ddr_per_ccd=2)
+
+
+def test_config_core_counts():
+    cfg = ServerPackageConfig()
+    assert cfg.total_cores == 96          # "nearly one hundred cores"
+    assert cfg.total_clusters == 24
+
+
+def test_unknown_fabric_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fabric kind"):
+        ServerPackage(SMALL, fabric_kind="hypercube")
+
+
+def test_multiring_package_topology_shape():
+    pkg = ServerPackage(SMALL, fabric_kind="multiring")
+    topo = pkg.fabric.topology
+    ring_ids = {r.ring_id for r in topo.rings}
+    assert ring_ids == {0, 1, 100, 101}
+    # CCD rings are full, IOD rings are half (Section 4.2).
+    by_id = {r.ring_id: r for r in topo.rings}
+    assert by_id[0].bidirectional and by_id[1].bidirectional
+    assert not by_id[100].bidirectional and not by_id[101].bidirectional
+    # All die-to-die bridges are RBRG-L2.
+    assert all(b.level == 2 for b in topo.bridges)
+    # ccd_bridges x CCD-CCD, CCD0-IOD0, CCD1-IOD1, IOD-IOD.
+    assert len(topo.bridges) == pkg.config.ccd_bridges + 3
+
+
+def test_sequential_store_then_remote_load_returns_values():
+    pkg = ServerPackage(SMALL, fabric_kind="multiring")
+    writer = pkg.attach_core(0, 0, sequential_stream("store", 0, 32),
+                             closed_loop(mlp=4))
+    pkg.run_until_cores_done()
+    values = []
+    reader_rn = pkg.rn_of_cluster(1, 0)
+    got = []
+    reader = pkg.attach_core(1, 0, sequential_stream("load", 0, 32),
+                             closed_loop(mlp=1))
+    pkg.run_until_cores_done()
+    assert reader.stats.completed == 32
+    assert writer.stats.completed == 32
+    pkg.system.check_coherence()
+
+
+def test_intra_beats_inter_chiplet_latency():
+    """Table 5's structure: intra-chiplet access is faster than inter."""
+    def measure(reader_ccd):
+        pkg = ServerPackage(SMALL, fabric_kind="multiring")
+        # Restrict to addresses homed on CCD0 so both runs share home placement.
+        addrs = [a for a in range(200)
+                 if pkg.system.home_map(a) in pkg.placement.hns[0]][:24]
+        writer = pkg.attach_core(0, 0, iter([("store", a) for a in addrs]),
+                                 closed_loop(mlp=2))
+        pkg.run_until_cores_done()
+        reader = pkg.attach_core(reader_ccd, 1,
+                                 iter([("load", a) for a in addrs]),
+                                 closed_loop(mlp=1))
+        pkg.run_until_cores_done()
+        return reader.stats.mean_latency()
+
+    intra = measure(0)
+    inter = measure(1)
+    assert inter > intra, (intra, inter)
+
+
+def test_open_loop_core_drops_when_rn_saturated():
+    pkg = ServerPackage(SMALL, fabric_kind="multiring")
+    core = pkg.attach_core(
+        0, 0, uniform_stream(read_write_mix(1.0), 4096, seed=1),
+        open_loop(rate=1.0),
+    )
+    pkg.run(2000)
+    assert core.stats.issued > 0
+    assert core.stats.dropped > 0  # rate 1.0 must exceed MSHR capacity
+
+
+def test_closed_loop_respects_mlp():
+    pkg = ServerPackage(SMALL, fabric_kind="multiring")
+    core = pkg.attach_core(
+        0, 0, uniform_stream(read_write_mix(1.0), 4096, seed=2, count=50),
+        closed_loop(mlp=3),
+    )
+    max_outstanding = 0
+    for _ in range(5000):
+        pkg.step(pkg._cycle)
+        max_outstanding = max(max_outstanding, core._outstanding)
+        if core.done and core.idle:
+            break
+    assert core.stats.completed == 50
+    assert max_outstanding <= 3
+
+
+def test_think_time_spaces_issues():
+    pkg = ServerPackage(SMALL, fabric_kind="ideal")
+    core = pkg.attach_core(
+        0, 0, sequential_stream("read", 0, 5), closed_loop(mlp=1, think=100),
+    )
+    pkg.run_until_cores_done()
+    assert core.stats.completed == 5
+    # 5 ops each separated by >=100 think cycles.
+    assert pkg._cycle >= 400
+
+
+def test_scaled_down_package_builds():
+    """The Figure 12(C)/(D) scale-down configurations build and run."""
+    cfg = ServerPackageConfig(clusters_per_ccd=3, hn_per_ccd=1, ddr_per_ccd=1)
+    pkg = ServerPackage(cfg, fabric_kind="multiring")
+    core = pkg.attach_core(0, 0, sequential_stream("load", 0, 8))
+    pkg.run_until_cores_done()
+    assert core.stats.completed == 8
+
+
+@pytest.mark.parametrize("kind", ["mesh", "single_ring", "switched_star", "ideal"])
+def test_same_workload_runs_on_baselines(kind):
+    pkg = ServerPackage(SMALL, fabric_kind=kind)
+    writer = pkg.attach_core(0, 0, sequential_stream("store", 0, 16),
+                             closed_loop(mlp=2))
+    pkg.run_until_cores_done()
+    reader = pkg.attach_core(1, 0, sequential_stream("load", 0, 16))
+    pkg.run_until_cores_done()
+    assert reader.stats.completed == 16
+    pkg.system.check_coherence()
+
+
+def test_switched_star_slower_than_multiring():
+    """The AMD-organization baseline pays the central switch on every
+    transaction (Table 5's ~138-cycle row)."""
+    def latency(kind):
+        pkg = ServerPackage(SMALL, fabric_kind=kind)
+        core = pkg.attach_core(0, 0, sequential_stream("read", 0, 32))
+        pkg.run_until_cores_done()
+        return core.stats.mean_latency()
+
+    assert latency("switched_star") > latency("multiring")
+
+
+def test_l12_filter_blocks_most_noc_traffic():
+    """Section 3.2.1: private L1/L2 block most requests; only L3 events
+    become NoC transactions."""
+    from repro.cpu.core import uniform_stream, load_store_mix
+
+    pkg = ServerPackage(SMALL, fabric_kind="multiring")
+    core = pkg.attach_core(
+        0, 0, uniform_stream(load_store_mix(0.7), 4096, seed=3, count=200),
+        closed_loop(mlp=2), l12_hit_rate=0.9,
+    )
+    pkg.run_until_cores_done()
+    assert core.stats.completed == 200
+    assert core.l12_hits > 120           # ~90% filtered
+    rn = pkg.rn_of_cluster(0, 0)
+    noc_requests = rn.hits + rn.misses
+    assert noc_requests < 80             # only the L3 events reached the RN
+    pkg.system.check_coherence()
+
+
+def test_l12_hit_rate_validation():
+    pkg = ServerPackage(SMALL, fabric_kind="ideal")
+    with pytest.raises(ValueError):
+        pkg.attach_core(0, 0, sequential_stream("load", 0, 4),
+                        l12_hit_rate=1.5)

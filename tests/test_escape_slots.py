@@ -1,0 +1,121 @@
+"""Tests for the escape-slot deadlock-avoidance alternative (§4.4).
+
+The paper rejects escape-VC-style slot reservation because it taxes
+normal-traffic latency; these tests show both halves of that trade:
+escape slots alone (SWAP off) resolve the Figure 9 interlock, and they
+cost throughput/latency under ordinary load.
+"""
+
+import random
+
+from repro.core import MultiRingFabric, chiplet_pair, single_ring_topology
+from repro.core.config import MultiRingConfig
+from repro.core.ring import Lane
+from repro.fabric import Message, MessageKind
+from repro.params import QueueParams
+from repro.testing import drive, uniform_messages, inject_all, run_to_drain
+
+TIGHT = QueueParams(
+    inject_queue_depth=2, eject_queue_depth=2, bridge_rx_depth=2,
+    bridge_tx_depth=2, bridge_reserved_tx=2, swap_detect_threshold=32,
+)
+
+
+def test_lane_escape_marking():
+    lane = Lane(12, 1, escape_period=4)
+    assert [i for i in range(12) if lane.is_escape(i)] == [0, 4, 8]
+    assert not any(Lane(12, 1).is_escape(i) for i in range(12))
+
+
+def test_node_ports_never_use_escape_slots():
+    topo, nodes = single_ring_topology(4, stop_spacing=1)
+    fab = MultiRingFabric(topo, MultiRingConfig(escape_slot_period=2))
+    msgs = uniform_messages(nodes, nodes, 60, seed=1)
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    assert fab.stats.delivered == 60
+    # Nothing should ever have ridden an escape slot on a bridge-less ring.
+    for ring in fab.rings.values():
+        for lane in ring.lanes:
+            for idx, flit in enumerate(lane.flits):
+                assert not (lane.is_escape(idx) and flit is not None)
+
+
+def hammer(fab, ring0, ring1, cycles, start=0, seed=0):
+    """Saturate with cross-ring traffic; cycle numbering must continue
+    across calls (slot rotation is a function of the absolute cycle)."""
+    rng = random.Random(seed)
+    for cycle in range(start, start + cycles):
+        for src in ring0:
+            fab.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                   kind=MessageKind.DATA, created_cycle=cycle))
+        for src in ring1:
+            fab.try_inject(Message(src=src, dst=rng.choice(ring0),
+                                   kind=MessageKind.DATA, created_cycle=cycle))
+        fab.step(cycle)
+    return start + cycles
+
+
+def test_escape_slots_resolve_cross_ring_deadlock_without_swap():
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    config = MultiRingConfig(queues=TIGHT, enable_swap=False,
+                             escape_slot_period=4, eject_drain_per_cycle=1)
+    fab = MultiRingFabric(topo, config)
+    cycle = hammer(fab, ring0, ring1, 3000)
+    mid = fab.stats.delivered
+    cycle = hammer(fab, ring0, ring1, 3000, start=cycle)
+    assert fab.stats.delivered > mid + 100, "escape slots failed to drain"
+    assert fab.stats.swap_events == 0
+    # And the saturated system fully drains once traffic stops.
+    for c in range(cycle, cycle + 20_000):
+        if fab.stats.in_flight == 0:
+            break
+        fab.step(c)
+    assert fab.stats.in_flight == 0
+
+
+def test_escape_slots_cost_normal_throughput():
+    """The paper's reason to prefer SWAP: reserved slots tax normal load."""
+
+    def saturated_throughput(escape_period):
+        topo, nodes = single_ring_topology(8, stop_spacing=1)
+        fab = MultiRingFabric(topo, MultiRingConfig(
+            escape_slot_period=escape_period))
+        rng = random.Random(5)
+
+        def gen(cycle):
+            out = []
+            for src in nodes:
+                dst = rng.choice([n for n in nodes if n != src])
+                out.append(Message(src=src, dst=dst, kind=MessageKind.DATA))
+            return out
+
+        drive(fab, 2000, gen)
+        return fab.stats.delivered
+
+    plain = saturated_throughput(0)
+    taxed = saturated_throughput(2)  # half the slots reserved
+    assert taxed < 0.8 * plain, (plain, taxed)
+
+
+def test_swap_preferred_latency_under_normal_load():
+    """Same moderate cross-ring load: the SWAP design (no reservation)
+    delivers lower latency than the escape-slot design."""
+
+    def mean_latency(config):
+        topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+        fab = MultiRingFabric(topo, config)
+        rng = random.Random(9)
+        for cycle in range(6000):
+            if cycle % 2 == 0:
+                src = rng.choice(ring0)
+                fab.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                       kind=MessageKind.DATA,
+                                       created_cycle=cycle))
+            fab.step(cycle)
+        return fab.stats.mean_total_latency()
+
+    swap_lat = mean_latency(MultiRingConfig(queues=TIGHT, enable_swap=True))
+    escape_lat = mean_latency(MultiRingConfig(
+        queues=TIGHT, enable_swap=False, escape_slot_period=2))
+    assert swap_lat <= escape_lat * 1.05, (swap_lat, escape_lat)

@@ -1,0 +1,133 @@
+"""Unit tests for messages, stats, and the fabric plumbing helpers."""
+
+from repro.fabric import Message, MessageKind
+from repro.fabric.interface import Fabric, InjectRetryBuffer
+from repro.fabric.stats import FabricStats
+from repro.params import FLIT_DATA_BITS, FLIT_HEADER_BITS
+
+
+def test_data_message_carries_cache_line():
+    msg = Message(src=0, dst=1, kind=MessageKind.DATA)
+    assert msg.size_bits == FLIT_HEADER_BITS + FLIT_DATA_BITS
+    assert msg.size_bytes == (FLIT_HEADER_BITS + FLIT_DATA_BITS) / 8
+
+
+def test_control_messages_are_header_only():
+    for kind in (MessageKind.REQUEST, MessageKind.SNOOP, MessageKind.RESPONSE):
+        assert Message(src=0, dst=1, kind=kind).size_bits == FLIT_HEADER_BITS
+
+
+def test_message_ids_unique():
+    ids = {Message(src=0, dst=1).msg_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_latency_properties_incomplete_message():
+    msg = Message(src=0, dst=1, created_cycle=5)
+    assert msg.network_latency is None
+    assert msg.total_latency is None
+    msg.injected_cycle = 8
+    msg.delivered_cycle = 20
+    assert msg.network_latency == 12
+    assert msg.total_latency == 15
+
+
+def test_stats_record_delivery_and_means():
+    stats = FabricStats()
+    for i in range(4):
+        msg = Message(src=0, dst=1, kind=MessageKind.DATA, created_cycle=0)
+        msg.injected_cycle = 2
+        msg.delivered_cycle = 10 + i
+        stats.record_delivery(msg)
+    assert stats.delivered == 4
+    assert stats.mean_network_latency() == (8 + 9 + 10 + 11) / 4
+    assert stats.mean_total_latency() == (10 + 11 + 12 + 13) / 4
+    assert stats.per_dst_delivered[1] == 4
+
+
+def test_stats_percentile_bounds():
+    stats = FabricStats()
+    for i in range(10):
+        msg = Message(src=0, dst=1, created_cycle=0)
+        msg.injected_cycle = 0
+        msg.delivered_cycle = i
+        stats.record_delivery(msg)
+    assert stats.latency_percentile(0) == 0
+    assert stats.latency_percentile(100) == 9
+    assert stats.latency_percentile(50) in (4, 5)
+
+
+def test_stats_empty_returns_none():
+    stats = FabricStats()
+    assert stats.mean_network_latency() is None
+    assert stats.mean_total_latency() is None
+    assert stats.latency_percentile(99) is None
+
+
+class _LoopbackFabric(Fabric):
+    """Delivers every message on the next step; for interface tests."""
+
+    def __init__(self):
+        super().__init__()
+        self._queue = []
+        self.capacity = 2
+
+    def nodes(self):
+        return [0, 1]
+
+    def try_inject(self, msg):
+        if len(self._queue) >= self.capacity:
+            self.stats.rejected += 1
+            return False
+        msg.injected_cycle = msg.created_cycle
+        self.stats.accepted += 1
+        self.stats.injected += 1
+        self._queue.append(msg)
+        return True
+
+    def step(self, cycle):
+        for msg in self._queue:
+            self._deliver(msg, cycle)
+        self._queue.clear()
+
+
+def test_delivery_before_attach_is_replayed():
+    fab = _LoopbackFabric()
+    msg = Message(src=0, dst=1)
+    assert fab.try_inject(msg)
+    fab.step(0)
+    got = []
+    fab.attach(1, got.append)
+    assert got == [msg]
+    # Later deliveries go straight to the handler.
+    msg2 = Message(src=0, dst=1)
+    fab.try_inject(msg2)
+    fab.step(1)
+    assert got == [msg, msg2]
+
+
+def test_retry_buffer_preserves_order_and_retries():
+    fab = _LoopbackFabric()
+    buf = InjectRetryBuffer(fab)
+    msgs = [Message(src=0, dst=1) for _ in range(5)]
+    for m in msgs:
+        assert buf.send(m)
+    buf.pump()
+    assert len(buf) == 3  # capacity 2 accepted
+    fab.step(0)
+    buf.pump()
+    fab.step(1)
+    buf.pump()
+    fab.step(2)
+    assert len(buf) == 0
+    assert fab.stats.delivered == 5
+    order = [s.msg_id for s in fab.stats.samples]
+    assert order == [m.msg_id for m in msgs]
+
+
+def test_retry_buffer_capacity():
+    fab = _LoopbackFabric()
+    buf = InjectRetryBuffer(fab, capacity=1)
+    assert buf.send(Message(src=0, dst=1))
+    assert not buf.send(Message(src=0, dst=1))
+    assert buf.full

@@ -1,0 +1,114 @@
+"""Failure-injection tests: the system must fail loudly, not wedge.
+
+A production NoC library gets embedded in larger simulations; when a
+model is miswired (unroutable topology, dead memory device, black-holed
+responses) the failure must surface as a clear exception rather than a
+silent hang or corrupted statistics.
+"""
+
+import pytest
+
+from repro.baselines import IdealFabric
+from repro.coherence import CoherentSystem, MemoryNode
+from repro.coherence.messages import ChiMessage, ChiOp
+from repro.core import MultiRingFabric
+from repro.core.config import (
+    BridgeSpec,
+    NodePlacement,
+    RingSpec,
+    TopologySpec,
+)
+from repro.fabric import Message, MessageKind
+from repro.testing import run_to_drain
+
+
+def two_island_fabric():
+    """Two rings with no bridge: disconnected islands."""
+    spec = TopologySpec(
+        rings=[RingSpec(0, 4), RingSpec(1, 4)],
+        nodes=[NodePlacement(0, 0, 0), NodePlacement(1, 1, 0)],
+    )
+    return MultiRingFabric(spec)
+
+
+def test_unroutable_message_raises_at_injection():
+    fabric = two_island_fabric()
+    with pytest.raises(ValueError, match="no route"):
+        fabric.try_inject(Message(src=0, dst=1))
+
+
+def test_reachable_island_traffic_still_works():
+    spec = TopologySpec(
+        rings=[RingSpec(0, 8)],
+        nodes=[NodePlacement(0, 0, 0), NodePlacement(1, 0, 4)],
+    )
+    fabric = MultiRingFabric(spec)
+    msg = Message(src=0, dst=1, kind=MessageKind.DATA)
+    assert fabric.try_inject(msg)
+    run_to_drain(fabric)
+    assert msg.delivered_cycle is not None
+
+
+class BlackHoleMemory(MemoryNode):
+    """A failed DIMM: absorbs requests, never responds."""
+
+    def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:
+        self.reads += 1  # swallow silently
+
+
+def test_dead_memory_surfaces_as_quiesce_timeout():
+    fabric = IdealFabric(range(4), latency=2)
+    system = CoherentSystem(fabric, rn_ids=[0], hn_ids=[1], sn_ids=[2])
+    # Replace the healthy SN with a black hole at the same node id.
+    dead = BlackHoleMemory(2, fabric, service_latency=1, bytes_per_cycle=8.0)
+    system.memories[0] = dead
+    system._agents = system.requesters + system.homes + [dead]
+    assert system.requesters[0].load(0, lambda v, c: None)
+    with pytest.raises(RuntimeError, match="quiesce"):
+        system.run_until_idle(max_cycles=2000)
+
+
+def test_misrouted_protocol_message_raises():
+    """An agent receiving an opcode it cannot handle fails loudly."""
+    fabric = IdealFabric(range(4), latency=1)
+    system = CoherentSystem(fabric, rn_ids=[0], hn_ids=[1], sn_ids=[2])
+    rogue = ChiMessage(op=ChiOp.SNP_RESP, addr=0, txn_id=1, requester=0)
+    with pytest.raises(RuntimeError, match="unexpected"):
+        system.memories[0].on_message(rogue, src=0, cycle=0)
+
+
+def test_drain_timeout_reports_stuck_count():
+    """run_to_drain names how many messages were stuck."""
+    fabric = two_island_fabric()
+    msg = Message(src=0, dst=0, kind=MessageKind.DATA)
+    # src == dst on node 0's own station: deliverable; make a stuck one
+    # instead by filling an inject queue that never drains (destination
+    # unreachable is already covered, so use a tiny cycle budget).
+    assert fabric.try_inject(msg)
+    with pytest.raises(RuntimeError, match="drain"):
+        run_to_drain(fabric, max_cycles=0)
+
+
+def test_bridge_level_validation_rejects_garbage():
+    with pytest.raises(ValueError):
+        BridgeSpec(0, 7, 0, 0, 1, 0)
+
+
+def test_duplicate_bridge_ids_rejected():
+    spec = TopologySpec(
+        rings=[RingSpec(0, 4), RingSpec(1, 4)],
+        nodes=[NodePlacement(0, 0, 1), NodePlacement(1, 1, 1)],
+        bridges=[BridgeSpec(5, 1, 0, 0, 1, 0), BridgeSpec(5, 1, 0, 2, 1, 2)],
+    )
+    with pytest.raises(ValueError, match="duplicate bridge"):
+        spec.validate()
+
+
+def test_agent_on_unknown_fabric_node_raises():
+    fabric = IdealFabric(range(2), latency=1)
+    system = CoherentSystem(fabric, rn_ids=[0], hn_ids=[1], sn_ids=[1])
+    # hn and sn share node 1: the second attach overwrites the handler,
+    # so HN messages reach the SN -> loud failure, not silent loss.
+    assert system.requesters[0].load(0, lambda v, c: None)
+    with pytest.raises(RuntimeError):
+        system.run_until_idle(max_cycles=500)

@@ -1,0 +1,80 @@
+"""Meta-tests: the coherence invariant checker must catch violations.
+
+A checker that never fires proves nothing; these tests corrupt a healthy
+quiesced system in each of the ways the checker guards against and
+assert it objects.
+"""
+
+import pytest
+
+from repro.baselines import IdealFabric
+from repro.coherence import CoherentSystem
+from repro.coherence.states import CacheState, DirState
+
+
+def healthy_system():
+    fabric = IdealFabric(range(6), latency=1)
+    system = CoherentSystem(fabric, rn_ids=[0, 1], hn_ids=[2], sn_ids=[3],
+                            cache_sets=8, cache_ways=2)
+    done = []
+    system.requesters[0].store(0, lambda v, c: done.append(v))
+    system.run_until_idle()
+    system.requesters[1].load(0, lambda v, c: done.append(v))
+    system.run_until_idle()
+    system.check_coherence()  # sanity: healthy state passes
+    return system
+
+
+def test_checker_catches_double_owner():
+    system = healthy_system()
+    # Forge a second M copy.
+    system.requesters[1].cache.fill(0, CacheState.MODIFIED, 999)
+    system.requesters[0].cache.fill(0, CacheState.MODIFIED, 998)
+    with pytest.raises(AssertionError):
+        system.check_coherence()
+
+
+def test_checker_catches_owner_sharer_mix():
+    system = healthy_system()
+    # rn0/rn1 hold S after the sequence; make rn0 an owner alongside.
+    line = system.requesters[0].cache.peek(0)
+    line.state = CacheState.MODIFIED
+    with pytest.raises(AssertionError):
+        system.check_coherence()
+
+
+def test_checker_catches_sharer_value_divergence():
+    system = healthy_system()
+    line = system.requesters[1].cache.peek(0)
+    line.value = line.value + 12345
+    with pytest.raises(AssertionError):
+        system.check_coherence()
+
+
+def test_checker_catches_directory_owner_mismatch():
+    system = healthy_system()
+    # Promote a cache copy to E but leave the directory in SHARED.
+    line = system.requesters[0].cache.peek(0)
+    line.state = CacheState.EXCLUSIVE
+    system.requesters[1].cache.invalidate(0)
+    entry = system.homes[0].entry(0)
+    assert entry.state is DirState.SHARED
+    with pytest.raises(AssertionError):
+        system.check_coherence()
+
+
+def test_checker_catches_stale_llc_vs_memory():
+    system = healthy_system()
+    entry = system.homes[0].entry(0)
+    assert entry.llc_valid
+    entry.llc_value += 7  # LLC now disagrees with memory
+    with pytest.raises(AssertionError):
+        system.check_coherence()
+
+
+def test_checker_allows_directory_overapproximation():
+    """Silent S eviction leaves the directory listing a ghost sharer —
+    legal (directories over-approximate), and the checker accepts it."""
+    system = healthy_system()
+    system.requesters[1].cache.invalidate(0)  # silent eviction
+    system.check_coherence()

@@ -1,0 +1,93 @@
+"""Tests for the 4P multi-package scale-up (Section 4.2)."""
+
+import pytest
+
+from repro.cpu.core import closed_loop, sequential_stream
+from repro.cpu.multipackage import (
+    MultiPackageConfig,
+    MultiPackageSystem,
+    PACKAGE_RING_BASE,
+)
+from repro.cpu.package import ServerPackageConfig
+
+SMALL_PKG = ServerPackageConfig(clusters_per_ccd=3, hn_per_ccd=1, ddr_per_ccd=1)
+
+
+def make_system(n_packages=2):
+    return MultiPackageSystem(MultiPackageConfig(n_packages=n_packages,
+                                                 package=SMALL_PKG))
+
+
+def test_config_limits_and_core_count():
+    cfg = MultiPackageConfig(n_packages=4)
+    assert cfg.total_cores == 4 * 96  # "more than 300" with full packages
+    with pytest.raises(ValueError):
+        MultiPackageConfig(n_packages=0)
+    with pytest.raises(ValueError):
+        MultiPackageConfig(n_packages=9)
+
+
+def test_topology_shape_two_packages():
+    system = make_system(2)
+    ring_ids = {r.ring_id for r in system.fabric.topology.rings}
+    assert ring_ids == {0, 1, 100, 101,
+                        PACKAGE_RING_BASE, PACKAGE_RING_BASE + 1,
+                        PACKAGE_RING_BASE + 100, PACKAGE_RING_BASE + 101}
+    # Intra-package bridges (5 each) + one inter-package PA link.
+    assert len(system.fabric.topology.bridges) == 2 * 5 + 1
+
+
+def test_all_pairs_links_four_packages():
+    system = make_system(4)
+    inter = [b for b in system.fabric.topology.bridges
+             if abs(b.ring_a - b.ring_b) >= PACKAGE_RING_BASE - 200]
+    assert len(inter) == 6  # C(4,2)
+
+
+def test_cross_package_coherence():
+    """A dirty line written in package 0 reads coherently in package 1."""
+    system = make_system(2)
+    writer = system.attach_core(0, 0, 0, sequential_stream("store", 0, 16),
+                                closed_loop(mlp=4))
+    system.run_until_cores_done()
+    reader = system.attach_core(1, 0, 1, sequential_stream("load", 0, 16),
+                                closed_loop(mlp=1))
+    system.run_until_cores_done()
+    assert reader.stats.completed == 16
+    system.system.check_coherence()
+
+
+def test_cross_package_latency_exceeds_cross_die():
+    system = make_system(2)
+    addrs = [a for a in range(200)
+             if system.system.home_map(a) in system.packages[0].hns[0]][:16]
+    writer = system.attach_core(0, 0, 0,
+                                iter([("store", a) for a in addrs]),
+                                closed_loop(mlp=2))
+    system.run_until_cores_done()
+
+    local = system.attach_core(0, 1, 0, iter([("load", a) for a in addrs]),
+                               closed_loop(mlp=1))
+    system.run_until_cores_done()
+
+    writer2 = system.attach_core(0, 0, 0,
+                                 iter([("store", a) for a in addrs]),
+                                 closed_loop(mlp=2))
+    system.run_until_cores_done()
+    remote = system.attach_core(1, 0, 2, iter([("load", a) for a in addrs]),
+                                closed_loop(mlp=1))
+    system.run_until_cores_done()
+
+    assert remote.stats.mean_latency() > local.stats.mean_latency()
+    system.system.check_coherence()
+
+
+def test_four_package_traffic_drains():
+    system = make_system(4)
+    for p in range(4):
+        system.attach_core(p, 0, 0,
+                           sequential_stream("store", p * 64, 24),
+                           closed_loop(mlp=4), seed=p)
+    system.run_until_cores_done()
+    system.system.check_coherence()
+    assert all(c.stats.completed == 24 for c in system.cores)

@@ -1,0 +1,174 @@
+"""Integration tests for the assembled multi-ring fabric."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MultiRingFabric,
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+)
+from repro.core.config import MultiRingConfig
+from repro.fabric import Message, MessageKind
+from repro.testing import drive, inject_all, run_to_drain, uniform_messages
+
+
+def test_all_pairs_delivery_single_ring():
+    topo, nodes = single_ring_topology(6, stop_spacing=2)
+    fab = MultiRingFabric(topo)
+    msgs = [
+        Message(src=s, dst=d, kind=MessageKind.DATA)
+        for s in nodes
+        for d in nodes
+        if s != d
+    ]
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    assert fab.stats.delivered == len(msgs)
+    assert all(m.delivered_cycle is not None for m in msgs)
+
+
+def test_all_pairs_delivery_grid():
+    layout = grid_of_rings(3, 2, devices_per_vring=3, memory_per_hring=3)
+    fab = MultiRingFabric(layout.topology)
+    every = layout.all_device_nodes + layout.all_memory_nodes
+    msgs = [
+        Message(src=s, dst=d, kind=MessageKind.DATA)
+        for s in every
+        for d in every
+        if s != d
+    ]
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    assert fab.stats.delivered == len(msgs)
+
+
+def test_message_conservation_under_load():
+    """accepted == delivered + in-network at every observation point."""
+    layout = grid_of_rings(2, 2, devices_per_vring=3, memory_per_hring=2)
+    fab = MultiRingFabric(layout.topology)
+    rng = random.Random(3)
+    nodes = layout.all_device_nodes + layout.all_memory_nodes
+
+    def gen(cycle):
+        if cycle >= 500:
+            return None
+        src = rng.choice(nodes)
+        dst = rng.choice([n for n in nodes if n != src])
+        return [Message(src=src, dst=dst, kind=MessageKind.DATA)]
+
+    accepted = drive(fab, 500, gen)
+    assert accepted == fab.stats.accepted
+    # mid-flight conservation
+    assert fab.stats.accepted == fab.stats.delivered + fab.occupancy()
+    run_to_drain(fab, 500)
+    assert fab.stats.delivered == accepted
+    assert fab.occupancy() == 0
+
+
+def test_no_duplicate_deliveries():
+    topo, nodes = single_ring_topology(5)
+    fab = MultiRingFabric(topo)
+    seen = []
+    for n in nodes:
+        fab.attach(n, lambda m: seen.append(m.msg_id))
+    msgs = uniform_messages(nodes, nodes, 100, seed=9)
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    assert len(seen) == 100
+    assert len(set(seen)) == 100
+
+
+def test_inject_rejects_when_queue_full():
+    topo, nodes = single_ring_topology(3)
+    fab = MultiRingFabric(topo)
+    depth = fab.config.queues.inject_queue_depth
+    accepted = 0
+    for _ in range(depth + 3):
+        if fab.try_inject(Message(src=nodes[0], dst=nodes[1])):
+            accepted += 1
+    assert accepted == depth
+    assert fab.stats.rejected == 3
+
+
+def test_unknown_nodes_raise():
+    topo, nodes = single_ring_topology(3)
+    fab = MultiRingFabric(topo)
+    with pytest.raises(KeyError):
+        fab.try_inject(Message(src=999, dst=nodes[0]))
+    with pytest.raises(KeyError):
+        fab.try_inject(Message(src=nodes[0], dst=999))
+
+
+def test_latency_scales_with_distance():
+    topo, nodes = single_ring_topology(16, stop_spacing=2)
+    fab = MultiRingFabric(topo)
+    near = Message(src=nodes[0], dst=nodes[1], kind=MessageKind.DATA)
+    far = Message(src=nodes[0], dst=nodes[8], kind=MessageKind.DATA)
+    inject_all(fab, [near])
+    run_to_drain(fab)
+    c = inject_all(fab, [far], start_cycle=200)
+    run_to_drain(fab, c)
+    assert far.network_latency > near.network_latency
+
+
+def test_cross_chiplet_latency_includes_link():
+    topo, r0, r1 = chiplet_pair(nodes_per_ring=4, link_latency=8)
+    fab = MultiRingFabric(topo)
+    intra = Message(src=r0[0], dst=r0[2], kind=MessageKind.DATA)
+    inter = Message(src=r0[0], dst=r1[2], kind=MessageKind.DATA)
+    inject_all(fab, [intra])
+    run_to_drain(fab)
+    c = inject_all(fab, [inter], start_cycle=300)
+    run_to_drain(fab, c)
+    assert inter.network_latency >= intra.network_latency + 8
+
+
+def test_delivery_probe_counts_bytes():
+    topo, nodes = single_ring_topology(4)
+    fab = MultiRingFabric(topo)
+    probe = fab.add_delivery_probe(nodes[1], window_cycles=64)
+    msgs = [Message(src=nodes[0], dst=nodes[1], kind=MessageKind.DATA)
+            for _ in range(10)]
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    probe.finalize()
+    assert probe.total_bytes == sum(m.size_bytes for m in msgs)
+
+
+def test_deflections_counted_in_samples():
+    from repro.params import QueueParams
+
+    queues = QueueParams(eject_queue_depth=1)
+    topo, nodes = single_ring_topology(4, stop_spacing=2)
+    fab = MultiRingFabric(topo, MultiRingConfig(queues=queues, eject_drain_per_cycle=1))
+    msgs = [Message(src=nodes[(i % 3) + 1], dst=nodes[0], kind=MessageKind.DATA)
+            for i in range(16)]
+    cycle = inject_all(fab, msgs)
+    run_to_drain(fab, cycle)
+    assert fab.stats.deflections == sum(s.deflections for s in fab.stats.samples)
+
+
+def test_bidirectional_ring_doubles_capacity():
+    """Full ring sustains roughly twice the half ring's throughput."""
+
+    def saturate(bidirectional):
+        topo, nodes = single_ring_topology(8, bidirectional, stop_spacing=1)
+        fab = MultiRingFabric(topo)
+        rng = random.Random(5)
+
+        def gen(cycle):
+            out = []
+            for src in nodes:
+                dst = rng.choice([n for n in nodes if n != src])
+                out.append(Message(src=src, dst=dst, kind=MessageKind.DATA))
+            return out
+
+        drive(fab, 2000, gen)
+        return fab.stats.delivered
+
+    full = saturate(True)
+    half = saturate(False)
+    assert full > 1.5 * half, (full, half)

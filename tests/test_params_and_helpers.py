@@ -1,0 +1,101 @@
+"""Tests for the global parameter module and the testing helpers."""
+
+import pytest
+
+from repro.params import (
+    BANDWIDTH,
+    CACHE_LINE_BYTES,
+    FLIT_DATA_BITS,
+    FLIT_HEADER_BITS,
+    LATENCY,
+    NOC_FREQ_HZ,
+    QUEUES,
+    bytes_per_cycle_to_tbps,
+    cycles_to_ns,
+)
+from repro.baselines import IdealFabric
+from repro.core import MultiRingFabric, single_ring_topology
+from repro.fabric import Message, MessageKind
+from repro.testing import (
+    drive,
+    inject_all,
+    run_to_drain,
+    uniform_messages,
+)
+
+
+def test_design_point_constants():
+    assert NOC_FREQ_HZ == 3.0e9                 # Section 3.3
+    assert CACHE_LINE_BYTES == 64               # transaction granularity
+    assert FLIT_DATA_BITS == 512
+    assert FLIT_HEADER_BITS > 0
+    assert QUEUES.swap_detect_threshold > QUEUES.itag_threshold
+
+
+def test_cycle_conversions():
+    assert cycles_to_ns(3) == pytest.approx(1.0)
+    # One 64B line per cycle at 3 GHz is 192 GB/s.
+    assert bytes_per_cycle_to_tbps(64) == pytest.approx(0.192)
+
+
+def test_latency_params_sane():
+    assert LATENCY.d2d_link < LATENCY.serdes_link
+    assert LATENCY.bridge_l1 < LATENCY.bridge_l2
+    assert LATENCY.hbm_service < LATENCY.ddr_service
+
+
+def test_bandwidth_params_sane():
+    # HBM stack (500 GB/s) dwarfs one DDR channel.
+    assert BANDWIDTH.hbm_stack_bytes_per_cycle \
+        > 10 * BANDWIDTH.ddr_channel_bytes_per_cycle
+
+
+# -- testing helpers ------------------------------------------------------------
+
+
+def test_uniform_messages_avoid_self_traffic():
+    msgs = uniform_messages([1, 2, 3], [1, 2, 3], 50, seed=4)
+    assert len(msgs) == 50
+    assert all(m.src != m.dst for m in msgs)
+
+
+def test_uniform_messages_single_node_degenerate():
+    msgs = uniform_messages([7], [7], 3, seed=1)
+    assert all(m.src == 7 and m.dst == 7 for m in msgs)
+
+
+def test_inject_all_timeout():
+    topo, nodes = single_ring_topology(2)
+    fabric = MultiRingFabric(topo)
+    # Fill the inject queue, then demand more with a zero budget.
+    msgs = [Message(src=nodes[0], dst=nodes[1]) for _ in range(50)]
+    with pytest.raises(RuntimeError, match="inject"):
+        inject_all(fabric, msgs, max_cycles=0)
+
+
+def test_drive_counts_only_accepted():
+    fabric = IdealFabric([0, 1], latency=1)
+
+    def gen(cycle):
+        if cycle < 5:
+            return [Message(src=0, dst=1, kind=MessageKind.DATA)]
+        return None
+
+    accepted = drive(fabric, 10, gen)
+    assert accepted == 5
+    assert fabric.stats.delivered == 5
+
+
+def test_drive_stamps_created_cycle():
+    fabric = IdealFabric([0, 1], latency=1)
+    seen = []
+    fabric.attach(1, seen.append)
+    drive(fabric, 3, lambda c: [Message(src=0, dst=1)] if c < 3 else None)
+    run_to_drain(fabric, start_cycle=3)
+    assert [m.created_cycle for m in seen] == [0, 1, 2]
+
+
+def test_run_to_drain_noop_when_empty():
+    topo, nodes = single_ring_topology(3)
+    fabric = MultiRingFabric(topo)
+    assert run_to_drain(fabric) == 0

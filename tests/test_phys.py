@@ -1,0 +1,174 @@
+"""Tests for the physical-implementation model (Table 4, Figure 6)."""
+
+import pytest
+
+from repro.core import single_ring_topology
+from repro.fabric.stats import FabricStats
+from repro.phys import (
+    HIGH_DENSITY,
+    HIGH_SPEED,
+    ChipletFloorplan,
+    EnergyModel,
+    buffered_router_area_um2,
+    cycles_for_distance,
+    distance_per_cycle_um,
+    fabric_energy_joules,
+    noc_area,
+    plan_repeaters,
+    ring_stops_for_perimeter,
+)
+from repro.phys.area import station_area_um2
+from repro.phys.floorplan import AI_COMPUTE_DIE, compare_fabrics
+from repro.phys.wires import usable_stride_area_um2, wire_track_area_um2
+
+
+# -- wires (Table 4) ---------------------------------------------------------
+
+
+def test_table4_jump_distances():
+    assert HIGH_DENSITY.jump_um_at_3ghz == 600
+    assert HIGH_SPEED.jump_um_at_3ghz == 1800
+    assert HIGH_SPEED.rel_bus_width == 2.5
+    assert HIGH_SPEED.stride_um == 200
+    assert HIGH_DENSITY.blocks_placement
+    assert not HIGH_SPEED.blocks_placement
+
+
+def test_distance_per_cycle_scales_with_frequency():
+    at3 = distance_per_cycle_um(HIGH_SPEED, 3e9)
+    at1_5 = distance_per_cycle_um(HIGH_SPEED, 1.5e9)
+    assert at1_5 == pytest.approx(2 * at3)
+    with pytest.raises(ValueError):
+        distance_per_cycle_um(HIGH_SPEED, 0)
+
+
+def test_cycles_for_distance():
+    assert cycles_for_distance(HIGH_SPEED, 0) == 0
+    assert cycles_for_distance(HIGH_SPEED, 1800) == 1
+    assert cycles_for_distance(HIGH_SPEED, 1801) == 2
+    # Dense fabric needs 3x the stages for the same span.
+    span = 18_000
+    assert cycles_for_distance(HIGH_DENSITY, span) == \
+        3 * cycles_for_distance(HIGH_SPEED, span)
+
+
+def test_high_speed_wire_area_competitive_per_bit():
+    """x3.5 pitch but x2.5 bus width: area/bit only x1.4 — and the
+    stride comes back (the Section 3.3 argument)."""
+    dense = wire_track_area_um2(HIGH_DENSITY, 10_000, 512)
+    fast = wire_track_area_um2(HIGH_SPEED, 10_000, 512)
+    assert fast == pytest.approx(dense * 3.5 / 2.5)
+    assert usable_stride_area_um2(HIGH_SPEED, 18_000) > 0
+    assert usable_stride_area_um2(HIGH_DENSITY, 18_000) == 0
+
+
+# -- repeaters ----------------------------------------------------------------
+
+
+def test_repeater_plan_counts():
+    plan = plan_repeaters(HIGH_SPEED, 9000, bus_bits=512)
+    assert plan.segments == 5
+    assert plan.repeater_banks == 4
+    assert plan.pipeline_cycles == 5
+    assert plan.area_um2 > 0 and plan.power_uw > 0
+
+
+def test_dense_fabric_needs_more_repeaters():
+    fast = plan_repeaters(HIGH_SPEED, 18_000, 512)
+    dense = plan_repeaters(HIGH_DENSITY, 18_000, 512)
+    assert dense.repeater_banks > 2.5 * fast.repeater_banks
+
+
+def test_repeater_plan_validation():
+    with pytest.raises(ValueError):
+        plan_repeaters(HIGH_SPEED, -1, 512)
+    with pytest.raises(ValueError):
+        plan_repeaters(HIGH_SPEED, 100, 0)
+
+
+# -- area ------------------------------------------------------------------------
+
+
+def test_bufferless_station_smaller_than_buffered_router():
+    """Section 3.4.2: no VCs, no allocation -> less area."""
+    assert station_area_um2() < 0.5 * buffered_router_area_um2()
+
+
+def test_noc_area_breakdown_positive_and_summed():
+    topo, _ = single_ring_topology(8, stop_spacing=2)
+    area = noc_area(topo, HIGH_SPEED)
+    assert area.stations_um2 > 0
+    assert area.queues_um2 > 0
+    assert area.wires_um2 > 0
+    assert area.bridges_um2 == 0  # single ring: no bridges
+    assert area.total_um2 == pytest.approx(
+        area.stations_um2 + area.bridges_um2 + area.queues_um2 + area.wires_um2
+    )
+
+
+def test_bridged_topology_counts_bridge_area():
+    from repro.core import chiplet_pair
+    topo, _, _ = chiplet_pair()
+    area = noc_area(topo, HIGH_SPEED)
+    assert area.bridges_um2 > 0
+
+
+# -- floorplan -------------------------------------------------------------------
+
+
+def test_floorplan_ring_stops_fabric_dependent():
+    die = ChipletFloorplan("test", 20_000, 20_000)
+    fast_stops = die.ring_stops(HIGH_SPEED)
+    dense_stops = die.ring_stops(HIGH_DENSITY)
+    # Jump ratio is exactly 3; ceil rounding allows one stop of slack.
+    assert abs(dense_stops - 3 * fast_stops) <= 3
+    assert die.lap_time_ns(HIGH_SPEED) < die.lap_time_ns(HIGH_DENSITY)
+
+
+def test_floorplan_blocked_area():
+    die = AI_COMPUTE_DIE
+    assert die.blocked_area_mm2(HIGH_DENSITY) > die.blocked_area_mm2(HIGH_SPEED)
+
+
+def test_floorplan_validation():
+    with pytest.raises(ValueError):
+        ChipletFloorplan("bad", 0, 100)
+    with pytest.raises(ValueError):
+        ChipletFloorplan("bad", 100, 100, ring_path_fraction=0)
+
+
+def test_compare_fabrics_report():
+    report = compare_fabrics(AI_COMPUTE_DIE, [HIGH_DENSITY, HIGH_SPEED])
+    assert set(report) == {"high-density", "high-speed"}
+    assert report["high-speed"]["ring_stops"] < report["high-density"]["ring_stops"]
+
+
+def test_ring_stops_for_perimeter_minimum():
+    assert ring_stops_for_perimeter(HIGH_SPEED, 10) == 2  # min_stops floor
+
+
+# -- energy ----------------------------------------------------------------------
+
+
+def test_bufferless_hop_cheaper():
+    model = EnergyModel()
+    assert model.bufferless_hop_pj(1.0) < model.buffered_hop_pj(1.0)
+
+
+def test_fabric_energy_accounting():
+    stats = FabricStats()
+    stats.delivered = 100
+    stats.delivered_bytes = 100 * 69.0
+    bufferless = fabric_energy_joules(stats, mean_hops=6, hop_mm=1.8,
+                                      buffered=False)
+    buffered = fabric_energy_joules(stats, mean_hops=6, hop_mm=1.8,
+                                    buffered=True)
+    assert 0 < bufferless < buffered
+    with_d2d = fabric_energy_joules(stats, mean_hops=6, hop_mm=1.8,
+                                    buffered=False, d2d_fraction=0.5)
+    assert with_d2d > bufferless
+
+
+def test_fabric_energy_validation():
+    with pytest.raises(ValueError):
+        fabric_energy_joules(FabricStats(), mean_hops=-1, hop_mm=1, buffered=False)

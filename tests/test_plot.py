@@ -1,0 +1,52 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plot import histogram, line_chart, sparkline
+
+
+def test_sparkline_shape():
+    s = sparkline([0, 1, 2, 3, 4])
+    assert len(s) == 5
+    assert s[0] == " " and s[-1] == "@"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([5, 5, 5]) == "..."
+
+
+def test_sparkline_resamples_to_width():
+    assert len(sparkline(list(range(100)), width=20)) == 20
+
+
+def test_line_chart_contains_series_and_legend():
+    chart = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, xs=[0, 1, 2],
+                       title="demo")
+    assert "demo" in chart
+    assert "o=a" in chart and "x=b" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": [1]}, height=1)
+    with pytest.raises(ValueError):
+        line_chart({"a": []})
+
+
+def test_histogram_counts_sum():
+    text = histogram([1, 1, 2, 9, 9, 9], bins=3)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    counts = [int(line.rsplit(" ", 1)[-1]) for line in lines]
+    assert sum(counts) == 6
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram([])
+    with pytest.raises(ValueError):
+        histogram([1], bins=0)

@@ -1,0 +1,72 @@
+"""Unit tests for bandwidth probes and the equilibrium statistics."""
+
+import pytest
+
+from repro.fabric.probes import BandwidthProbe, ProbeSet
+
+
+def test_probe_windows_accumulate_bytes():
+    probe = BandwidthProbe("p", window_cycles=10)
+    probe.observe(64, 0)
+    probe.observe(64, 5)
+    probe.observe(64, 10)
+    probe.finalize()
+    assert probe.windows == [128.0, 64.0]
+    assert probe.bytes_per_cycle_series() == [12.8, 6.4]
+
+
+def test_probe_skipped_windows_are_zero():
+    probe = BandwidthProbe("p", window_cycles=4)
+    probe.observe(8, 0)
+    probe.observe(8, 12)  # windows 1 and 2 empty
+    probe.finalize()
+    assert probe.windows == [8.0, 0.0, 0.0, 8.0]
+
+
+def test_probe_total_bytes_includes_open_window():
+    probe = BandwidthProbe("p", window_cycles=100)
+    probe.observe(10, 0)
+    probe.observe(30, 1)
+    assert probe.total_bytes == 40.0
+
+
+def test_probe_rejects_bad_window():
+    with pytest.raises(ValueError):
+        BandwidthProbe("p", window_cycles=0)
+
+
+def _probes_from_series(series_by_name, window=1):
+    probes = []
+    for name, series in series_by_name.items():
+        probe = BandwidthProbe(name, window_cycles=window)
+        for cycle, value in enumerate(series):
+            probe.observe(value, cycle)
+        probe.finalize()
+        probes.append(probe)
+    return ProbeSet(probes)
+
+
+def test_equilibrium_perfect_balance():
+    pset = _probes_from_series({"a": [10, 10, 10], "b": [10, 10, 10]})
+    assert pset.equilibrium_fraction(0.8, skip_warmup_windows=0) == 1.0
+
+
+def test_equilibrium_one_starved_probe():
+    pset = _probes_from_series({"a": [10, 10, 10, 10], "b": [1, 1, 1, 1]})
+    # b never reaches 80% of a: half the points fail.
+    assert pset.equilibrium_fraction(0.8, skip_warmup_windows=0) == 0.5
+
+
+def test_equilibrium_skips_warmup():
+    pset = _probes_from_series({"a": [0, 10, 10], "b": [10, 10, 10]})
+    assert pset.equilibrium_fraction(0.8, skip_warmup_windows=1) == 1.0
+
+
+def test_min_over_max_series():
+    pset = _probes_from_series({"a": [10, 5], "b": [10, 10]})
+    assert pset.min_over_max(skip_warmup_windows=0) == [1.0, 0.5]
+
+
+def test_equilibrium_empty_probeset():
+    assert ProbeSet([]).equilibrium_fraction() == 0.0
+    assert ProbeSet([]).min_over_max() == []

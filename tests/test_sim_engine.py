@@ -1,0 +1,83 @@
+"""Unit tests for the cycle-driven simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimComponent
+from repro.sim.engine import FunctionComponent
+from repro.sim.rng import make_rng, split_rng
+
+
+class Counter(SimComponent):
+    def __init__(self):
+        self.calls = []
+
+    def step(self, cycle):
+        self.calls.append(cycle)
+
+
+def test_run_steps_components_in_order():
+    sim = Simulator()
+    order = []
+    sim.register(FunctionComponent(lambda c: order.append(("a", c))))
+    sim.register(FunctionComponent(lambda c: order.append(("b", c))))
+    sim.run(2)
+    assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+
+def test_register_first_prepends():
+    sim = Simulator()
+    order = []
+    sim.register(FunctionComponent(lambda c: order.append("late")))
+    sim.register_first(FunctionComponent(lambda c: order.append("early")))
+    sim.run(1)
+    assert order == ["early", "late"]
+
+
+def test_cycle_counts_completed_steps():
+    sim = Simulator()
+    counter = Counter()
+    sim.register(counter)
+    assert sim.cycle == 0
+    sim.run(5)
+    assert sim.cycle == 5
+    assert counter.calls == [0, 1, 2, 3, 4]
+
+
+def test_run_until_fires_predicate():
+    sim = Simulator()
+    counter = Counter()
+    sim.register(counter)
+    fired = sim.run_until(lambda: len(counter.calls) >= 3, max_cycles=10)
+    assert fired
+    assert sim.cycle == 3
+
+
+def test_run_until_times_out():
+    sim = Simulator()
+    fired = sim.run_until(lambda: False, max_cycles=4)
+    assert not fired
+    assert sim.cycle == 4
+
+
+def test_base_component_step_is_abstract():
+    with pytest.raises(NotImplementedError):
+        SimComponent().step(0)
+
+
+def test_make_rng_deterministic():
+    a = make_rng(42)
+    b = make_rng(42)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_make_rng_none_is_seeded():
+    assert make_rng(None).random() == make_rng(0).random()
+
+
+def test_split_rng_children_independent():
+    parent = make_rng(7)
+    c1 = split_rng(parent, 1)
+    parent2 = make_rng(7)
+    c2 = split_rng(parent2, 2)
+    # Different salts give different streams from the same parent state.
+    assert [c1.random() for _ in range(3)] != [c2.random() for _ in range(3)]

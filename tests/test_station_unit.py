@@ -1,0 +1,115 @@
+"""Direct unit tests for cross-station port mechanics."""
+
+import pytest
+
+from repro.core import MultiRingFabric
+from repro.core.config import MultiRingConfig
+from repro.core.flit import Flit
+from repro.core.routing import Hop
+from repro.core.topology import TopologyBuilder
+from repro.fabric import Message, MessageKind
+from repro.fabric.stats import FabricStats
+from repro.params import QueueParams
+
+
+def make_station(eject_depth=2):
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    node = builder.add_node(0, 2)
+    fabric = MultiRingFabric(
+        builder.build(),
+        MultiRingConfig(queues=QueueParams(eject_queue_depth=eject_depth)),
+    )
+    station = fabric.rings[0].station_at(2)
+    return fabric, station, station.ports[0]
+
+
+def flit_to(node, exit_stop=2):
+    msg = Message(src=0, dst=node, kind=MessageKind.DATA)
+    return Flit(msg, [Hop(0, exit_stop, ("node", node))])
+
+
+def test_port_eject_admission_respects_capacity():
+    fabric, station, port = make_station(eject_depth=2)
+    stats = FabricStats()
+    node = port.key[1]
+    assert port.try_accept_eject(flit_to(node), stats, True)
+    assert port.try_accept_eject(flit_to(node), stats, True)
+    rejected = flit_to(node)
+    assert not port.try_accept_eject(rejected, stats, True)
+    assert rejected.deflections == 1
+    assert stats.etags_placed == 1
+    assert rejected.msg.msg_id in port.etag_reservations
+
+
+def test_reserved_flit_gets_priority_over_newcomer():
+    fabric, station, port = make_station(eject_depth=1)
+    stats = FabricStats()
+    node = port.key[1]
+    first = flit_to(node)
+    assert port.try_accept_eject(first, stats, True)
+    loser = flit_to(node)
+    assert not port.try_accept_eject(loser, stats, True)   # reserved now
+    port.eject_queue.popleft()                              # consumer drains
+    newcomer = flit_to(node)
+    # The newcomer cannot take the freed buffer: it is reserved.
+    assert not port.try_accept_eject(newcomer, stats, True)
+    # The reserved flit can.
+    assert port.try_accept_eject(loser, stats, True)
+    assert loser.msg.msg_id not in port.etag_reservations
+
+
+def test_etags_disabled_is_first_come_first_served():
+    fabric, station, port = make_station(eject_depth=1)
+    stats = FabricStats()
+    node = port.key[1]
+    assert port.try_accept_eject(flit_to(node), stats, False)
+    loser = flit_to(node)
+    assert not port.try_accept_eject(loser, stats, False)
+    port.eject_queue.popleft()
+    newcomer = flit_to(node)
+    assert port.try_accept_eject(newcomer, stats, False)  # jumps the queue
+
+
+def test_two_interfaces_per_station_limit():
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    builder.add_node(0, 2)
+    builder.add_node(0, 2)
+    fabric = MultiRingFabric(builder.build())
+    station = fabric.rings[0].station_at(2)
+    with pytest.raises(ValueError, match="two node interfaces"):
+        station.add_port(("node", 99))
+
+
+def test_head_for_direction_prefers_shortest():
+    fabric, station, port = make_station()
+    node = port.key[1]
+    # Exit stop 3 is one hop clockwise from stop 2 on an 8-stop ring.
+    near_cw = Flit(Message(src=node, dst=node), [Hop(0, 3, ("node", node))])
+    port.inject_queue.append(near_cw)
+    assert port.head_for_direction(1) is near_cw
+    assert port.head_for_direction(-1) is None
+
+
+def test_is_bridge_port_flag():
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    builder.add_ring(1, 8)
+    node = builder.add_node(0, 2)
+    builder.add_bridge(0, 0, 1, 0, level=1)
+    fabric = MultiRingFabric(builder.build())
+    node_port = fabric.node_port(node)
+    bridge_station = fabric.rings[0].station_at(0)
+    assert not node_port.is_bridge_port
+    assert bridge_station.ports[0].is_bridge_port
+
+
+def test_missing_exit_port_is_loud():
+    """A route pointing at a nonexistent port must raise, not vanish."""
+    fabric, station, port = make_station()
+    bad = Flit(Message(src=0, dst=12345), [Hop(0, 2, ("node", 12345))])
+    lane = fabric.rings[0].lanes[0]
+    lane.flits[lane.index_at(2, 0)] = bad
+    with pytest.raises(RuntimeError, match="does not exist"):
+        station.process_lane(lane, 0)

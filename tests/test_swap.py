@@ -1,0 +1,163 @@
+"""Tests for ring bridges and the SWAP deadlock-resolution mechanism.
+
+The deadlock testbench reproduces Figure 9: two rings joined by an
+RBRG-L2, every node firing cross-ring traffic as fast as it can with tiny
+queues.  Without SWAP the system wedges (flits keep circling but none
+makes progress); with SWAP the bridge detects the interlock, enters DRM,
+and the system keeps delivering.
+"""
+
+import random
+
+from repro.core import MultiRingFabric, chiplet_pair
+from repro.core.bridge import RingBridgeL2
+from repro.core.config import MultiRingConfig
+from repro.core.swap import SwapController
+from repro.fabric import Message, MessageKind
+from repro.fabric.stats import FabricStats
+from repro.params import QueueParams
+
+#: Aggressive settings that make the Figure 9 interlock easy to reach.
+TIGHT = QueueParams(
+    inject_queue_depth=2,
+    eject_queue_depth=2,
+    bridge_rx_depth=2,
+    bridge_tx_depth=2,
+    bridge_reserved_tx=2,
+    itag_threshold=8,
+    swap_detect_threshold=32,
+    swap_exit_threshold=1,
+)
+
+
+def build_pair(enable_swap, queues=TIGHT):
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    config = MultiRingConfig(queues=queues, enable_swap=enable_swap,
+                             eject_drain_per_cycle=1)
+    return MultiRingFabric(topo, config), ring0, ring1
+
+
+def hammer_cross_ring(fab, ring0, ring1, cycles, seed=0):
+    """All nodes fire cross-ring every cycle (open loop)."""
+    rng = random.Random(seed)
+    for cycle in range(cycles):
+        for src in ring0:
+            fab.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                   kind=MessageKind.DATA, created_cycle=cycle))
+        for src in ring1:
+            fab.try_inject(Message(src=src, dst=rng.choice(ring0),
+                                   kind=MessageKind.DATA, created_cycle=cycle))
+        fab.step(cycle)
+    return cycles
+
+
+def test_swap_controller_state_machine():
+    queues = QueueParams(swap_detect_threshold=10, swap_exit_threshold=1,
+                         bridge_reserved_tx=2)
+    stats = FabricStats()
+    swap = SwapController(queues, stats)
+    swap.update(5)
+    assert not swap.in_drm
+    swap.update(10)
+    assert swap.in_drm
+    assert stats.swap_events == 1
+
+    class _F:  # minimal flit stand-in
+        pass
+
+    assert swap.try_absorb(_F())
+    assert swap.try_absorb(_F())
+    assert not swap.try_absorb(_F())  # reserved capacity exhausted
+    swap.update(100)  # still in DRM: reserved occupied
+    assert swap.in_drm
+    swap.pop_priority_flit()
+    swap.pop_priority_flit()
+    swap.update(100)
+    assert not swap.in_drm  # drained below exit threshold
+
+
+def test_swap_controller_disabled_never_triggers():
+    swap = SwapController(QueueParams(), FabricStats(), enabled=False)
+    swap.update(10**9)
+    assert not swap.in_drm
+
+
+def test_cross_ring_saturation_keeps_progressing_with_swap():
+    fab, ring0, ring1 = build_pair(enable_swap=True)
+    hammer_cross_ring(fab, ring0, ring1, 3000)
+    delivered_early = fab.stats.delivered
+    hammer_cross_ring(fab, ring0, ring1, 3000)
+    assert fab.stats.delivered > delivered_early, "no progress in second half"
+    # Make sure we actually stressed the bridge into DRM at least once —
+    # otherwise this test proves nothing about SWAP.
+    assert fab.stats.swap_events > 0
+
+
+def test_without_swap_progress_stalls():
+    """Ablation: same saturation, SWAP disabled -> the interlock persists."""
+    fab, ring0, ring1 = build_pair(enable_swap=False)
+    hammer_cross_ring(fab, ring0, ring1, 4000)
+    mid = fab.stats.delivered
+    hammer_cross_ring(fab, ring0, ring1, 4000)
+    stalled_window = fab.stats.delivered - mid
+    fab2, r0, r1 = build_pair(enable_swap=True)
+    hammer_cross_ring(fab2, r0, r1, 4000)
+    mid2 = fab2.stats.delivered
+    hammer_cross_ring(fab2, r0, r1, 4000)
+    swap_window = fab2.stats.delivered - mid2
+    # With SWAP the second window keeps delivering at a healthy rate; the
+    # wedged system delivers (almost) nothing once interlocked.
+    assert swap_window > 4 * max(stalled_window, 1), (swap_window, stalled_window)
+
+
+def test_swap_system_drains_after_saturation():
+    fab, ring0, ring1 = build_pair(enable_swap=True)
+    cycle = hammer_cross_ring(fab, ring0, ring1, 2000)
+    # stop offering traffic; everything in flight must eventually deliver
+    for c in range(cycle, cycle + 5000):
+        if fab.stats.in_flight == 0:
+            break
+        fab.step(c)
+    assert fab.stats.in_flight == 0
+    assert fab.stats.accepted == fab.stats.delivered
+
+
+def test_moderate_load_never_enters_drm():
+    """SWAP is a recovery mechanism: light traffic must not trigger it."""
+    fab, ring0, ring1 = build_pair(enable_swap=True)
+    rng = random.Random(1)
+    for cycle in range(4000):
+        if cycle % 8 == 0:
+            src = rng.choice(ring0)
+            fab.try_inject(Message(src=src, dst=rng.choice(ring1),
+                                   kind=MessageKind.DATA, created_cycle=cycle))
+        fab.step(cycle)
+    assert fab.stats.swap_events == 0
+    assert fab.stats.delivered > 0
+
+
+def test_bridge_l2_occupancy_accounting():
+    fab, ring0, ring1 = build_pair(enable_swap=True)
+    hammer_cross_ring(fab, ring0, ring1, 200)
+    bridge = fab.bridges[0]
+    assert isinstance(bridge, RingBridgeL2)
+    assert bridge.occupancy() == len(bridge.flits_in_flight())
+
+
+def test_bridge_l1_transfers_without_link_delay():
+    from repro.core.topology import TopologyBuilder
+
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    builder.add_ring(1, 8)
+    src = builder.add_node(0, 2)
+    dst = builder.add_node(1, 2)
+    builder.add_bridge(0, 0, 1, 0, level=1)
+    fab = MultiRingFabric(builder.build())
+    m = Message(src=src, dst=dst, kind=MessageKind.DATA, created_cycle=0)
+    assert fab.try_inject(m)
+    for c in range(50):
+        fab.step(c)
+    assert m.delivered_cycle is not None
+    # 2 hops + bridge(2) + 2 hops + queueing — well under a dozen cycles.
+    assert m.total_latency < 15

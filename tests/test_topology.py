@@ -1,0 +1,121 @@
+"""Unit tests for topology specs, validation, and builders."""
+
+import pytest
+
+from repro.core.config import (
+    BridgeSpec,
+    NodePlacement,
+    RingSpec,
+    TopologySpec,
+)
+from repro.core.topology import (
+    TopologyBuilder,
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+)
+
+
+def test_ring_spec_rejects_tiny_ring():
+    with pytest.raises(ValueError):
+        RingSpec(0, 1)
+
+
+def test_bridge_spec_levels():
+    with pytest.raises(ValueError):
+        BridgeSpec(0, 3, 0, 0, 1, 0)
+    with pytest.raises(ValueError):
+        BridgeSpec(0, 1, 0, 0, 1, 0, link_latency=5)  # L1 has no link
+
+
+def test_validate_duplicate_node():
+    spec = TopologySpec(
+        rings=[RingSpec(0, 4)],
+        nodes=[NodePlacement(0, 0, 0), NodePlacement(0, 0, 1)],
+    )
+    with pytest.raises(ValueError, match="duplicate node"):
+        spec.validate()
+
+
+def test_validate_unknown_ring():
+    spec = TopologySpec(rings=[RingSpec(0, 4)], nodes=[NodePlacement(0, 7, 0)])
+    with pytest.raises(ValueError, match="unknown ring"):
+        spec.validate()
+
+
+def test_validate_stop_out_of_range():
+    spec = TopologySpec(rings=[RingSpec(0, 4)], nodes=[NodePlacement(0, 0, 9)])
+    with pytest.raises(ValueError, match="out of range"):
+        spec.validate()
+
+
+def test_validate_station_interface_limit():
+    """A cross station has at most two node interfaces (Figure 7A)."""
+    spec = TopologySpec(
+        rings=[RingSpec(0, 4)],
+        nodes=[NodePlacement(i, 0, 0) for i in range(3)],
+    )
+    with pytest.raises(ValueError, match="at most two"):
+        spec.validate()
+
+
+def test_builder_enforces_interface_limit_eagerly():
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    builder.add_node(0, 0)
+    builder.add_node(0, 0)
+    with pytest.raises(ValueError):
+        builder.add_node(0, 0)
+
+
+def test_builder_default_bridge_latency():
+    builder = TopologyBuilder()
+    builder.add_ring(0, 8)
+    builder.add_ring(1, 8)
+    builder.add_bridge(0, 0, 1, 0, level=1)
+    builder.add_bridge(0, 2, 1, 2, level=2)
+    spec = builder.build()
+    assert spec.bridges[0].link_latency == 0
+    assert spec.bridges[1].link_latency > 0
+
+
+def test_single_ring_layout():
+    topo, nodes = single_ring_topology(6, stop_spacing=3)
+    assert len(nodes) == 6
+    assert topo.rings[0].nstops == 18
+    stops = {p.stop for p in topo.nodes}
+    assert stops == {0, 3, 6, 9, 12, 15}
+
+
+def test_single_ring_rejects_bad_args():
+    with pytest.raises(ValueError):
+        single_ring_topology(0)
+    with pytest.raises(ValueError):
+        single_ring_topology(4, stop_spacing=0)
+
+
+def test_chiplet_pair_has_level2_bridge():
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=3)
+    assert len(ring0) == len(ring1) == 3
+    assert len(topo.bridges) == 1
+    assert topo.bridges[0].level == 2
+
+
+def test_grid_bridge_per_intersection():
+    layout = grid_of_rings(3, 2, devices_per_vring=4, memory_per_hring=2)
+    assert len(layout.topology.bridges) == 6
+    assert len(layout.all_device_nodes) == 12
+    assert len(layout.all_memory_nodes) == 4
+    # vertical rings are ids 0..2, horizontal 100..101
+    ring_ids = {r.ring_id for r in layout.topology.rings}
+    assert ring_ids == {0, 1, 2, 100, 101}
+
+
+def test_grid_validates():
+    layout = grid_of_rings(4, 3, devices_per_vring=5, memory_per_hring=6)
+    layout.topology.validate()
+
+
+def test_grid_rejects_zero_rings():
+    with pytest.raises(ValueError):
+        grid_of_rings(0, 2, 2, 2)

@@ -1,0 +1,295 @@
+"""Tests for the workload models (roofline, zipf, synthetic, spec,
+specpower, mlperf)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads import (
+    FIG3_POINTS,
+    LMBENCH_KERNELS,
+    MLPERF_MODELS,
+    SPECINT_2006,
+    SPECINT_2017,
+    RooflineModel,
+    SpecPowerModel,
+    zipf_addresses,
+)
+from repro.workloads.mlperf import (
+    NVIDIA_A100,
+    efficiency_ratio,
+    our_accelerator,
+    perf_ratio,
+    train_throughput,
+)
+from repro.workloads.roofline import intensity_ordering_holds
+from repro.workloads.spec import (
+    benchmark_performance,
+    geomean,
+    normalized_suite,
+    suite_scores,
+)
+from repro.workloads.synthetic import (
+    TrafficPattern,
+    hotspot_destinations,
+    neighbor_destinations,
+    transpose_destinations,
+    uniform_destinations,
+)
+
+
+# -- roofline (Figure 3) -----------------------------------------------------
+
+
+def test_roofline_regimes():
+    machine = RooflineModel("m", peak_flops=100e12, memory_bandwidth=1e12)
+    assert machine.ridge_intensity == 100
+    assert machine.attainable_flops(10) == 10e12       # memory bound
+    assert machine.attainable_flops(1000) == 100e12    # compute bound
+    assert machine.is_memory_bound(10)
+    assert not machine.is_memory_bound(200)
+
+
+def test_roofline_validation():
+    with pytest.raises(ValueError):
+        RooflineModel("bad", 0, 1)
+    machine = RooflineModel("m", 1, 1)
+    with pytest.raises(ValueError):
+        machine.attainable_flops(-1)
+
+
+def test_fig3_ai_has_highest_intensity():
+    """The arithmetic intensity of AI is the highest (Figure 3)."""
+    assert intensity_ordering_holds(FIG3_POINTS)
+
+
+# -- zipf ------------------------------------------------------------------------
+
+
+def test_zipf_is_skewed():
+    stream = zipf_addresses(1000, alpha=1.0, seed=3, count=20_000, shuffle=False)
+    counts = {}
+    for addr in stream:
+        counts[addr] = counts.get(addr, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    # The most popular address dwarfs the median one.
+    assert top[0] > 20 * top[len(top) // 2]
+
+
+def test_zipf_respects_range_and_determinism():
+    a = list(zipf_addresses(64, seed=5, count=500))
+    b = list(zipf_addresses(64, seed=5, count=500))
+    assert a == b
+    assert all(0 <= x < 64 for x in a)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        next(zipf_addresses(0))
+    with pytest.raises(ValueError):
+        next(zipf_addresses(10, alpha=0))
+
+
+# -- synthetic traffic -----------------------------------------------------------
+
+
+def test_uniform_destinations_avoid_source():
+    choose = uniform_destinations([1, 2, 3])
+    rng = random.Random(0)
+    assert all(choose(2, rng) != 2 for _ in range(50))
+
+
+def test_hotspot_concentration():
+    choose = hotspot_destinations(range(10), hotspots=[7], hot_fraction=0.9)
+    rng = random.Random(0)
+    hits = sum(1 for _ in range(1000) if choose(0, rng) == 7)
+    assert hits > 850
+
+
+def test_transpose_and_neighbor_are_permutations():
+    nodes = [10, 11, 12, 13]
+    rng = random.Random(0)
+    t = transpose_destinations(nodes)
+    assert [t(n, rng) for n in nodes] == [13, 12, 11, 10]
+    n1 = neighbor_destinations(nodes, 1)
+    assert [n1(n, rng) for n in nodes] == [11, 12, 13, 10]
+
+
+def test_traffic_pattern_rate_and_mix():
+    pattern = TrafficPattern(range(4), uniform_destinations(range(4)),
+                             rate=1.0, read_fraction=1.0, seed=1)
+    batch = pattern(0)
+    assert len(batch) == 4
+    assert all(m.kind.name == "REQUEST" for m in batch)
+    pattern0 = TrafficPattern(range(4), uniform_destinations(range(4)),
+                              rate=0.0)
+    assert pattern0(0) is None
+
+
+def test_traffic_pattern_validation():
+    with pytest.raises(ValueError):
+        TrafficPattern([0], uniform_destinations([0, 1]), rate=2.0)
+
+
+# -- lmbench ---------------------------------------------------------------------
+
+
+def test_lmbench_kernel_catalogue():
+    assert set(LMBENCH_KERNELS) == {
+        "rd", "frd", "wr", "fwr", "bzero", "cp", "fcp", "bcopy"
+    }
+    assert LMBENCH_KERNELS["rd"].read_fraction == 1.0
+    assert LMBENCH_KERNELS["wr"].read_fraction == 0.0
+    assert LMBENCH_KERNELS["cp"].read_fraction == 0.5
+    assert LMBENCH_KERNELS["cp"].accesses_per_element == 2
+
+
+# -- spec ------------------------------------------------------------------------
+
+
+def test_spec_suites_populated():
+    assert len(SPECINT_2017) == 10
+    assert len(SPECINT_2006) == 12
+    assert any(b.name == "505.mcf_r" for b in SPECINT_2017)
+    assert any(b.name == "429.mcf" for b in SPECINT_2006)
+
+
+def test_benchmark_performance_decreases_with_latency():
+    mcf = next(b for b in SPECINT_2017 if "mcf" in b.name)
+    fast = benchmark_performance(mcf, memory_latency_cycles=50)
+    slow = benchmark_performance(mcf, memory_latency_cycles=150)
+    assert fast > slow
+    # Memory-light benchmarks barely notice the same latency change.
+    exch = next(b for b in SPECINT_2017 if "exchange2" in b.name)
+    assert (benchmark_performance(exch, 50) / benchmark_performance(exch, 150)
+            < fast / slow)
+
+
+def test_suite_scores_and_normalization():
+    ours = suite_scores(SPECINT_2017, memory_latency_cycles=60, n_cores=2)
+    base = suite_scores(SPECINT_2017, memory_latency_cycles=90, n_cores=2)
+    ratios = normalized_suite(ours, base)
+    assert all(r >= 1.0 for name, r in ratios.items())
+    assert ratios["geomean"] == pytest.approx(
+        geomean([v for k, v in ratios.items() if k != "geomean"])
+    )
+
+
+def test_geomean_validation():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+# -- specpower -------------------------------------------------------------------
+
+
+def test_specpower_score_shape():
+    platform = SpecPowerModel("p", peak_ssj_ops=1e6, static_watts=100,
+                              dynamic_watts=200)
+    assert platform.ssj_ops(0.0) == 0
+    assert platform.ssj_ops(1.0) == 1e6
+    assert platform.watts(0.0) == 100
+    assert platform.watts(1.0) == 300
+    assert platform.score() > 0
+
+
+def test_specpower_lower_idle_power_wins():
+    lean = SpecPowerModel("lean", 1e6, static_watts=80, dynamic_watts=200)
+    hungry = SpecPowerModel("hungry", 1e6, static_watts=150, dynamic_watts=200)
+    assert lean.score() > hungry.score()
+
+
+def test_specpower_droop_hurts():
+    flat = SpecPowerModel("flat", 1e6, 100, 200, saturation_droop=0.0)
+    droopy = SpecPowerModel("droopy", 1e6, 100, 200, saturation_droop=0.3)
+    assert flat.score() > droopy.score()
+
+
+def test_specpower_validation():
+    with pytest.raises(ValueError):
+        SpecPowerModel("bad", 0, 1, 1)
+    platform = SpecPowerModel("p", 1e6, 100, 200)
+    with pytest.raises(ValueError):
+        platform.ssj_ops(1.5)
+
+
+# -- mlperf (Table 8) ------------------------------------------------------------
+
+
+def test_mlperf_models_present():
+    assert set(MLPERF_MODELS) == {"resnet50", "bert", "maskrcnn"}
+
+
+def test_a100_is_fabric_bound_ours_compute_bound():
+    """The table's mechanism: 16 TB/s feeds the cubes; 5 TB/s does not."""
+    ours = our_accelerator(noc_bw_bytes_per_s=16e12)
+    resnet = MLPERF_MODELS["resnet50"]
+    assert ours.bound_by(resnet) == "compute"
+    assert NVIDIA_A100.bound_by(resnet) == "onchip"
+
+
+def test_perf_ratio_in_paper_band():
+    ours = our_accelerator(16e12)
+    for key, (lo, hi) in {"resnet50": (2.0, 4.5), "bert": (2.0, 4.5),
+                          "maskrcnn": (2.5, 5.5)}.items():
+        ratio = perf_ratio(ours, NVIDIA_A100, MLPERF_MODELS[key])
+        assert lo < ratio < hi, (key, ratio)
+
+
+def test_efficiency_ratio_above_one():
+    ours = our_accelerator(16e12)
+    for workload in MLPERF_MODELS.values():
+        assert efficiency_ratio(ours, NVIDIA_A100, workload) > 1.0
+
+
+def test_throughput_scales_with_noc_bandwidth():
+    resnet = MLPERF_MODELS["resnet50"]
+    starved = our_accelerator(2e12)
+    fed = our_accelerator(16e12)
+    assert train_throughput(fed, resnet) > 2 * train_throughput(starved, resnet)
+
+
+def test_table3_guideline_networks_present():
+    from repro.workloads.mlperf import TABLE3_NETWORKS
+
+    names = {n.name for n in TABLE3_NETWORKS}
+    assert names == {"ResNet", "BERT", "Wide & Deep", "GPT"}
+    domains = {n.domain for n in TABLE3_NETWORKS}
+    assert "recommendation" in domains and "NLP" in domains
+
+
+def test_yolo_inference_latency_realtime():
+    """Tiny-network inference (Section 3.1.2) is comfortably real-time
+    on the NoC-fed accelerator."""
+    from repro.workloads.mlperf import (
+        YOLO_V3_TINY,
+        inference_latency_ms,
+        our_accelerator,
+    )
+
+    device = our_accelerator(16e12)
+    latency = inference_latency_ms(device, YOLO_V3_TINY, batch=1)
+    assert 0 < latency < 5.0  # well under a 30 fps frame budget
+    assert inference_latency_ms(device, YOLO_V3_TINY, batch=8) > latency
+    with pytest.raises(ValueError):
+        inference_latency_ms(device, YOLO_V3_TINY, batch=0)
+
+
+def test_lat_mem_rd_measures_round_trip():
+    from repro.cpu import ServerPackage, ServerPackageConfig
+    from repro.workloads.lmbench import run_lat_mem_rd
+
+    cfg = ServerPackageConfig(clusters_per_ccd=4, hn_per_ccd=2, ddr_per_ccd=2)
+    ours = run_lat_mem_rd(ServerPackage(cfg, fabric_kind="multiring"),
+                          samples=24)
+    star = run_lat_mem_rd(ServerPackage(cfg, fabric_kind="switched_star"),
+                          samples=24)
+    assert ours["samples"] == 24
+    # Raw DDR round trip: dominated by the 60-cycle DDR service, plus
+    # the fabric; the star's central switch costs visibly more.
+    assert 60 < ours["cycles"] < 200
+    assert star["cycles"] > ours["cycles"]
+    assert ours["ns"] == pytest.approx(ours["cycles"] / 3.0, rel=1e-6)
