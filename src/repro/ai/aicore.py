@@ -10,7 +10,6 @@ with different read/write ratios").
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -18,6 +17,7 @@ from repro.ai.messages import AiMessage, AiOp, next_ai_txn
 from repro.coherence.agent import ProtocolAgent
 from repro.fabric.interface import Fabric
 from repro.params import CACHE_LINE_BYTES
+from repro.sim.rng import make_rng
 
 
 @dataclass
@@ -62,7 +62,7 @@ class AiCore(ProtocolAgent):
         self.issue_interval = max(1, issue_interval)
         self._next_issue = 0
         self.stats = AiCoreStats()
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._outstanding: Dict[int, int] = {}  # txn -> issue cycle
         self._next_addr = self._rng.randrange(addr_space)
         self._addr_space = addr_space

@@ -8,13 +8,13 @@ rate; the data flits themselves traverse the horizontal rings.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, List
 
 from repro.ai.messages import AiMessage, AiOp, next_ai_txn
 from repro.coherence.agent import ProtocolAgent
 from repro.fabric.interface import Fabric
 from repro.params import CACHE_LINE_BYTES
+from repro.sim.rng import make_rng
 
 
 class DmaEngine(ProtocolAgent):
@@ -38,7 +38,7 @@ class DmaEngine(ProtocolAgent):
         self.hbm_nodes = list(hbm_nodes)
         self.issues_per_cycle = issues_per_cycle
         self.max_outstanding = max_outstanding
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._outstanding: Dict[int, int] = {}
         self._credit = 0.0
         self.transfers_done = 0

@@ -11,12 +11,12 @@ concrete tensor placement.
 
 from __future__ import annotations
 
-import random
 from typing import Callable
 
 from repro.ai.messages import AiMessage, AiOp
 from repro.coherence.agent import ProtocolAgent
 from repro.fabric.interface import Fabric
+from repro.sim.rng import make_rng
 
 
 class LlcDirectory(ProtocolAgent):
@@ -38,7 +38,7 @@ class LlcDirectory(ProtocolAgent):
         self.hbm_map = hbm_map
         self.hit_rate = hit_rate
         self.lookup_latency = lookup_latency
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self.hits = 0
         self.misses = 0
         self.writes_tracked = 0

@@ -9,12 +9,12 @@ the library's experiments; the full benchmark harness lives under
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import List, Optional
 
 from repro import __version__
 from repro.analysis.plot import line_chart, sparkline
+from repro.sim.rng import make_rng
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -33,6 +33,8 @@ def _cmd_ring(args: argparse.Namespace) -> int:
     topo, nodes = single_ring_topology(args.nodes,
                                        bidirectional=not args.half)
     fabric = MultiRingFabric(topo)
+    checker = (fabric.attach_invariant_checker()
+               if args.check_invariants else None)
     msgs = uniform_messages(nodes, nodes, args.messages, seed=args.seed)
     cycle = inject_all(fabric, msgs)
     run_to_drain(fabric, cycle)
@@ -42,6 +44,8 @@ def _cmd_ring(args: argparse.Namespace) -> int:
           f"{stats.delivered}/{args.messages}, mean latency "
           f"{stats.mean_network_latency():.1f} cycles, p99 "
           f"{stats.latency_percentile(99):.0f}")
+    if checker is not None:
+        print(checker.summary())
     return 0
 
 
@@ -76,6 +80,8 @@ def _cmd_ai(args: argparse.Namespace) -> int:
         core_mlp=48, dma_issues_per_cycle=0.4,
     )
     processor = AiProcessor(config, probe_window=max(args.cycles // 16, 64))
+    checker = (processor.fabric.attach_invariant_checker()
+               if args.check_invariants else None)
     processor.run(args.cycles)
     report = processor.bandwidth_report()
     print(f"AI fabric, R:W={args.read_fraction:.2f}, {args.cycles} cycles:")
@@ -85,6 +91,8 @@ def _cmd_ai(args: argparse.Namespace) -> int:
     ratios = processor.core_probes.min_over_max()
     if ratios:
         print(f"  equilibrium min/max per window: {sparkline(ratios)}")
+    if checker is not None:
+        print(checker.summary())
     return 0
 
 
@@ -101,7 +109,9 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     fabric = MultiRingFabric(topo, MultiRingConfig(
         queues=queues, enable_swap=not args.no_swap,
         eject_drain_per_cycle=1))
-    rng = random.Random(0)
+    checker = (fabric.attach_invariant_checker()
+               if args.check_invariants else None)
+    rng = make_rng(args.seed)
     deliveries = []
     for cycle in range(args.cycles):
         for src in ring0:
@@ -118,6 +128,8 @@ def _cmd_deadlock(args: argparse.Namespace) -> int:
     print(f"{mode}: delivered {fabric.stats.delivered} under saturation, "
           f"DRM entries {fabric.stats.swap_events}")
     print("progress: " + sparkline(deliveries, width=60))
+    if checker is not None:
+        print(checker.summary())
     return 0
 
 
@@ -165,6 +177,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lint import run_check
+
+    report = run_check(
+        src_paths=args.src or None,
+        scenario_paths=args.scenario,
+        lint=not args.no_lint,
+        builtin=not args.no_builtin,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-noc",
@@ -176,11 +206,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="library overview").set_defaults(fn=_cmd_info)
 
+    p = sub.add_parser("check",
+                       help="static analysis: lint sim paths, validate "
+                            "topologies/configs")
+    p.add_argument("--src", action="append", metavar="PATH",
+                   help="source tree(s) to lint (default: the installed "
+                        "repro package)")
+    p.add_argument("--scenario", action="append", default=[],
+                   metavar="FILE",
+                   help="topology/scenario JSON file(s) to validate")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the AST lint layer")
+    p.add_argument("--no-builtin", action="store_true",
+                   help="skip validating the built-in topologies")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=_cmd_check)
+
     p = sub.add_parser("ring", help="drain random traffic on one ring")
     p.add_argument("--nodes", type=int, default=12)
     p.add_argument("--messages", type=int, default=200)
     p.add_argument("--half", action="store_true", help="half ring")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="verify flit conservation, deflection bound, and "
+                        "tag consistency every cycle")
     p.set_defaults(fn=_cmd_ring)
 
     p = sub.add_parser("server-latency",
@@ -195,11 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ai-bandwidth", help="Table 7-style AI bandwidth")
     p.add_argument("--cycles", type=int, default=1500)
     p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="verify fabric invariants every cycle")
     p.set_defaults(fn=_cmd_ai)
 
     p = sub.add_parser("deadlock", help="Figure 9 saturation testbench")
     p.add_argument("--cycles", type=int, default=3000)
     p.add_argument("--no-swap", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="verify fabric invariants every cycle (detects "
+                        "the SWAP-off livelock at runtime)")
     p.set_defaults(fn=_cmd_deadlock)
 
     p = sub.add_parser("topology", help="describe a built-in topology")
@@ -215,9 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.lint.invariants import InvariantViolation
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -56,6 +56,9 @@ class MultiRingFabric(Fabric):
 
         #: Optional per-node delivery probes (Figure 14 instrumentation).
         self.delivery_probes: Dict[int, BandwidthProbe] = {}
+        #: Optional runtime invariant checker (``--check-invariants``);
+        #: see :meth:`attach_invariant_checker`.
+        self.invariant_checker = None
         self._ring_list = list(self.rings.values())
 
     # -- Fabric interface --------------------------------------------------
@@ -87,6 +90,8 @@ class MultiRingFabric(Fabric):
         for bridge in self.bridges:
             bridge.step(cycle)
         self._drain(cycle)
+        if self.invariant_checker is not None:
+            self.invariant_checker.check(cycle)
 
     def _drain(self, cycle: int) -> None:
         """Hand ejected flits to their destination nodes."""
@@ -108,6 +113,22 @@ class MultiRingFabric(Fabric):
         probe = BandwidthProbe(f"node{node}", window_cycles)
         self.delivery_probes[node] = probe
         return probe
+
+    def attach_invariant_checker(self, checker=None, **kwargs):
+        """Enable per-cycle invariant verification (``--check-invariants``).
+
+        With no ``checker``, builds a
+        :class:`repro.lint.invariants.FabricInvariantChecker` over this
+        fabric (``kwargs`` forwarded).  The checker runs at the end of
+        every :meth:`step` and raises
+        :class:`repro.lint.invariants.InvariantViolation` on failure; it
+        only reads state, so checked runs reproduce unchecked stats.
+        """
+        if checker is None:
+            from repro.lint.invariants import FabricInvariantChecker
+            checker = FabricInvariantChecker(self, **kwargs)
+        self.invariant_checker = checker
+        return checker
 
     def flits_in_flight(self) -> List[Flit]:
         """Every flit currently inside the network (for conservation tests)."""

@@ -17,12 +17,12 @@ The operation stream is any iterator of ``(op, addr)`` pairs where op is
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.coherence.requester import RequestNode
 from repro.sim.engine import SimComponent
+from repro.sim.rng import Rng, make_rng
 
 Op = Tuple[str, int]
 
@@ -93,7 +93,7 @@ class Core(SimComponent):
         self.discipline = discipline or closed_loop()
         self.stats = CoreStats()
         self.name = name or f"core@{rn.name}"
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._outstanding = 0
         self._think_until = 0
         self._pending: Optional[Op] = None
@@ -190,30 +190,30 @@ class Core(SimComponent):
 
 
 def uniform_stream(
-    op_mix: Callable[[random.Random], str],
+    op_mix: Callable[[Rng], str],
     addr_range: int,
     seed: int = 0,
     count: Optional[int] = None,
     addr_offset: int = 0,
 ) -> Iterator[Op]:
     """Random addresses in [offset, offset+range), ops from ``op_mix``."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     produced = 0
     while count is None or produced < count:
         yield op_mix(rng), addr_offset + rng.randrange(addr_range)
         produced += 1
 
 
-def read_write_mix(read_fraction: float) -> Callable[[random.Random], str]:
+def read_write_mix(read_fraction: float) -> Callable[[Rng], str]:
     """NoSnp read/write mix with the given read probability."""
-    def mix(rng: random.Random) -> str:
+    def mix(rng: Rng) -> str:
         return "read" if rng.random() < read_fraction else "write"
     return mix
 
 
-def load_store_mix(load_fraction: float) -> Callable[[random.Random], str]:
+def load_store_mix(load_fraction: float) -> Callable[[Rng], str]:
     """Coherent load/store mix with the given load probability."""
-    def mix(rng: random.Random) -> str:
+    def mix(rng: Rng) -> str:
         return "load" if rng.random() < load_fraction else "store"
     return mix
 

@@ -1,0 +1,44 @@
+"""Static analysis and invariant verification for the reproduction.
+
+Three layers, surfaced together as ``repro-noc check``:
+
+- :mod:`repro.lint.rules` — AST lint rules tailored to a cycle-accurate
+  simulator (determinism, mutable defaults, integral cycle counters, no
+  bare ``except``);
+- :mod:`repro.lint.validator` — static topology/config validation run
+  before any simulation (dangling bridge endpoints, unreachable
+  stations, zero-depth queues, statically deadlock-prone SWAP-disabled
+  inter-chiplet cycles per Section 4.4);
+- :mod:`repro.lint.invariants` — opt-in runtime probes
+  (``--check-invariants``) asserting flit conservation, the one-lap
+  deflection bound, and I-tag/E-tag reservation consistency every cycle.
+"""
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.invariants import FabricInvariantChecker, InvariantViolation
+from repro.lint.rules import DEFAULT_RULES, lint_paths, lint_source
+from repro.lint.runner import CheckReport, run_check
+from repro.lint.validator import (
+    validate_config,
+    validate_scenario,
+    validate_scenario_file,
+    validate_spec,
+    validate_topology_dict,
+)
+
+__all__ = [
+    "CheckReport",
+    "DEFAULT_RULES",
+    "FabricInvariantChecker",
+    "Finding",
+    "InvariantViolation",
+    "Severity",
+    "lint_paths",
+    "lint_source",
+    "run_check",
+    "validate_config",
+    "validate_scenario",
+    "validate_scenario_file",
+    "validate_spec",
+    "validate_topology_dict",
+]

@@ -1,0 +1,57 @@
+"""The finding record shared by the lint rules and the config validator.
+
+A finding is one diagnosed problem: which rule fired, where, how bad.
+``repro-noc check`` aggregates findings from every layer and exits
+non-zero iff any of them is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Severity:
+    """Finding severities (plain strings so findings serialize cleanly)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem from any checker layer."""
+
+    rule: str
+    message: str
+    severity: str = Severity.ERROR
+    #: Source file (lint) or scenario file (validator); None for checks
+    #: on in-memory specs.
+    path: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == Severity.ERROR
+
+    def format(self) -> str:
+        loc = ""
+        if self.path is not None:
+            loc = self.path
+            if self.line is not None:
+                loc += f":{self.line}"
+                if self.col is not None:
+                    loc += f":{self.col}"
+            loc += ": "
+        return f"{loc}{self.severity}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }

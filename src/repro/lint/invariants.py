@@ -1,0 +1,219 @@
+"""Opt-in runtime invariant probes for the multi-ring fabric.
+
+The paper's correctness story rests on three invariants the simulator
+otherwise exercises only implicitly:
+
+- **flit conservation** — bufferless rings never create or drop a flit:
+  every cycle, ``accepted - delivered`` messages are physically present
+  in a queue, a lane slot, or a bridge stage;
+- **bounded deflection** (Section 4.1.2) — once a flit holds an E-tag
+  reservation it circles at most one more lap per competing reservation,
+  and competitors are bounded by the ring's slot capacity.  Transient
+  bridge backpressure stretches this in practice (the healthy saturated
+  Figure-9 bench peaks at ~1.8× slot capacity across seeds), so the
+  default bound is four times the slot capacity: a flit whose
+  post-reservation laps exceed ``4 × nstops × nlanes`` of its ring is
+  livelocked or starved (a SWAP-disabled inter-chiplet deadlock
+  manifests exactly this way at runtime, and so does sustained
+  oversubscription of a single eject port, where the one-lap argument's
+  progress assumption fails);
+- **I-tag/E-tag reservation consistency** — every I-tag in a lane points
+  to a port that knows it placed one (and vice versa, at most one per
+  port and direction), and every E-tag reservation names a message that
+  is still in the network.
+
+:class:`FabricInvariantChecker` verifies all three against a
+:class:`repro.core.network.MultiRingFabric` and raises a structured
+:class:`InvariantViolation` carrying the cycle and station context.  It
+only reads fabric state, so a checked run and an unchecked run of the
+same seed produce identical statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant failed; carries structured context.
+
+    Attributes:
+        rule: short rule name (``flit-conservation``,
+            ``deflection-bound``, ``etag-consistency``,
+            ``itag-consistency``).
+        cycle: simulation cycle at which the check ran.
+        context: rule-specific details (ring/stop/msg ids, counts).
+    """
+
+    def __init__(self, rule: str, cycle: int, message: str,
+                 context: Optional[dict] = None):
+        self.rule = rule
+        self.cycle = cycle
+        self.context = context or {}
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+        suffix = f" [{detail}]" if detail else ""
+        super().__init__(f"cycle {cycle}: [{rule}] {message}{suffix}")
+
+
+class FabricInvariantChecker:
+    """Per-cycle invariant verification for one multi-ring fabric.
+
+    Attach with :meth:`repro.core.network.MultiRingFabric.
+    attach_invariant_checker` (the fabric then calls :meth:`check` at the
+    end of every :meth:`step`), or register :meth:`check` on a
+    :class:`repro.sim.engine.Simulator` via ``register_invariant``.
+
+    ``check_every`` thins the probe for long runs; ``max_extra_laps``
+    overrides the per-ring deflection bound (default: four times the
+    ring's slot capacity, ``4 × nstops × nlanes``).
+    """
+
+    def __init__(
+        self,
+        fabric,
+        check_every: int = 1,
+        max_extra_laps: Optional[int] = None,
+    ):
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.fabric = fabric
+        self.check_every = check_every
+        self.max_extra_laps = max_extra_laps
+        #: Number of full invariant sweeps performed.
+        self.checks_run = 0
+        #: High-water mark of post-reservation laps observed (diagnostics).
+        self.max_laps_seen = 0
+        self._lap_bounds: Dict[int, int] = {
+            ring_id: 4 * ring.spec.nstops * len(ring.lanes)
+            for ring_id, ring in fabric.rings.items()
+        }
+
+    # -- entry points -----------------------------------------------------
+
+    def check(self, cycle: int) -> None:
+        """Run every probe; raises :class:`InvariantViolation` on failure."""
+        if cycle % self.check_every != 0:
+            return
+        self.check_conservation(cycle)
+        self.check_deflection_bound(cycle)
+        self.check_etag_consistency(cycle)
+        self.check_itag_consistency(cycle)
+        self.checks_run += 1
+
+    # -- individual probes ------------------------------------------------
+
+    def check_conservation(self, cycle: int) -> None:
+        """accepted - delivered messages must all be physically present."""
+        stats = self.fabric.stats
+        expected = stats.accepted - stats.delivered
+        present = self.fabric.occupancy()
+        if present != expected:
+            verb = "vanished from" if present < expected else "duplicated in"
+            raise InvariantViolation(
+                "flit-conservation", cycle,
+                f"{abs(expected - present)} flit(s) {verb} the network",
+                {"accepted": stats.accepted, "delivered": stats.delivered,
+                 "in_network": present},
+            )
+
+    def check_deflection_bound(self, cycle: int) -> None:
+        """No flit may exceed one post-reservation lap per ring slot."""
+        for ring_id, ring in self.fabric.rings.items():
+            bound = (self.max_extra_laps if self.max_extra_laps is not None
+                     else self._lap_bounds[ring_id])
+            for lane in ring.lanes:
+                for flit in lane.flits:
+                    if flit is None:
+                        continue
+                    laps = flit.laps_deflected
+                    if laps > self.max_laps_seen:
+                        self.max_laps_seen = laps
+                    if laps > bound:
+                        raise InvariantViolation(
+                            "deflection-bound", cycle,
+                            f"flit {flit.msg.msg_id} has circled "
+                            f"{laps} laps past its E-tag reservation "
+                            f"(bound {bound}); livelock or starvation",
+                            {"ring": ring_id,
+                             "exit_stop": flit.current_hop.exit_stop,
+                             "msg": flit.msg.msg_id,
+                             "laps": laps, "bound": bound,
+                             "deflections": flit.deflections},
+                        )
+
+    def check_etag_consistency(self, cycle: int) -> None:
+        """Every E-tag reservation names a message still in the network."""
+        in_flight = {f.msg.msg_id for f in self.fabric.flits_in_flight()}
+        for ring_id, station, port in self._ports():
+            stale = port.etag_reservations - in_flight
+            if stale:
+                raise InvariantViolation(
+                    "etag-consistency", cycle,
+                    f"port {port.key} holds E-tag reservation(s) for "
+                    "message(s) no longer in the network",
+                    {"ring": ring_id, "stop": station.stop,
+                     "stale_msgs": sorted(stale)},
+                )
+
+    def check_itag_consistency(self, cycle: int) -> None:
+        """Lane I-tags and port ``itag_pending`` flags must agree."""
+        # (port id, direction) -> number of lane tags pointing at it.
+        tag_count: Dict[Tuple[int, int], int] = {}
+        for ring_id, ring in self.fabric.rings.items():
+            for lane in ring.lanes:
+                for idx, port in enumerate(lane.itags):
+                    if port is None:
+                        continue
+                    station = port.station
+                    if station.ring_spec.ring_id != ring_id:
+                        raise InvariantViolation(
+                            "itag-consistency", cycle,
+                            f"lane slot {idx} on ring {ring_id} is "
+                            f"reserved by port {port.key} of ring "
+                            f"{station.ring_spec.ring_id}",
+                            {"ring": ring_id, "slot": idx},
+                        )
+                    if not port.itag_pending.get(lane.direction, False):
+                        raise InvariantViolation(
+                            "itag-consistency", cycle,
+                            f"lane slot {idx} on ring {ring_id} carries an "
+                            f"I-tag for port {port.key}, but the port has "
+                            "no pending reservation in that direction",
+                            {"ring": ring_id, "slot": idx,
+                             "stop": station.stop,
+                             "direction": lane.direction},
+                        )
+                    key = (id(port), lane.direction)
+                    tag_count[key] = tag_count.get(key, 0) + 1
+                    if tag_count[key] > 1:
+                        raise InvariantViolation(
+                            "itag-consistency", cycle,
+                            f"port {port.key} holds {tag_count[key]} "
+                            "I-tags in one direction; at most one slot "
+                            "may be reserved at a time",
+                            {"ring": ring_id, "stop": station.stop,
+                             "direction": lane.direction},
+                        )
+        for ring_id, station, port in self._ports():
+            for direction, pending in port.itag_pending.items():
+                if pending and tag_count.get((id(port), direction), 0) == 0:
+                    raise InvariantViolation(
+                        "itag-consistency", cycle,
+                        f"port {port.key} believes it reserved a slot "
+                        f"(direction {direction:+d}) but no lane carries "
+                        "its I-tag",
+                        {"ring": ring_id, "stop": station.stop,
+                         "direction": direction},
+                    )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _ports(self):
+        for ring_id, ring in self.fabric.rings.items():
+            for station in ring.stations:
+                for port in station.ports:
+                    yield ring_id, station, port
+
+    def summary(self) -> str:
+        return (f"invariants: {self.checks_run} sweeps, 0 violations, "
+                f"max post-reservation laps {self.max_laps_seen}")

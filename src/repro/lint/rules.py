@@ -1,0 +1,321 @@
+"""AST lint rules tailored to a cycle-accurate simulator.
+
+Generic linters do not know what breaks a simulator.  These rules do:
+
+- ``determinism`` — no ambient randomness or wall-clock reads in sim
+  paths.  Every random stream must come from
+  :func:`repro.sim.rng.make_rng` so a run is a pure function of its
+  seed; ``time.time()`` in a model silently couples results to the host.
+- ``mutable-default`` — a mutable default argument is shared across all
+  calls, which in a simulator aliases state across components.
+- ``float-cycle`` — cycle counters are integers.  Assigning a float (or
+  a true-division result) to a cycle variable lets ``0.30000000000004``
+  creep into ready-times and break cycle-exact comparisons; use ``//``
+  or keep float math in reporting-only variables.
+- ``bare-except`` — ``except:`` swallows the structured
+  :class:`repro.lint.invariants.InvariantViolation` (and
+  ``KeyboardInterrupt``), turning a caught correctness bug into silence.
+
+A line can opt out of one rule with a trailing ``# lint: allow[rule]``
+comment; :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
+exempt from the determinism rule wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+#: Rule names, in reporting order.
+DEFAULT_RULES: Tuple[str, ...] = (
+    "determinism",
+    "mutable-default",
+    "float-cycle",
+    "bare-except",
+)
+
+#: Files (posix-path suffixes) where the determinism rule does not apply:
+#: the RNG helper is the one legitimate owner of ``random``.
+DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/sim/rng.py",)
+
+#: Modules whose import anywhere in a sim path is nondeterminism.
+_BANNED_MODULES = {"random", "secrets", "numpy.random"}
+
+#: Dotted call suffixes that read the wall clock or entropy pool.
+_BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Names that the float-cycle rule treats as cycle counters.  Rates named
+#: ``*_per_cycle`` are not counters and may legitimately be floats.
+_CYCLE_NAME = re.compile(r"(^|_)cycles?$")
+_RATE_NAME = re.compile(r"per_cycle")
+
+_ALLOW_COMMENT = re.compile(r"#\s*lint:\s*allow\[([a-z\-, ]+)\]")
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule names allowed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_COMMENT.search(line)
+        if match:
+            out[lineno] = {r.strip() for r in match.group(1).split(",")}
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain (``a.b.c``) or bare name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_cycle_name(node: ast.AST) -> bool:
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None or _RATE_NAME.search(name):
+        return False
+    return bool(_CYCLE_NAME.search(name))
+
+
+def _contains_float_math(node: ast.AST) -> Optional[ast.AST]:
+    """First sub-expression that produces a float: a float literal,
+    a true division, or a call to ``float``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return sub
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return sub
+        if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                and sub.func.id == "float"):
+            return sub
+    return None
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor applying every enabled rule."""
+
+    def __init__(
+        self,
+        path: str,
+        rules: Sequence[str],
+        suppressed: Dict[int, Set[str]],
+        determinism_exempt: bool,
+    ):
+        self.path = path
+        self.rules = set(rules)
+        if determinism_exempt:
+            self.rules.discard("determinism")
+        self.suppressed = suppressed
+        self.findings: List[Finding] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.rules:
+            return
+        line = getattr(node, "lineno", 0)
+        if rule in self.suppressed.get(line, ()):  # inline opt-out
+            return
+        self.findings.append(
+            Finding(rule=rule, message=message, severity=Severity.ERROR,
+                    path=self.path, line=line,
+                    col=getattr(node, "col_offset", 0))
+        )
+
+    # -- determinism ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _BANNED_MODULES:
+                self._emit(
+                    node, "determinism",
+                    f"import of '{alias.name}' in a sim path; create "
+                    "generators with repro.sim.rng.make_rng/split_rng "
+                    "(type-hint with repro.sim.rng.Rng)",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if module in _BANNED_MODULES:
+            self._emit(
+                node, "determinism",
+                f"import from '{module}' in a sim path; use "
+                "repro.sim.rng.make_rng/split_rng instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            for banned in _BANNED_CALLS:
+                if dotted == banned or dotted.endswith("." + banned):
+                    self._emit(
+                        node, "determinism",
+                        f"wall-clock/entropy call '{dotted}' in a sim "
+                        "path; cycle counts are the only clock a "
+                        "deterministic simulator may read",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- mutable defaults -------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                bad = type(default).__name__.lower()
+            elif isinstance(default, ast.Call):
+                name = _dotted(default.func) or ""
+                if name.split(".")[-1] in {"list", "dict", "set",
+                                           "deque", "defaultdict",
+                                           "OrderedDict", "Counter"}:
+                    bad = name
+            if bad is not None:
+                self._emit(
+                    default, "mutable-default",
+                    f"mutable default ({bad}) in '{node.name}' is shared "
+                    "across calls; default to None and allocate inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- float arithmetic on cycle counters -------------------------------
+
+    def _check_cycle_assign(self, node: ast.AST, targets: Iterable[ast.AST],
+                            value: ast.AST) -> None:
+        if not any(_is_cycle_name(t) for t in targets):
+            return
+        culprit = _contains_float_math(value)
+        if culprit is not None:
+            self._emit(
+                node, "float-cycle",
+                "float arithmetic assigned to a cycle counter; cycle "
+                "counts must stay integral (use // or do unit "
+                "conversion in a reporting-only variable)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_cycle_assign(node, node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_cycle_assign(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if _is_cycle_name(node.target) and (
+            isinstance(node.op, ast.Div)
+            or _contains_float_math(node.value) is not None
+        ):
+            self._emit(
+                node, "float-cycle",
+                "float arithmetic on a cycle counter; cycle counts must "
+                "stay integral",
+            )
+        self.generic_visit(node)
+
+    # -- bare except ------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                node, "bare-except",
+                "bare 'except:' swallows InvariantViolation and "
+                "KeyboardInterrupt; catch a concrete exception type",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[str] = DEFAULT_RULES,
+    determinism_exempt: Optional[bool] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns findings (empty = clean)."""
+    if determinism_exempt is None:
+        posix = path.replace(os.sep, "/")
+        determinism_exempt = any(posix.endswith(s) for s in DETERMINISM_EXEMPT)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule="syntax", severity=Severity.ERROR,
+                        message=f"cannot parse: {exc.msg}", path=path,
+                        line=exc.lineno or 0, col=exc.offset or 0)]
+    visitor = _RuleVisitor(path, rules, _suppressions(source),
+                           determinism_exempt)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def iter_python_files(root: str) -> List[str]:
+    """All ``.py`` files under ``root`` (or ``root`` itself if a file)."""
+    if os.path.isfile(root):
+        return [root]
+    out: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d != "__pycache__" and not d.endswith(".egg-info")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Sequence[str] = DEFAULT_RULES,
+) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns (findings, number of files linted).
+    """
+    findings: List[Finding] = []
+    nfiles = 0
+    for root in paths:
+        for filepath in iter_python_files(root):
+            nfiles += 1
+            with open(filepath, "r", encoding="utf-8") as fh:
+                findings.extend(lint_source(fh.read(), filepath, rules))
+    return findings, nfiles

@@ -1,0 +1,124 @@
+"""The ``repro-noc check`` orchestration: lint + validator in one report.
+
+``run_check`` lints the installed ``repro`` package (or any source tree
+given), statically validates the built-in topologies with their default
+configs, and validates any scenario/topology JSON files passed on the
+command line.  The report's exit code is non-zero iff any finding is an
+error, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import lint_paths
+from repro.lint.validator import validate_scenario_file, validate_spec
+
+
+@dataclass
+class CheckReport:
+    """Aggregated findings from every checker layer."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_linted: int = 0
+    topologies_validated: int = 0
+    scenarios_validated: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.is_error]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if not f.is_error]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"checked {self.files_linted} source files, "
+            f"{self.topologies_validated} built-in topologies, "
+            f"{self.scenarios_validated} scenario files: "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "files_linted": self.files_linted,
+            "topologies_validated": self.topologies_validated,
+            "scenarios_validated": self.scenarios_validated,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
+
+
+def default_source_root() -> str:
+    """The installed ``repro`` package directory (the default lint target)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _builtin_specs():
+    """(name, TopologySpec, MultiRingConfig) for every built-in system."""
+    from repro.ai.mesh_system import AiProcessorConfig
+    from repro.core.config import MultiRingConfig
+    from repro.core.topology import chiplet_pair, grid_of_rings, single_ring_topology
+
+    out = []
+    spec, _ = single_ring_topology(12)
+    out.append(("single-ring", spec, MultiRingConfig()))
+    spec, _, _ = chiplet_pair()
+    out.append(("chiplet-pair", spec, MultiRingConfig()))
+    cfg = AiProcessorConfig()
+    layout = grid_of_rings(
+        cfg.n_vrings, cfg.n_hrings, cfg.cores_per_vring, cfg.memory_per_hring,
+        stop_spacing=cfg.stop_spacing,
+        vring_lanes=cfg.lanes_per_direction, hring_lanes=cfg.hring_lanes,
+    )
+    out.append(("ai-grid", layout.topology,
+                MultiRingConfig(lanes_per_direction=cfg.lanes_per_direction)))
+    from repro.cpu.package import build_server_system
+
+    fabric, _, _ = build_server_system("multiring")
+    out.append(("server-package", fabric.topology, fabric.config))
+    return out
+
+
+def run_check(
+    src_paths: Optional[Sequence[str]] = None,
+    scenario_paths: Sequence[str] = (),
+    lint: bool = True,
+    builtin: bool = True,
+) -> CheckReport:
+    """Run every static layer and aggregate the findings."""
+    report = CheckReport()
+    if lint:
+        paths = list(src_paths) if src_paths else [default_source_root()]
+        # A typo'd --src would otherwise lint zero files and pass CI.
+        for path in paths:
+            if not os.path.exists(path):
+                report.findings.append(Finding(
+                    rule="missing-path",
+                    message="source path does not exist",
+                    severity=Severity.ERROR, path=path))
+        findings, nfiles = lint_paths([p for p in paths if os.path.exists(p)])
+        report.findings.extend(findings)
+        report.files_linted = nfiles
+    if builtin:
+        for name, spec, config in _builtin_specs():
+            report.findings.extend(
+                validate_spec(spec, config, path=f"<builtin:{name}>"))
+            report.topologies_validated += 1
+    for path in scenario_paths:
+        report.findings.extend(validate_scenario_file(path))
+        report.scenarios_validated += 1
+    return report

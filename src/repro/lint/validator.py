@@ -1,0 +1,385 @@
+"""Static topology/config validation — run before any simulation.
+
+:meth:`repro.core.config.TopologySpec.validate` raises on the *first*
+structural error; this validator instead collects every problem it can
+find, works on raw JSON dicts (so a broken saved topology is reported
+rather than crashing deserialization), and adds the deeper checks a
+spec-level ``validate()`` cannot do alone:
+
+- dangling or mismatched RBRG-L1/L2 bridge endpoints;
+- stations unreachable from part of the network (rings in different
+  connected components of the bridge graph — within one ring, even a
+  half ring reaches every stop because direction-constrained travel
+  still cycles the whole ring);
+- zero-depth inject/eject queues and other impossible tuning values;
+- inter-chiplet ring cycles with SWAP disabled — statically
+  deadlock-prone per Section 4.4: any RBRG-L2 closes a cyclic channel
+  dependency between the rings it joins, so with neither SWAP nor
+  escape slots there is no recovery path once both sides saturate.
+
+Scenario files are either a bare topology dict (the
+:mod:`repro.core.serialize` format) or ``{"topology": {...},
+"config": {...}}`` where the config section carries
+:class:`repro.core.config.MultiRingConfig` fields (with ``queues`` as a
+nested :class:`repro.params.QueueParams` dict).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.lint.findings import Finding, Severity
+from repro.params import QueueParams
+
+#: MultiRingConfig fields a scenario's "config" section may set.
+_CONFIG_KEYS = {
+    "eject_drain_per_cycle",
+    "enable_itags",
+    "enable_etags",
+    "enable_swap",
+    "escape_slot_period",
+    "bridge_route_penalty",
+    "lanes_per_direction",
+}
+
+_QUEUE_KEYS = {
+    "inject_queue_depth",
+    "eject_queue_depth",
+    "bridge_rx_depth",
+    "bridge_tx_depth",
+    "bridge_reserved_tx",
+    "itag_threshold",
+    "swap_detect_threshold",
+    "swap_exit_threshold",
+}
+
+
+def _err(rule: str, message: str, path: Optional[str] = None) -> Finding:
+    return Finding(rule=rule, message=message, severity=Severity.ERROR,
+                   path=path)
+
+
+def _warn(rule: str, message: str, path: Optional[str] = None) -> Finding:
+    return Finding(rule=rule, message=message, severity=Severity.WARNING,
+                   path=path)
+
+
+def validate_topology_dict(raw: dict, path: Optional[str] = None) -> List[Finding]:
+    """Structural checks on a raw topology dict; collects every problem."""
+    findings: List[Finding] = []
+    rings = raw.get("rings", [])
+    nodes = raw.get("nodes", [])
+    bridges = raw.get("bridges", [])
+    if not isinstance(rings, list) or not rings:
+        findings.append(_err("empty-topology", "topology has no rings", path))
+        return findings
+
+    nstops: Dict[int, int] = {}
+    for ring in rings:
+        rid = ring.get("ring_id")
+        if rid in nstops:
+            findings.append(_err("duplicate-id", f"duplicate ring id {rid}", path))
+            continue
+        stops = ring.get("nstops", 0)
+        if not isinstance(stops, int) or stops < 2:
+            findings.append(_err(
+                "ring-too-small",
+                f"ring {rid} has {stops!r} stops; a ring needs at least 2",
+                path))
+            stops = max(2, stops if isinstance(stops, int) else 2)
+        lanes = ring.get("lanes")
+        if lanes is not None and (not isinstance(lanes, int) or lanes < 1):
+            findings.append(_err(
+                "bad-lane-count",
+                f"ring {rid} lane override {lanes!r} must be a positive int",
+                path))
+        nstops[rid] = stops
+
+    stop_load: Dict[Tuple[int, int], int] = {}
+    seen_nodes: Set[int] = set()
+    for placement in nodes:
+        nid = placement.get("node")
+        if nid in seen_nodes:
+            findings.append(_err("duplicate-id", f"duplicate node id {nid}", path))
+        seen_nodes.add(nid)
+        ring = placement.get("ring")
+        stop = placement.get("stop", -1)
+        if ring not in nstops:
+            findings.append(_err(
+                "dangling-node",
+                f"node {nid} placed on unknown ring {ring}", path))
+            continue
+        if not isinstance(stop, int) or not 0 <= stop < nstops[ring]:
+            findings.append(_err(
+                "dangling-node",
+                f"node {nid} stop {stop!r} out of range on ring {ring} "
+                f"(0..{nstops[ring] - 1})", path))
+            continue
+        key = (ring, stop)
+        stop_load[key] = stop_load.get(key, 0) + 1
+
+    seen_bridges: Set[int] = set()
+    for bridge in bridges:
+        bid = bridge.get("bridge_id")
+        if bid in seen_bridges:
+            findings.append(_err("duplicate-id", f"duplicate bridge id {bid}", path))
+        seen_bridges.add(bid)
+        level = bridge.get("level")
+        if level not in (1, 2):
+            findings.append(_err(
+                "bad-bridge-level",
+                f"bridge {bid} level {level!r}; must be 1 (RBRG-L1) or 2 "
+                "(RBRG-L2)", path))
+        link = bridge.get("link_latency", 0)
+        if level == 1 and link not in (0, None):
+            findings.append(_err(
+                "bad-bridge-level",
+                f"RBRG-L1 bridge {bid} declares a die-to-die link latency "
+                f"of {link!r}; L1 bridges are intra-chiplet", path))
+        if isinstance(link, int) and link < 0:
+            findings.append(_err(
+                "bad-bridge-level",
+                f"bridge {bid} has negative link latency {link}", path))
+        ring_a, ring_b = bridge.get("ring_a"), bridge.get("ring_b")
+        if ring_a == ring_b and ring_a is not None:
+            findings.append(_err(
+                "self-bridge",
+                f"bridge {bid} joins ring {ring_a} to itself", path))
+        dangling = False
+        for end, (ring, stop) in (("a", (ring_a, bridge.get("stop_a", -1))),
+                                  ("b", (ring_b, bridge.get("stop_b", -1)))):
+            if ring not in nstops:
+                findings.append(_err(
+                    "dangling-bridge-endpoint",
+                    f"bridge {bid} endpoint {end} touches unknown ring "
+                    f"{ring}", path))
+                dangling = True
+                continue
+            if not isinstance(stop, int) or not 0 <= stop < nstops[ring]:
+                findings.append(_err(
+                    "dangling-bridge-endpoint",
+                    f"bridge {bid} endpoint {end} stop {stop!r} out of "
+                    f"range on ring {ring} (0..{nstops[ring] - 1})", path))
+                dangling = True
+                continue
+            key = (ring, stop)
+            stop_load[key] = stop_load.get(key, 0) + 1
+        if dangling:
+            continue
+
+    for (ring, stop), load in sorted(stop_load.items()):
+        if load > 2:
+            findings.append(_err(
+                "stop-overload",
+                f"stop ({ring},{stop}) hosts {load} interfaces; a cross "
+                "station has at most two node interfaces", path))
+
+    if not any(f.is_error for f in findings):
+        findings.extend(_reachability(raw, nstops, path))
+    return findings
+
+
+def _reachability(raw: dict, nstops: Dict[int, int],
+                  path: Optional[str]) -> List[Finding]:
+    """Rings in different components of the bridge graph cannot exchange
+    traffic; every node on a minority component is an unreachable station."""
+    parent = {rid: rid for rid in nstops}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for bridge in raw.get("bridges", []):
+        a, b = find(bridge["ring_a"]), find(bridge["ring_b"])
+        if a != b:
+            parent[a] = b
+
+    populated: Dict[int, List[int]] = {}
+    for placement in raw.get("nodes", []):
+        populated.setdefault(find(placement["ring"]), []).append(
+            placement["node"])
+    if len(populated) <= 1:
+        return []
+    components = sorted(populated.values(), key=len, reverse=True)
+    return [
+        _err("unreachable-station",
+             f"nodes {comp} are on rings with no bridge path to the rest "
+             "of the network; no route exists to or from them", path)
+        for comp in components[1:]
+    ]
+
+
+def validate_config(
+    config: MultiRingConfig,
+    has_bridges: bool = True,
+    has_l2_bridges: bool = False,
+    path: Optional[str] = None,
+) -> List[Finding]:
+    """Tuning-value checks, including the §4.4 static deadlock condition."""
+    findings: List[Finding] = []
+    queues = config.queues
+    for name in ("inject_queue_depth", "eject_queue_depth"):
+        if getattr(queues, name) < 1:
+            findings.append(_err(
+                "zero-depth-queue",
+                f"{name} is {getattr(queues, name)}; stations cannot "
+                "accept or deliver a single flit", path))
+    if has_bridges:
+        for name in ("bridge_rx_depth", "bridge_tx_depth"):
+            if getattr(queues, name) < 1:
+                findings.append(_err(
+                    "zero-depth-queue",
+                    f"{name} is {getattr(queues, name)}; bridges cannot "
+                    "forward any flit", path))
+    if config.eject_drain_per_cycle < 1:
+        findings.append(_err(
+            "zero-depth-queue",
+            "eject_drain_per_cycle is "
+            f"{config.eject_drain_per_cycle}; delivered flits would sit "
+            "in eject queues forever", path))
+    if config.enable_itags and queues.itag_threshold < 1:
+        findings.append(_err(
+            "bad-threshold",
+            f"itag_threshold is {queues.itag_threshold}; must be >= 1",
+            path))
+    if config.escape_slot_period < 0:
+        findings.append(_err(
+            "bad-threshold",
+            f"escape_slot_period is {config.escape_slot_period}; must be "
+            ">= 0 (0 disables escape slots)", path))
+
+    if has_l2_bridges:
+        if config.enable_swap:
+            if queues.swap_detect_threshold < 1:
+                findings.append(_err(
+                    "bad-threshold",
+                    "swap_detect_threshold is "
+                    f"{queues.swap_detect_threshold}; SWAP could never "
+                    "trigger", path))
+            if queues.bridge_reserved_tx < 1:
+                findings.append(_err(
+                    "zero-depth-queue",
+                    "bridge_reserved_tx is "
+                    f"{queues.bridge_reserved_tx}; DRM has no reserved "
+                    "buffer to absorb a deadlocked flit", path))
+        elif config.escape_slot_period == 0:
+            findings.append(_err(
+                "swap-disabled-interchiplet-cycle",
+                "topology has RBRG-L2 bridge(s) forming inter-chiplet "
+                "ring cycles, but SWAP is disabled and no escape slots "
+                "are configured; statically deadlock-prone under "
+                "saturation (Section 4.4)", path))
+    if not config.enable_etags:
+        findings.append(_warn(
+            "unbounded-deflection",
+            "E-tags disabled (ablation only): deflection count is "
+            "unbounded and the one-lap guarantee does not hold", path))
+    if not config.enable_itags:
+        findings.append(_warn(
+            "starvation-possible",
+            "I-tags disabled (ablation only): a station can starve "
+            "under continuous upstream traffic", path))
+    return findings
+
+
+def validate_spec(
+    spec: TopologySpec,
+    config: Optional[MultiRingConfig] = None,
+    path: Optional[str] = None,
+) -> List[Finding]:
+    """Validate an in-memory spec (and optional config) without raising."""
+    from repro.core.serialize import topology_to_dict
+
+    try:
+        raw = topology_to_dict(spec)
+    except ValueError:
+        # Spec too broken for the serializer's own validate(); rebuild the
+        # dict by hand so the collector still reports everything.
+        raw = {
+            "rings": [
+                {"ring_id": r.ring_id, "nstops": r.nstops,
+                 "bidirectional": r.bidirectional, "lanes": r.lanes}
+                for r in spec.rings
+            ],
+            "nodes": [
+                {"node": p.node, "ring": p.ring, "stop": p.stop}
+                for p in spec.nodes
+            ],
+            "bridges": [
+                {"bridge_id": b.bridge_id, "level": b.level,
+                 "ring_a": b.ring_a, "stop_a": b.stop_a,
+                 "ring_b": b.ring_b, "stop_b": b.stop_b,
+                 "link_latency": b.link_latency}
+                for b in spec.bridges
+            ],
+        }
+    findings = validate_topology_dict(raw, path)
+    if config is not None:
+        findings.extend(validate_config(
+            config,
+            has_bridges=bool(spec.bridges),
+            has_l2_bridges=any(b.level == 2 for b in spec.bridges),
+            path=path,
+        ))
+    return findings
+
+
+def _config_from_dict(raw: dict, path: Optional[str],
+                      findings: List[Finding]) -> MultiRingConfig:
+    kwargs = {}
+    queue_kwargs = {}
+    for key, value in raw.items():
+        if key == "queues":
+            for qkey, qvalue in value.items():
+                if qkey not in _QUEUE_KEYS:
+                    findings.append(_err(
+                        "unknown-config-key",
+                        f"unknown queue parameter '{qkey}' (known: "
+                        f"{', '.join(sorted(_QUEUE_KEYS))})", path))
+                else:
+                    queue_kwargs[qkey] = qvalue
+        elif key not in _CONFIG_KEYS:
+            findings.append(_err(
+                "unknown-config-key",
+                f"unknown config key '{key}' (known: "
+                f"{', '.join(sorted(_CONFIG_KEYS | {'queues'}))})", path))
+        else:
+            kwargs[key] = value
+    return MultiRingConfig(queues=QueueParams(**queue_kwargs), **kwargs)
+
+
+def validate_scenario(raw: dict, path: Optional[str] = None) -> List[Finding]:
+    """Validate a scenario dict: topology plus optional config section."""
+    if "topology" in raw:
+        topo_raw = raw["topology"]
+        config_raw = raw.get("config", {})
+    else:
+        topo_raw = raw
+        config_raw = {}
+    findings = validate_topology_dict(topo_raw, path)
+    config = _config_from_dict(config_raw, path, findings)
+    bridges = topo_raw.get("bridges", []) if isinstance(topo_raw, dict) else []
+    findings.extend(validate_config(
+        config,
+        has_bridges=bool(bridges),
+        has_l2_bridges=any(b.get("level") == 2 for b in bridges),
+        path=path,
+    ))
+    return findings
+
+
+def validate_scenario_file(path: str) -> List[Finding]:
+    """Load and validate a scenario/topology JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [_err("unreadable-scenario", f"cannot load: {exc}", path)]
+    if not isinstance(raw, dict):
+        return [_err("unreadable-scenario",
+                     "scenario file must contain a JSON object", path)]
+    return validate_scenario(raw, path)

@@ -33,6 +33,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._components: List[SimComponent] = []
+        self._invariants: List[Callable[[int], None]] = []
         self._cycle = 0
 
     @property
@@ -48,11 +49,24 @@ class Simulator:
         """Prepend ``component`` so it steps before everything else."""
         self._components.insert(0, component)
 
+    def register_invariant(self, check: Callable[[int], None]) -> None:
+        """Add an invariant probe called after every component each cycle.
+
+        Probes are opt-in (``--check-invariants``): they observe the
+        post-step state and raise
+        :class:`repro.lint.invariants.InvariantViolation` on failure, so
+        a run stops at the first cycle where an invariant breaks rather
+        than producing silently wrong statistics.
+        """
+        self._invariants.append(check)
+
     def step(self) -> None:
         """Advance the whole system by one cycle."""
         cycle = self._cycle
         for component in self._components:
             component.step(cycle)
+        for check in self._invariants:
+            check(cycle)
         self._cycle = cycle + 1
 
     def run(self, cycles: int) -> None:

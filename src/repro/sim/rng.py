@@ -10,6 +10,12 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+#: The generator type handed around the library.  Sim modules must not
+#: import :mod:`random` themselves (the ``determinism`` lint rule of
+#: :mod:`repro.lint.rules` enforces this); they type-hint with ``Rng``
+#: and create streams via :func:`make_rng`/:func:`split_rng`.
+Rng = random.Random
+
 
 def make_rng(seed: Optional[int]) -> random.Random:
     """Create an isolated ``random.Random`` from ``seed``.

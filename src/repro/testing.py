@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import random
 from typing import Callable, List, Optional, Sequence
 
 from repro.fabric.interface import Fabric
 from repro.fabric.message import Message, MessageKind
+from repro.sim.rng import make_rng
 
 
 def run_to_drain(fabric: Fabric, start_cycle: int = 0, max_cycles: int = 100_000) -> int:
@@ -57,7 +57,7 @@ def uniform_messages(
     kind: MessageKind = MessageKind.DATA,
 ) -> List[Message]:
     """Uniform-random src/dst message list (src != dst when possible)."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     out: List[Message] = []
     for _ in range(count):
         src = rng.choice(list(sources))

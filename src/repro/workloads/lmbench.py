@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.cpu.core import Core, closed_loop
 from repro.cpu.package import ServerPackage
 from repro.params import CACHE_LINE_BYTES, NOC_FREQ_HZ
+from repro.sim.rng import Rng, make_rng
 
 
 @dataclass(frozen=True)
@@ -141,16 +142,18 @@ def run_lat_mem_rd(
     working_set_lines: int = 1 << 16,
     seed: int = 17,
     max_cycles: int = 400_000,
+    rng: Optional[Rng] = None,
 ) -> Dict[str, float]:
     """lat_mem_rd: dependent-load memory latency (LMBench's other half).
 
     One access in flight at a time over a pointer-chase-like random
     stream that defeats the caches — the per-access latency is the raw
-    NoC + DDR round trip, reported in cycles and nanoseconds.
+    NoC + DDR round trip, reported in cycles and nanoseconds.  Pass
+    ``rng`` to share a seeded stream with a caller; by default an
+    isolated generator is derived from ``seed``.
     """
-    import random as _random
-
-    rng = _random.Random(seed)
+    if rng is None:
+        rng = make_rng(seed)
 
     def chase() -> Iterator[Tuple[str, int]]:
         for _ in range(samples):

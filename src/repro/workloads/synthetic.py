@@ -9,20 +9,20 @@ offers to any fabric.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, List, Optional, Sequence
 
 from repro.fabric.message import Message, MessageKind
+from repro.sim.rng import Rng, make_rng
 
 #: Maps a source node and RNG to a destination node.
-DestinationChooser = Callable[[int, random.Random], int]
+DestinationChooser = Callable[[int, Rng], int]
 
 
 def uniform_destinations(nodes: Sequence[int]) -> DestinationChooser:
     """Uniform random over all nodes except the source."""
     pool = list(nodes)
 
-    def choose(src: int, rng: random.Random) -> int:
+    def choose(src: int, rng: Rng) -> int:
         dst = rng.choice(pool)
         while dst == src and len(pool) > 1:
             dst = rng.choice(pool)
@@ -40,7 +40,7 @@ def hotspot_destinations(
     uniform = uniform_destinations(nodes)
     hot_pool = list(hotspots)
 
-    def choose(src: int, rng: random.Random) -> int:
+    def choose(src: int, rng: Rng) -> int:
         if rng.random() < hot_fraction:
             return rng.choice(hot_pool)
         return uniform(src, rng)
@@ -53,7 +53,7 @@ def transpose_destinations(nodes: Sequence[int]) -> DestinationChooser:
     ordered = list(nodes)
     index = {n: i for i, n in enumerate(ordered)}
 
-    def choose(src: int, rng: random.Random) -> int:
+    def choose(src: int, rng: Rng) -> int:
         return ordered[len(ordered) - 1 - index[src]]
 
     return choose
@@ -64,7 +64,7 @@ def neighbor_destinations(nodes: Sequence[int], distance: int = 1) -> Destinatio
     ordered = list(nodes)
     index = {n: i for i, n in enumerate(ordered)}
 
-    def choose(src: int, rng: random.Random) -> int:
+    def choose(src: int, rng: Rng) -> int:
         return ordered[(index[src] + distance) % len(ordered)]
 
     return choose
@@ -95,7 +95,7 @@ class TrafficPattern:
         self.chooser = chooser
         self.rate = rate
         self.read_fraction = read_fraction
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self.generated = 0
 
     def __call__(self, cycle: int) -> Optional[List[Message]]:

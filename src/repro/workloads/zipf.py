@@ -9,8 +9,9 @@ latency-competition experiment's background noise.
 from __future__ import annotations
 
 import bisect
-import random
 from typing import Iterator, List, Optional
+
+from repro.sim.rng import make_rng
 
 
 def _zipf_cdf(n: int, alpha: float) -> List[float]:
@@ -40,7 +41,7 @@ def zipf_addresses(
         raise ValueError("need at least one address")
     if alpha <= 0:
         raise ValueError("alpha must be positive")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     cdf = _zipf_cdf(n_addresses, alpha)
     mapping = list(range(n_addresses))
     if shuffle:

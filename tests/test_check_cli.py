@@ -1,0 +1,78 @@
+"""End-to-end acceptance for ``repro-noc check`` and the
+``--check-invariants`` flag: exit codes are the contract CI relies on."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import chiplet_pair
+from repro.core.serialize import topology_to_dict
+
+pytestmark = pytest.mark.lint
+
+
+def test_check_clean_tree_exits_zero(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors" in out
+
+
+def test_check_json_report(capsys):
+    assert main(["check", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["errors"] == 0
+    assert report["files_linted"] > 50
+    assert report["topologies_validated"] >= 4
+
+
+def test_check_flags_broken_scenario(tmp_path, capsys):
+    spec, _, _ = chiplet_pair()
+    raw = topology_to_dict(spec)
+    raw["bridges"][0]["ring_b"] = 7  # dangling endpoint
+    scenario = {"topology": raw, "config": {"enable_swap": False}}
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps(scenario))
+    assert main(["check", "--scenario", str(path), "--no-builtin",
+                 "--no-lint"]) == 1
+    out = capsys.readouterr().out
+    assert "dangling-bridge-endpoint" in out
+    assert "swap-disabled-interchiplet-cycle" in out
+
+
+def test_check_flags_planted_determinism_violation(tmp_path, capsys):
+    bad = tmp_path / "model.py"
+    bad.write_text("import random\n\n\ndef pick(xs):\n"
+                   "    return random.choice(xs)\n")
+    assert main(["check", "--src", str(tmp_path), "--no-builtin"]) == 1
+    assert "determinism" in capsys.readouterr().out
+
+
+def test_check_src_clean_dir_exits_zero(tmp_path):
+    good = tmp_path / "model.py"
+    good.write_text("from repro.sim.rng import make_rng\n\n\n"
+                    "def pick(xs, seed):\n"
+                    "    return make_rng(seed).choice(xs)\n")
+    assert main(["check", "--src", str(tmp_path), "--no-builtin"]) == 0
+
+
+def test_deadlock_bench_invariants_clean(capsys):
+    assert main(["deadlock", "--cycles", "400", "--check-invariants"]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_deadlock_no_swap_trips_invariants(capsys):
+    code = main(["deadlock", "--cycles", "3000", "--no-swap",
+                 "--check-invariants"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "deflection-bound" in err
+
+
+def test_check_invariants_run_is_deterministic(capsys):
+    def run():
+        assert main(["deadlock", "--cycles", "400", "--seed", "5",
+                     "--check-invariants"]) == 0
+        return capsys.readouterr().out
+
+    assert run() == run()

@@ -1,0 +1,219 @@
+"""Static topology/config validator tests.
+
+The hypothesis sections generate random *valid* topologies and assert
+the validator accepts them, then break each one in a targeted way and
+assert the right finding appears — the validator must neither cry wolf
+nor miss a seeded fault."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MultiRingConfig
+from repro.core.serialize import topology_to_dict
+from repro.core.topology import chiplet_pair, grid_of_rings, single_ring_topology
+from repro.lint import (
+    validate_config,
+    validate_scenario,
+    validate_scenario_file,
+    validate_spec,
+    validate_topology_dict,
+)
+from repro.params import QueueParams
+
+pytestmark = pytest.mark.lint
+
+
+def errors(findings):
+    return [f for f in findings if f.is_error]
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+# -- deterministic cases --------------------------------------------------
+
+
+def test_builtin_topologies_validate_clean():
+    spec, _ = single_ring_topology(8)
+    assert validate_spec(spec, MultiRingConfig()) == []
+    spec, _, _ = chiplet_pair()
+    assert validate_spec(spec, MultiRingConfig()) == []
+    layout = grid_of_rings(3, 2, 2, 3)
+    assert validate_spec(layout.topology, MultiRingConfig()) == []
+
+
+def test_dangling_bridge_endpoint_detected():
+    spec, _, _ = chiplet_pair()
+    raw = topology_to_dict(spec)
+    raw["bridges"][0]["ring_b"] = 42
+    assert "dangling-bridge-endpoint" in rules(validate_topology_dict(raw))
+    raw = topology_to_dict(spec)
+    raw["bridges"][0]["stop_a"] = 10_000
+    assert "dangling-bridge-endpoint" in rules(validate_topology_dict(raw))
+
+
+def test_dangling_node_detected():
+    spec, _ = single_ring_topology(4)
+    raw = topology_to_dict(spec)
+    raw["nodes"][0]["stop"] = -3
+    assert "dangling-node" in rules(validate_topology_dict(raw))
+
+
+def test_self_bridge_detected():
+    spec, _, _ = chiplet_pair()
+    raw = topology_to_dict(spec)
+    raw["bridges"][0]["ring_b"] = raw["bridges"][0]["ring_a"]
+    found = rules(validate_topology_dict(raw))
+    assert "self-bridge" in found
+
+
+def test_unreachable_station_detected():
+    # Two populated rings, no bridge: neither side can reach the other.
+    raw = {
+        "rings": [{"ring_id": 0, "nstops": 4, "bidirectional": True},
+                  {"ring_id": 1, "nstops": 4, "bidirectional": False}],
+        "nodes": [{"node": 0, "ring": 0, "stop": 0},
+                  {"node": 1, "ring": 1, "stop": 1}],
+        "bridges": [],
+    }
+    assert "unreachable-station" in rules(validate_topology_dict(raw))
+
+
+def test_half_ring_alone_is_fully_reachable():
+    # Direction-constrained travel still cycles the whole ring.
+    raw = {
+        "rings": [{"ring_id": 0, "nstops": 6, "bidirectional": False}],
+        "nodes": [{"node": 0, "ring": 0, "stop": 0},
+                  {"node": 1, "ring": 0, "stop": 3}],
+        "bridges": [],
+    }
+    assert validate_topology_dict(raw) == []
+
+
+def test_stop_overload_detected():
+    raw = {
+        "rings": [{"ring_id": 0, "nstops": 4, "bidirectional": True}],
+        "nodes": [{"node": n, "ring": 0, "stop": 1} for n in range(3)],
+        "bridges": [],
+    }
+    assert "stop-overload" in rules(validate_topology_dict(raw))
+
+
+def test_zero_depth_queues_detected():
+    config = MultiRingConfig(queues=QueueParams(inject_queue_depth=0))
+    assert "zero-depth-queue" in rules(validate_config(config))
+    config = MultiRingConfig(queues=QueueParams(eject_queue_depth=0))
+    assert "zero-depth-queue" in rules(validate_config(config))
+    config = MultiRingConfig(eject_drain_per_cycle=0)
+    assert "zero-depth-queue" in rules(validate_config(config))
+
+
+def test_swap_disabled_interchiplet_cycle_detected():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(enable_swap=False)
+    assert "swap-disabled-interchiplet-cycle" in rules(
+        errors(validate_spec(spec, config)))
+
+
+def test_escape_slots_are_an_accepted_swap_alternative():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(enable_swap=False, escape_slot_period=4)
+    assert "swap-disabled-interchiplet-cycle" not in rules(
+        validate_spec(spec, config))
+
+
+def test_swap_disabled_without_l2_bridges_is_fine():
+    spec, _ = single_ring_topology(6)
+    config = MultiRingConfig(enable_swap=False)
+    assert "swap-disabled-interchiplet-cycle" not in rules(
+        validate_spec(spec, config))
+
+
+def test_etag_ablation_warns_not_errors():
+    config = MultiRingConfig(enable_etags=False)
+    findings = validate_config(config)
+    assert "unbounded-deflection" in rules(findings)
+    assert errors(findings) == []
+
+
+def test_unknown_config_key_detected():
+    spec, _ = single_ring_topology(4)
+    raw = {"topology": topology_to_dict(spec),
+           "config": {"enable_swapp": True}}
+    assert "unknown-config-key" in rules(validate_scenario(raw))
+
+
+def test_scenario_file_roundtrip(tmp_path):
+    spec, _, _ = chiplet_pair()
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"topology": topology_to_dict(spec)}))
+    assert validate_scenario_file(str(good)) == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert "unreadable-scenario" in rules(validate_scenario_file(str(bad)))
+
+
+# -- property-based: random valid topologies are accepted ------------------
+
+
+@st.composite
+def valid_topologies(draw):
+    """A random grid-of-rings (always valid by construction)."""
+    n_v = draw(st.integers(min_value=1, max_value=4))
+    n_h = draw(st.integers(min_value=1, max_value=4))
+    devices = draw(st.integers(min_value=1, max_value=5))
+    memory = draw(st.integers(min_value=1, max_value=5))
+    spacing = draw(st.integers(min_value=1, max_value=3))
+    layout = grid_of_rings(n_v, n_h, devices, memory, stop_spacing=spacing)
+    return topology_to_dict(layout.topology)
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=valid_topologies())
+def test_random_valid_topologies_accepted(raw):
+    assert validate_topology_dict(raw) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=valid_topologies(), data=st.data())
+def test_random_dangled_bridge_always_caught(raw, data):
+    if not raw["bridges"]:
+        return
+    bridge = data.draw(st.sampled_from(raw["bridges"]))
+    how = data.draw(st.sampled_from(["ring_a", "ring_b", "stop_a", "stop_b"]))
+    if how.startswith("ring"):
+        bridge[how] = 10_000 + data.draw(st.integers(0, 100))
+    else:
+        ring_key = "ring_a" if how == "stop_a" else "ring_b"
+        nstops = next(r["nstops"] for r in raw["rings"]
+                      if r["ring_id"] == bridge[ring_key])
+        bridge[how] = nstops + data.draw(st.integers(0, 100))
+    assert "dangling-bridge-endpoint" in rules(validate_topology_dict(raw))
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=valid_topologies(), data=st.data())
+def test_random_dangled_node_always_caught(raw, data):
+    placement = data.draw(st.sampled_from(raw["nodes"]))
+    if data.draw(st.booleans()):
+        placement["ring"] = 10_000
+    else:
+        nstops = next(r["nstops"] for r in raw["rings"]
+                      if r["ring_id"] == placement["ring"])
+        placement["stop"] = nstops + data.draw(st.integers(0, 100))
+    assert "dangling-node" in rules(validate_topology_dict(raw))
+
+
+@settings(max_examples=20, deadline=None)
+@given(raw=valid_topologies(), period=st.integers(min_value=0, max_value=8))
+def test_random_config_swap_rule(raw, period):
+    scenario = {"topology": raw,
+                "config": {"enable_swap": False,
+                           "escape_slot_period": period}}
+    findings = validate_scenario(scenario)
+    has_l2 = any(b["level"] == 2 for b in raw["bridges"])
+    expect = has_l2 and period == 0
+    assert ("swap-disabled-interchiplet-cycle" in rules(findings)) == expect

@@ -1,0 +1,152 @@
+"""Lint self-test: every rule must fire on a planted violation and stay
+silent on the idioms the codebase actually uses — and the shipped tree
+itself must lint clean (the ``repro-noc check`` acceptance gate)."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.runner import default_source_root
+
+pytestmark = pytest.mark.lint
+
+
+def rules_hit(source, path="pkg/repro/sim/model.py"):
+    return {f.rule for f in lint_source(textwrap.dedent(source), path)}
+
+
+# -- determinism ----------------------------------------------------------
+
+
+def test_import_random_flagged():
+    assert "determinism" in rules_hit("import random\n")
+
+
+def test_from_random_import_flagged():
+    assert "determinism" in rules_hit("from random import Random\n")
+
+
+def test_numpy_random_flagged():
+    assert "determinism" in rules_hit("import numpy.random\n")
+
+
+def test_wall_clock_calls_flagged():
+    assert "determinism" in rules_hit(
+        """
+        import time
+
+        def step(cycle):
+            return time.time()
+        """
+    )
+    assert "determinism" in rules_hit(
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+    )
+
+
+def test_rng_helper_file_is_exempt():
+    assert rules_hit("import random\n", path="pkg/repro/sim/rng.py") == set()
+
+
+def test_make_rng_usage_clean():
+    assert rules_hit(
+        """
+        from repro.sim.rng import Rng, make_rng
+
+        def build(seed):
+            rng = make_rng(seed)
+            return rng.random()
+        """
+    ) == set()
+
+
+def test_inline_allow_comment_suppresses():
+    source = "import random  # lint: allow[determinism]\n"
+    assert lint_source(source, "pkg/repro/sim/model.py") == []
+
+
+# -- mutable defaults -----------------------------------------------------
+
+
+def test_mutable_default_list_flagged():
+    assert "mutable-default" in rules_hit("def f(x=[]):\n    return x\n")
+
+
+def test_mutable_default_dict_call_flagged():
+    assert "mutable-default" in rules_hit("def f(x=dict()):\n    return x\n")
+
+
+def test_none_default_clean():
+    assert rules_hit("def f(x=None):\n    return x or []\n") == set()
+
+
+def test_frozen_default_clean():
+    assert rules_hit("def f(x=(), y=0, z='a'):\n    return x\n") == set()
+
+
+# -- float-cycle ----------------------------------------------------------
+
+
+def test_float_assign_to_cycle_flagged():
+    assert "float-cycle" in rules_hit("cycle = 1.5\n")
+    assert "float-cycle" in rules_hit("self_cycle = 0\nready_cycle = 10 / 3\n")
+
+
+def test_float_augassign_to_cycle_flagged():
+    assert "float-cycle" in rules_hit(
+        "def f(cycle, latency):\n    cycle += latency / 2\n    return cycle\n"
+    )
+
+
+def test_floor_division_on_cycle_clean():
+    assert rules_hit("def f(c):\n    cycle = c // 2\n    return cycle\n") == set()
+
+
+def test_reporting_conversion_clean():
+    # Unit conversion into a non-cycle variable is the sanctioned idiom.
+    assert rules_hit(
+        "def f(cycles, freq):\n    seconds = cycles / freq\n    return seconds\n"
+    ) == set()
+
+
+def test_per_cycle_rates_are_not_counters():
+    assert rules_hit("issues_per_cycle = 0.4\n") == set()
+
+
+# -- bare except ----------------------------------------------------------
+
+
+def test_bare_except_flagged():
+    assert "bare-except" in rules_hit(
+        "try:\n    pass\nexcept:\n    pass\n"
+    )
+
+
+def test_typed_except_clean():
+    assert rules_hit(
+        "try:\n    pass\nexcept ValueError:\n    pass\n"
+    ) == set()
+
+
+# -- syntax errors --------------------------------------------------------
+
+
+def test_unparseable_source_reported_not_raised():
+    findings = lint_source("def f(:\n", "broken.py")
+    assert [f.rule for f in findings] == ["syntax"]
+
+
+# -- the shipped tree -----------------------------------------------------
+
+
+def test_shipped_tree_lints_clean():
+    """The acceptance gate: `repro-noc check` exits zero on a clean tree."""
+    findings, nfiles = lint_paths([default_source_root()])
+    assert nfiles > 50  # sanity: we really walked the package
+    assert findings == []
