@@ -8,7 +8,7 @@ survive cross-ring saturation, but under ordinary load the escape scheme
 pays reserved-slot capacity and the SWAP scheme pays nothing.
 """
 
-import random
+from repro.sim.rng import make_rng
 
 from repro.analysis import ComparisonTable
 from repro.core import MultiRingFabric, chiplet_pair
@@ -33,7 +33,7 @@ SCHEMES = {
 def normal_load_latency(config: MultiRingConfig, seed: int = 9) -> float:
     topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=2)
     fab = MultiRingFabric(topo, config)
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     for cycle in range(8000):
         if cycle % 2 == 0:
             src = rng.choice(ring0 + ring1)
@@ -47,7 +47,7 @@ def normal_load_latency(config: MultiRingConfig, seed: int = 9) -> float:
 def survives_saturation(config: MultiRingConfig, seed: int = 0) -> bool:
     topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
     fab = MultiRingFabric(topo, config)
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     cycle = 0
     for _ in range(3000):
         for src in ring0:

@@ -11,7 +11,7 @@ Each test isolates one co-design decision and measures what it buys:
 SWAP on/off is the Figure 9 bench.
 """
 
-import random
+from repro.sim.rng import make_rng
 
 from repro.analysis import ComparisonTable
 from repro.baselines import BufferedMeshFabric
@@ -146,7 +146,7 @@ def _pressure_run(enable_etags: bool):
     topo, nodes = single_ring_topology(5, stop_spacing=2)
     fab = MultiRingFabric(topo, MultiRingConfig(
         queues=queues, enable_etags=enable_etags, eject_drain_per_cycle=1))
-    rng = random.Random(3)
+    rng = make_rng(3)
     msgs = []
     cycle = 0
     for _ in range(150):
@@ -194,7 +194,7 @@ def test_ablation_half_vs_full_ring(benchmark):
     def saturate(bidirectional):
         topo, nodes = single_ring_topology(10, bidirectional, stop_spacing=1)
         fab = MultiRingFabric(topo)
-        rng = random.Random(7)
+        rng = make_rng(7)
 
         def gen(cycle):
             out = []

@@ -7,7 +7,7 @@ failures over threshold), enters DRM, and traffic keeps flowing; without
 SWAP (ablation) progress stops.
 """
 
-import random
+from repro.sim.rng import make_rng
 
 from repro.analysis import ComparisonTable
 from repro.core import MultiRingFabric, chiplet_pair
@@ -28,7 +28,7 @@ def saturate(enable_swap: bool, seed: int = 0):
     topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
     fabric = MultiRingFabric(topo, MultiRingConfig(
         queues=TIGHT, enable_swap=enable_swap, eject_drain_per_cycle=1))
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     checkpoints = []
     for cycle in range(2 * PHASE):
         for src in ring0:

@@ -159,21 +159,52 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.ai import AiProcessor, AiProcessorConfig
+    from repro.perf.cache import ResultCache
+    from repro.perf.sweep import SweepPoint, run_sweep
+    from repro.perf.workers import ai_rw_point
 
     ratios = [1.0, 0.8, 2 / 3, 0.6, 0.5, 0.0]
+    points = [SweepPoint.make(f"rw_{rf:.2f}", read_fraction=rf,
+                              cycles=args.cycles)
+              for rf in ratios]
+    cache = ResultCache(args.cache) if args.cache else None
+    results = run_sweep(ai_rw_point, points, base_seed=args.seed,
+                        workers=args.workers, cache=cache,
+                        cache_name="sweep-rw")
     totals = []
-    for rf in ratios:
-        config = AiProcessorConfig(read_fraction=rf, n_hrings=6, n_llc=12,
-                                   n_l2=36, n_hbm=6, n_dma=6, core_mlp=48,
-                                   dma_issues_per_cycle=0.4)
-        processor = AiProcessor(config)
-        processor.run(args.cycles)
-        total = processor.bandwidth_report()["total"]
-        totals.append(total)
-        print(f"  read fraction {rf:.2f}: total {total:5.2f} TB/s")
+    for rf, record in zip(ratios, results):
+        totals.append(record["total_tbps"])
+        print(f"  read fraction {rf:.2f}: total "
+              f"{record['total_tbps']:5.2f} TB/s")
     print(line_chart({"total TB/s": totals}, xs=ratios, height=8, width=40,
                      title="total bandwidth vs read fraction"))
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"under {cache.root}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import bench
+
+    cycles = args.cycles if args.cycles else bench.SMOKE_CYCLES
+    report = bench.run_smoke_suite(repeats=args.repeats,
+                                   reference=args.reference,
+                                   cycles=cycles)
+    print(bench.format_report(report))
+    if args.json:
+        bench.write_report(report, args.json)
+        print(f"wrote {args.json}")
+    if args.baseline:
+        baseline = bench.load_report(args.baseline)
+        failures = bench.compare_to_baseline(report, baseline,
+                                             args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.max_regression:.0%} vs "
+              f"{args.baseline}")
     return 0
 
 
@@ -265,7 +296,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep-rw", help="R:W ratio bandwidth sweep")
     p.add_argument("--cycles", type=int, default=1200)
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; per-point seeds derive from it")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process; results are "
+                        "identical either way)")
+    p.add_argument("--cache", metavar="DIR",
+                   help="persist per-point results under DIR and reuse "
+                        "them on later runs")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="fabric stepping throughput: the smoke suite behind "
+             "BENCH_fabric.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the fixed smoke suite (the default and "
+                        "currently only suite)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per case (best-of-N)")
+    p.add_argument("--cycles", type=int,
+                   default=None,
+                   help="cycles per case (default: the committed-"
+                        "trajectory value; override for quick local "
+                        "runs only)")
+    p.add_argument("--reference", action="store_true",
+                   help="also time the reference step and verify the "
+                        "fast path's stats match it")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the machine-readable report to FILE")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="compare against a committed BENCH_fabric.json "
+                        "and fail on regression")
+    p.add_argument("--max-regression", type=float, default=0.25,
+                   help="allowed fractional drop in normalized "
+                        "throughput vs the baseline (default 0.25)")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -52,7 +52,7 @@ class RingBridgeL1:
         for src_port, dst_port, pipe in self._paths:
             # Drain the pipeline head onto the peer ring's inject queue.
             if pipe and pipe[0][0] <= cycle and not dst_port.inject_full:
-                dst_port.inject_queue.append(pipe.pop(0)[1])
+                dst_port.enqueue_inject(pipe.pop(0)[1])
             # Intake from our Eject Queue; stalling here is the
             # backpressure that makes upstream flits deflect.
             if src_port.eject_queue and len(pipe) < self._depth:
@@ -116,7 +116,7 @@ class RingBridgeL2:
         for src_port, dst_port, tx, link, swap in self._paths:
             # 4) link exit -> peer Inject Queue.
             if link and link[0][0] <= cycle and not dst_port.inject_full:
-                dst_port.inject_queue.append(link.pop(0)[1])
+                dst_port.enqueue_inject(link.pop(0)[1])
 
             # 3) Tx -> link, one flit per cycle, reserved Tx first.
             if len(link) <= self._link_latency:

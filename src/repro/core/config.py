@@ -154,3 +154,7 @@ class MultiRingConfig:
     #: high-speed wire fabric of Table 4 has x2.5 the bus width of the
     #: dense fabric, which the AI processor exploits as parallel lanes.
     lanes_per_direction: int = 1
+    #: Use the fast ring stepping (skips provably no-op station visits).
+    #: False forces the reference walk — cycle-for-cycle identical, kept
+    #: as the semantic spec for the equivalence tests and for debugging.
+    fast_path: bool = True

@@ -5,6 +5,16 @@ One :class:`repro.fabric.Message` becomes exactly one :class:`Flit`
 transaction is "a single flit attached necessary header information").
 The flit carries its full route because a bufferless network routes every
 flit independently.
+
+The current hop's exit coordinates (``exit_ring``, ``exit_stop``,
+``exit_port_key``) are mirrored onto the flit itself and refreshed by
+:meth:`Flit.advance_hop`, so the per-cycle ejection test in the stepping
+hot path is two integer compares instead of a route-list indexing chain.
+``dir_pref`` caches the shortest-direction choice for the stop where the
+flit currently waits to inject; it is computed lazily by
+:meth:`repro.core.station.Port.head_for_direction` and invalidated on
+every hop advance (the only event after which a flit can re-enter an
+inject queue).
 """
 
 from __future__ import annotations
@@ -25,6 +35,10 @@ class Flit:
         "deflections",
         "laps_deflected",
         "injected_any",
+        "exit_ring",
+        "exit_stop",
+        "exit_port_key",
+        "dir_pref",
     )
 
     def __init__(self, msg: Message, route: List[Hop]):
@@ -38,6 +52,14 @@ class Flit:
         self.laps_deflected = 0
         #: Whether the flit has ever won a ring slot (for injected stats).
         self.injected_any = False
+        hop = route[0]
+        #: Mirror of ``current_hop`` for the stepping hot path.
+        self.exit_ring = hop.ring
+        self.exit_stop = hop.exit_stop
+        self.exit_port_key = hop.port_key
+        #: Cached shortest-direction choice at the current inject stop
+        #: (None = not computed for this hop yet).
+        self.dir_pref: Optional[int] = None
 
     @property
     def current_hop(self) -> Hop:
@@ -52,6 +74,11 @@ class Flit:
         self.hop_index += 1
         if self.hop_index >= len(self.route):
             raise RuntimeError(f"flit {self.msg.msg_id} advanced past its route")
+        hop = self.route[self.hop_index]
+        self.exit_ring = hop.ring
+        self.exit_stop = hop.exit_stop
+        self.exit_port_key = hop.port_key
+        self.dir_pref = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         hop: Optional[Hop] = (

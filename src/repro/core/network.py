@@ -21,6 +21,10 @@ from repro.fabric.message import Message
 from repro.fabric.probes import BandwidthProbe
 
 
+def _drain_order(port: Port) -> int:
+    return port.drain_seq
+
+
 class MultiRingFabric(Fabric):
     """Bufferless multi-ring NoC implementing the fabric interface."""
 
@@ -37,11 +41,18 @@ class MultiRingFabric(Fabric):
         }
 
         self._node_ports: Dict[int, Port] = {}
+        #: Node ports currently holding ejected flits (dict used as an
+        #: ordered set); ports enrol themselves on eject so the drain
+        #: never walks idle ports.
+        self._drain_ports: Dict[Port, None] = {}
+        self._drain_nodes: Dict[Port, int] = {}
         for placement in topology.nodes:
             station = self.rings[placement.ring].station_at(placement.stop)
-            self._node_ports[placement.node] = station.add_port(
-                ("node", placement.node)
-            )
+            port = station.add_port(("node", placement.node))
+            port.drain_registry = self._drain_ports
+            port.drain_seq = len(self._node_ports)
+            self._node_ports[placement.node] = port
+            self._drain_nodes[port] = placement.node
 
         self.bridges: List = []
         for spec in topology.bridges:
@@ -71,16 +82,17 @@ class MultiRingFabric(Fabric):
         return self._node_ports[node]
 
     def try_inject(self, msg: Message) -> bool:
-        port = self._node_ports.get(msg.src)
+        node_ports = self._node_ports
+        port = node_ports.get(msg.src)
         if port is None:
             raise KeyError(f"message source {msg.src} is not a fabric node")
-        if msg.dst not in self._node_ports:
+        if msg.dst not in node_ports:
             raise KeyError(f"message destination {msg.dst} is not a fabric node")
-        if port.inject_full:
+        if len(port.inject_queue) >= port.inject_depth:
             self.stats.rejected += 1
             return False
         route = self.router.route(msg.src, msg.dst)
-        port.inject_queue.append(Flit(msg, route))
+        port.enqueue_inject(Flit(msg, route))
         self.stats.accepted += 1
         return True
 
@@ -94,18 +106,37 @@ class MultiRingFabric(Fabric):
             self.invariant_checker.check(cycle)
 
     def _drain(self, cycle: int) -> None:
-        """Hand ejected flits to their destination nodes."""
+        """Hand ejected flits to their destination nodes.
+
+        Only ports enrolled in ``_drain_ports`` (those that accepted an
+        eject since the last drain) are visited.  They are drained in
+        node-port creation order — not enrolment order — because the fast
+        and reference steps eject in different within-cycle orders and
+        delivery order must not depend on which step ran.
+        """
+        reg = self._drain_ports
+        if not reg:
+            return
         budget = self.config.eject_drain_per_cycle
-        for node, port in self._node_ports.items():
+        probes = self.delivery_probes
+        deliver = self._deliver
+        nodes = self._drain_nodes
+        if len(reg) > 1:
+            ports = sorted(reg, key=_drain_order)
+        else:
+            ports = list(reg)
+        for port in ports:
             queue = port.eject_queue
+            probe = probes.get(nodes[port]) if probes else None
             for _ in range(budget):
                 if not queue:
                     break
                 flit = queue.popleft()
-                probe = self.delivery_probes.get(node)
                 if probe is not None:
                     probe.observe(flit.msg.size_bytes, cycle)
-                self._deliver(flit.msg, cycle, flit.deflections)
+                deliver(flit.msg, cycle, flit.deflections)
+            if not queue:
+                del reg[port]
 
     # -- instrumentation ----------------------------------------------------
 
@@ -144,4 +175,26 @@ class MultiRingFabric(Fabric):
         return out
 
     def occupancy(self) -> int:
-        return len(self.flits_in_flight())
+        """Flits inside the network — O(rings + stations + bridges).
+
+        Uses the lanes' maintained occupancy counters instead of
+        materialising :meth:`flits_in_flight`, so the per-cycle
+        conservation probe (``--check-invariants``) does not rescan every
+        slot.
+        """
+        total = 0
+        for ring in self._ring_list:
+            total += ring.occupancy()
+            for station in ring.stations:
+                for port in station.ports:
+                    total += len(port.inject_queue) + len(port.eject_queue)
+        for bridge in self.bridges:
+            total += bridge.occupancy()
+        return total
+
+    # -- stepping mode -----------------------------------------------------
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Switch every ring between the fast and reference step."""
+        for ring in self._ring_list:
+            ring.fast_path = enabled

@@ -6,6 +6,19 @@ cycle costs O(stations), not O(slots).  A flit therefore advances exactly
 one stop per cycle — the slot spacing *is* the paper's distance-per-cycle
 metric: with the high-speed wire fabric of Table 4 one stop corresponds to
 1800 µm of My-layer wire at 3 GHz.
+
+Stepping has two interchangeable implementations:
+
+- the **reference step** (:meth:`Ring.step_reference`) walks every lane ×
+  station each cycle — the simple, obviously-correct semantic spec;
+- the **fast step** (:meth:`Ring.step_fast`, the default) uses the lanes'
+  maintained occupancy indexes (:class:`SlotList`) to visit only stations
+  that can do work this cycle: stations with queued injections, stations
+  whose slot carries a flit that exits there, and stations owed an I-tag
+  release.  Every skipped visit is a provable no-op, so the two paths are
+  cycle-for-cycle identical; ``tests/test_fastpath_equivalence.py`` drives
+  random traffic through both and asserts equal :class:`FabricStats` and
+  delivery logs.
 """
 
 from __future__ import annotations
@@ -14,8 +27,84 @@ from typing import List, Optional
 
 from repro.core.config import MultiRingConfig, RingSpec
 from repro.core.flit import Flit
+from repro.core.routing import ring_direction
 from repro.core.station import CrossStation, Port
 from repro.fabric.stats import FabricStats
+
+
+class SlotList(list):
+    """A fixed-size list of optional slot contents with O(1) occupancy.
+
+    Every ``slots[idx] = value`` write (from the stepping hot path, the
+    invariant probes, or a test poking at lane state directly) maintains
+    :attr:`occupied`, the set of indices currently holding a non-None
+    entry.  Reads stay plain C-speed ``list`` indexing.
+    """
+
+    __slots__ = ("occupied",)
+
+    def __init__(self, nslots: int):
+        list.__init__(self, [None] * nslots)
+        self.occupied = set()
+
+    def __setitem__(self, idx, value):
+        if not isinstance(idx, int):
+            raise TypeError("SlotList supports integer indices only")
+        if idx < 0:
+            idx += len(self)
+        if value is None:
+            self.occupied.discard(idx)
+        else:
+            self.occupied.add(idx)
+        list.__setitem__(self, idx, value)
+
+    # The slot array never changes size; block accidental resizing that
+    # would silently desynchronise the occupancy index.
+    def append(self, value):  # pragma: no cover - guard
+        raise TypeError("SlotList has a fixed size")
+
+    def clear(self):  # pragma: no cover - guard
+        raise TypeError("SlotList has a fixed size")
+
+
+class ExitBucketedSlots(SlotList):
+    """Flit slots that additionally index ejections by cycle residue.
+
+    A flit in slot ``idx`` on a lane of direction ``d`` passes its exit
+    stop exactly at cycles ``t`` with ``t ≡ d·(exit_stop − idx)
+    (mod nstops)`` — a residue fixed at the moment the slot is written,
+    because a slotted flit never changes its exit coordinates (routes
+    advance only off-ring, at bridges) and a deflected flit keeps both
+    its slot and its exit.  :attr:`buckets` maps each residue to the set
+    of slot indices ejecting at cycles with that residue, so the fast
+    step finds this cycle's ejections in O(ejections) instead of scanning
+    every occupied slot.
+    """
+
+    __slots__ = ("direction", "buckets")
+
+    def __init__(self, nslots: int, direction: int):
+        SlotList.__init__(self, nslots)
+        self.direction = direction
+        self.buckets = [set() for _ in range(nslots)]
+
+    def __setitem__(self, idx, value):
+        if not isinstance(idx, int):
+            raise TypeError("SlotList supports integer indices only")
+        n = list.__len__(self)
+        if idx < 0:
+            idx += n
+        d = self.direction
+        buckets = self.buckets
+        old = list.__getitem__(self, idx)
+        if old is not None:
+            buckets[(d * (old.exit_stop - idx)) % n].discard(idx)
+        if value is None:
+            self.occupied.discard(idx)
+        else:
+            self.occupied.add(idx)
+            buckets[(d * (value.exit_stop - idx)) % n].add(idx)
+        list.__setitem__(self, idx, value)
 
 
 class Lane:
@@ -33,21 +122,29 @@ class Lane:
         #: Every Nth slot is an escape slot usable only by ring bridges
         #: (the conventional deadlock-avoidance alternative to SWAP).
         self.escape_period = escape_period
-        self.flits: List[Optional[Flit]] = [None] * nstops
-        self.itags: List[Optional[Port]] = [None] * nstops
+        self.flits: ExitBucketedSlots = ExitBucketedSlots(nstops, direction)
+        self.itags: SlotList = SlotList(nstops)
 
     def index_at(self, stop: int, cycle: int) -> int:
         """Slot index currently positioned at ``stop``."""
         return (stop - self.direction * cycle) % self.nstops
 
+    def stop_at(self, idx: int, cycle: int) -> int:
+        """Stop that slot ``idx`` is currently passing (inverse of
+        :meth:`index_at`)."""
+        return (idx + self.direction * cycle) % self.nstops
+
     def is_escape(self, idx: int) -> bool:
         return self.escape_period > 0 and idx % self.escape_period == 0
 
     def occupancy(self) -> int:
-        return sum(1 for f in self.flits if f is not None)
+        """Number of occupied slots — O(1) via the maintained index."""
+        return len(self.flits.occupied)
 
     def flits_in_flight(self) -> List[Flit]:
-        return [f for f in self.flits if f is not None]
+        """Occupied slots' flits in slot order — O(occupancy)."""
+        flits = self.flits
+        return [flits[i] for i in sorted(flits.occupied)]
 
 
 class Ring:
@@ -70,6 +167,18 @@ class Ring:
             self.lanes.extend(Lane(spec.nstops, -1, escape)
                               for _ in range(nlanes))
         self._stations: dict = {}
+        self._station_list: List[CrossStation] = []
+        #: Stations that may have queued injections: every
+        #: :meth:`repro.core.station.Port.enqueue_inject` registers its
+        #: station here (insertion-ordered dict used as a set), and the
+        #: fast step lazily drops stations it observes with empty queues.
+        #: This makes per-cycle active-station discovery O(pending), not
+        #: O(stations).
+        self.pending_stations: dict = {}
+        #: Use the fast step (identical semantics, skips no-op station
+        #: visits).  Cleared via ``MultiRingConfig(fast_path=False)`` so
+        #: equivalence tests can drive the reference step.
+        self.fast_path = config.fast_path
 
     @property
     def stations(self) -> List[CrossStation]:
@@ -82,11 +191,24 @@ class Ring:
             if not 0 <= stop < self.spec.nstops:
                 raise ValueError(f"stop {stop} out of range on ring {self.spec.ring_id}")
             station = CrossStation(self.spec, stop, self.config, self.stats)
+            station.pending_registry = self.pending_stations
             self._stations[stop] = station
+            self._station_list.append(station)
         return station
 
     def step(self, cycle: int) -> None:
         """One clock: every station ejects/injects on every lane."""
+        if self.fast_path:
+            self.step_fast(cycle)
+        else:
+            self.step_reference(cycle)
+
+    def step_reference(self, cycle: int) -> None:
+        """Reference semantics: walk every lane × station each cycle.
+
+        Kept deliberately simple — this is the specification the fast
+        step is tested against.
+        """
         stations = self._stations.values()
         for station in stations:
             station.process_local(cycle)
@@ -94,8 +216,266 @@ class Ring:
             for station in stations:
                 station.process_lane(lane, cycle)
 
+    def step_fast(self, cycle: int) -> None:
+        """Fast step: visit only stations that can do work this cycle.
+
+        A station's lane visit has an effect only if at least one of:
+
+        - a port at the station has a queued injection whose head prefers
+          this lane's direction (it may inject into an empty slot, or
+          must be charged an injection failure);
+        - the slot passing the station holds a flit exiting there
+          (ejection — and possibly a SWAP/DRM exchange — found from the
+          lane's occupied-slot index);
+        - the slot passing the station carries an I-tag owned by this
+          station (tag release, found from the I-tag slot index).
+
+        Everything else is a no-op in the reference walk, so skipping it
+        cannot change state.  Within one lane pass, stations touch only
+        their own slot/ports, so visiting a subset preserves per-cycle
+        outcomes exactly.  Head directions are re-read per lane (not
+        cached across lanes) because a SWAP exchange on an earlier lane
+        can expose a new queue head with a different preference.
+
+        The station visit itself is :meth:`CrossStation.process_lane`
+        inlined — same statements, same order — with the per-lane
+        constants hoisted out of the loop; the reference step and the
+        equivalence suite guard the duplication.
+        """
+        spec = self.spec
+        ring_id = spec.ring_id
+        nstops = spec.nstops
+        bidi = spec.bidirectional
+        stats = self.stats
+        config = self.config
+        enable_etags = config.enable_etags
+        enable_itags = config.enable_itags
+        threshold = config.queues.itag_threshold
+        lset = list.__setitem__
+
+        # Stations with any queued injection, discovered from the
+        # enqueue-time registry in O(pending); stations observed with
+        # empty queues are dropped until their next enqueue.  Local
+        # (same-stop) transfers only need process_local when a queue
+        # head exits right here.
+        any_active: List[CrossStation] = []
+        pending = self.pending_stations
+        if pending:
+            for st in list(pending):
+                stop = st.stop
+                queued = False
+                local = False
+                for port in st.ports:
+                    q = port.inject_queue
+                    if q:
+                        queued = True
+                        head = q[0]
+                        if head.exit_stop == stop and head.exit_ring == ring_id:
+                            local = True
+                if queued:
+                    any_active.append(st)
+                    if local:
+                        st.process_local(cycle)
+                else:
+                    del pending[st]
+
+        get_station = self._stations.get
+        for lane in self.lanes:
+            d = lane.direction
+            flits = lane.flits
+            occupied = flits.occupied
+            itags = lane.itags
+            tagged = itags.occupied
+            if not occupied and not tagged and not any_active:
+                continue
+            n = lane.nstops
+            dc = (d * cycle) % n
+            esc = lane.escape_period
+            occ_add = occupied.add
+            occ_discard = occupied.discard
+            fbuckets = flits.buckets
+
+            # Visit list: direction-matched active stations (in station
+            # creation order, like the reference walk) ...
+            visit: List[CrossStation] = []
+            for st in any_active:
+                for port in st.ports:
+                    q = port.inject_queue
+                    if q:
+                        head = q[0]
+                        want = head.dir_pref
+                        if want is None:
+                            want = ring_direction(
+                                nstops, st.stop, head.exit_stop, bidi)
+                            head.dir_pref = want
+                        if want == d:
+                            visit.append(st)
+                            break
+            # ... plus stations owed an ejection (from the exit-residue
+            # bucket: O(ejections), no occupied-slot scan) or an I-tag
+            # release (tags are rare; scanning the tag index is enough).
+            # sorted() pins their order so fast-path runs are
+            # bit-identical everywhere (within a lane pass the order is
+            # provably irrelevant).
+            cur_bucket = flits.buckets[cycle % n]
+            if cur_bucket or tagged:
+                extra: List[int] = []
+                for idx in cur_bucket:
+                    stop = idx + dc
+                    if stop >= n:
+                        stop -= n
+                    extra.append(stop)
+                for idx in tagged:
+                    stop = idx + dc
+                    if stop >= n:
+                        stop -= n
+                    if itags[idx].station.stop == stop:
+                        extra.append(stop)
+                if extra:
+                    seen = {st.stop for st in visit}
+                    for stop in sorted(set(extra)):
+                        if stop not in seen:
+                            st = get_station(stop)
+                            if st is not None:
+                                visit.append(st)
+
+            for st in visit:
+                stop = st.stop
+                idx = stop - dc
+                if idx < 0:
+                    idx += n
+                flit = flits[idx]
+
+                # -- ejection: on-the-fly flits beat injections ---------
+                if (flit is not None and flit.exit_stop == stop
+                        and flit.exit_ring == ring_id):
+                    port = st.port_by_key.get(flit.exit_port_key)
+                    if port is None:
+                        hop = flit.current_hop
+                        raise RuntimeError(
+                            f"flit {flit.msg.msg_id} wants port "
+                            f"{hop.port_key} at ({hop.ring},{hop.exit_stop}) "
+                            "but it does not exist"
+                        )
+                    if port.try_accept_eject(flit, stats, enable_etags):
+                        occ_discard(idx)
+                        cur_bucket.discard(idx)
+                        lset(flits, idx, None)
+                        flit = None
+                        if port.drm_active and port.inject_queue:
+                            # SWAP (Section 4.4): eject and inject
+                            # exchange in the same cycle.
+                            swap_in = port.inject_queue.popleft()
+                            occ_add(idx)
+                            fbuckets[(d * (swap_in.exit_stop - idx)) % n].add(idx)
+                            lset(flits, idx, swap_in)
+                            port.consecutive_failures = 0
+                            if not swap_in.injected_any:
+                                swap_in.injected_any = True
+                                swap_in.msg.injected_cycle = cycle
+                                stats.injected += 1
+                            continue
+
+                # -- injection into an empty slot, honouring I-tags -----
+                ports = st.ports
+                injected_port: Optional[Port] = None
+                blocked = False
+                if flit is None:
+                    tag_port: Optional[Port] = itags[idx]
+                    if tag_port is not None:
+                        if tag_port.station is st:
+                            itags[idx] = None
+                            tag_port.itag_pending[d] = False
+                            q = tag_port.inject_queue
+                            if q:
+                                head = q[0]
+                                want = head.dir_pref
+                                if want is None:
+                                    want = ring_direction(
+                                        nstops, stop, head.exit_stop, bidi)
+                                    head.dir_pref = want
+                                if want == d:
+                                    q.popleft()
+                                    occ_add(idx)
+                                    fbuckets[(d * (head.exit_stop - idx))
+                                             % n].add(idx)
+                                    lset(flits, idx, head)
+                                    tag_port.consecutive_failures = 0
+                                    if not head.injected_any:
+                                        head.injected_any = True
+                                        head.msg.injected_cycle = cycle
+                                        stats.injected += 1
+                                    injected_port = tag_port
+                        else:
+                            blocked = True
+
+                    if injected_port is None and not blocked:
+                        escape_slot = esc > 0 and idx % esc == 0
+                        nports = len(ports)
+                        rr = st._rr
+                        for offset in range(nports):
+                            j = (rr + offset) % nports
+                            port = ports[j]
+                            if escape_slot and not port.is_bridge_port:
+                                continue
+                            q = port.inject_queue
+                            if not q:
+                                continue
+                            head = q[0]
+                            want = head.dir_pref
+                            if want is None:
+                                want = ring_direction(
+                                    nstops, stop, head.exit_stop, bidi)
+                                head.dir_pref = want
+                            if want == d:
+                                q.popleft()
+                                occ_add(idx)
+                                fbuckets[(d * (head.exit_stop - idx))
+                                         % n].add(idx)
+                                lset(flits, idx, head)
+                                port.consecutive_failures = 0
+                                if not head.injected_any:
+                                    head.injected_any = True
+                                    head.msg.injected_cycle = cycle
+                                    stats.injected += 1
+                                injected_port = port
+                                st._rr = (j + 1) % nports
+                                break
+
+                # -- failure accounting / I-tag placement ---------------
+                for port in ports:
+                    if port is injected_port:
+                        continue
+                    q = port.inject_queue
+                    if not q:
+                        continue
+                    head = q[0]
+                    want = head.dir_pref
+                    if want is None:
+                        want = ring_direction(
+                            nstops, stop, head.exit_stop, bidi)
+                        head.dir_pref = want
+                    if want != d:
+                        continue
+                    failures = port.consecutive_failures + 1
+                    port.consecutive_failures = failures
+                    if (
+                        enable_itags
+                        and not port.itag_pending[d]
+                        and failures % threshold == 0
+                        and itags[idx] is None
+                        and not (esc > 0 and idx % esc == 0)
+                    ):
+                        itags[idx] = port
+                        port.itag_pending[d] = True
+                        stats.itags_placed += 1
+
     def occupancy(self) -> int:
-        return sum(lane.occupancy() for lane in self.lanes)
+        """Flits on this ring's lanes — O(lanes) via maintained counters."""
+        total = 0
+        for lane in self.lanes:
+            total += len(lane.flits.occupied)
+        return total
 
     def flits_in_flight(self) -> List[Flit]:
         out: List[Flit] = []

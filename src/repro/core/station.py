@@ -7,6 +7,13 @@ both directions.  The station implements the paper's priority rule
 (on-the-fly flits always beat new injections), round-robin arbitration
 between the two node interfaces, shortest-path direction selection, and
 the I-tag / E-tag starvation and livelock guards of Section 4.1.2.
+
+:meth:`CrossStation.process_lane` is the hot path of the whole simulator:
+it runs once per station per lane per cycle.  It is written as one fused
+pass — ejection, I-tag release, injection arbitration, and failure
+accounting in a single method with hoisted attribute reads, using the
+exit coordinates and direction preference cached on the
+:class:`repro.core.flit.Flit` instead of re-deriving them from the route.
 """
 
 from __future__ import annotations
@@ -26,6 +33,22 @@ class Port:
     ``key`` is the routing port key: ``("node", node_id)`` for an attached
     device or ``("bridge", bridge_id, side)`` for a ring-bridge endpoint.
     """
+
+    __slots__ = (
+        "key",
+        "station",
+        "is_bridge_port",
+        "inject_queue",
+        "eject_queue",
+        "inject_depth",
+        "eject_depth",
+        "etag_reservations",
+        "consecutive_failures",
+        "itag_pending",
+        "drm_active",
+        "drain_registry",
+        "drain_seq",
+    )
 
     def __init__(
         self,
@@ -55,6 +78,15 @@ class Port:
         #: Section 4.4), overriding I-tag reservations and direction
         #: preference — recovery beats fairness while deadlocked.
         self.drm_active = False
+        #: Delivery-drain registry (node ports only; None for bridge
+        #: ports).  The fabric points this at its shared dict so the
+        #: per-cycle drain visits only ports that actually hold ejected
+        #: flits instead of walking every node port.  ``drain_seq`` is the
+        #: port's position in the fabric's node-port creation order; the
+        #: drain sorts on it so delivery order is independent of eject
+        #: order (which differs between the fast and reference steps).
+        self.drain_registry: Optional[Dict["Port", None]] = None
+        self.drain_seq = -1
 
     # -- injection side ---------------------------------------------------
 
@@ -62,16 +94,36 @@ class Port:
     def inject_full(self) -> bool:
         return len(self.inject_queue) >= self.inject_depth
 
+    def enqueue_inject(self, flit: Flit) -> None:
+        """Queue ``flit`` for injection and mark the station pending.
+
+        All fabric-internal producers (node injection, bridge transfers)
+        must enqueue through here: the registration is what lets the fast
+        step skip stations with empty queues without rescanning them.
+        """
+        self.inject_queue.append(flit)
+        station = self.station
+        station.pending_registry[station] = None
+
     def head_for_direction(self, direction: int) -> Optional[Flit]:
-        """Inject-queue head if it prefers ``direction``, else None."""
-        if not self.inject_queue:
+        """Inject-queue head if it prefers ``direction``, else None.
+
+        The shortest-direction choice depends only on (stop, exit stop),
+        both fixed while the flit waits here, so it is computed once and
+        cached on the flit (invalidated by ``Flit.advance_hop``).
+        """
+        queue = self.inject_queue
+        if not queue:
             return None
-        flit = self.inject_queue[0]
-        spec = self.station.ring_spec
-        want = ring_direction(
-            spec.nstops, self.station.stop, flit.current_hop.exit_stop,
-            spec.bidirectional,
-        )
+        flit = queue[0]
+        want = flit.dir_pref
+        if want is None:
+            station = self.station
+            spec = station.ring_spec
+            want = ring_direction(
+                spec.nstops, station.stop, flit.exit_stop, spec.bidirectional,
+            )
+            flit.dir_pref = want
         return flit if want == direction else None
 
     # -- ejection side ----------------------------------------------------
@@ -91,6 +143,8 @@ class Port:
                 if len(queue) < self.eject_depth:
                     reservations.discard(msg_id)
                     queue.append(flit)
+                    if self.drain_registry is not None:
+                        self.drain_registry[self] = None
                     return True
                 flit.deflections += 1
                 flit.laps_deflected += 1
@@ -98,12 +152,16 @@ class Port:
                 return False
             if len(queue) < self.eject_depth - len(reservations):
                 queue.append(flit)
+                if self.drain_registry is not None:
+                    self.drain_registry[self] = None
                 return True
             reservations.add(msg_id)
             stats.etags_placed += 1
         else:
             if len(queue) < self.eject_depth:
                 queue.append(flit)
+                if self.drain_registry is not None:
+                    self.drain_registry[self] = None
                 return True
         flit.deflections += 1
         stats.deflections += 1
@@ -118,6 +176,21 @@ class CrossStation:
     :class:`repro.core.ring.Lane`).
     """
 
+    __slots__ = (
+        "ring_spec",
+        "stop",
+        "config",
+        "stats",
+        "ports",
+        "port_by_key",
+        "pending_registry",
+        "_ring_id",
+        "_enable_etags",
+        "_enable_itags",
+        "_itag_threshold",
+        "_rr",
+    )
+
     def __init__(
         self,
         ring_spec: RingSpec,
@@ -131,6 +204,15 @@ class CrossStation:
         self.stats = stats
         self.ports: List[Port] = []
         self.port_by_key: Dict[Tuple, Port] = {}
+        #: Shared per-ring registry of stations that may have queued
+        #: injections (set by :meth:`repro.core.ring.Ring.station_at`);
+        #: a private dict for stations built outside a ring (unit tests).
+        self.pending_registry: Dict["CrossStation", None] = {}
+        # Hoisted config reads for the per-cycle hot path.
+        self._ring_id = ring_spec.ring_id
+        self._enable_etags = config.enable_etags
+        self._enable_itags = config.enable_itags
+        self._itag_threshold = config.queues.itag_threshold
         self._rr = 0
 
     def add_port(self, key: Tuple) -> Port:
@@ -154,21 +236,24 @@ class CrossStation:
         (e.g. the station's other node interface); it transfers directly,
         using the normal eject admission so E-tag accounting stays exact.
         """
+        stop = self.stop
+        ring_id = self._ring_id
         for port in self.ports:
-            if not port.inject_queue:
+            queue = port.inject_queue
+            if not queue:
                 continue
-            flit = port.inject_queue[0]
-            hop = flit.current_hop
-            if hop.exit_stop != self.stop or hop.ring != self.ring_spec.ring_id:
+            flit = queue[0]
+            if flit.exit_stop != stop or flit.exit_ring != ring_id:
                 continue
-            target = self.port_by_key.get(hop.port_key)
+            target = self.port_by_key.get(flit.exit_port_key)
             if target is None:
+                hop = flit.current_hop
                 raise RuntimeError(
                     f"flit {flit.msg.msg_id} exits at ({hop.ring},{hop.exit_stop}) "
                     f"to {hop.port_key}, but no such port exists there"
                 )
-            if target.try_accept_eject(flit, self.stats, self.config.enable_etags):
-                port.inject_queue.popleft()
+            if target.try_accept_eject(flit, self.stats, self._enable_etags):
+                queue.popleft()
                 port.consecutive_failures = 0
                 if not flit.injected_any:
                     flit.injected_any = True
@@ -180,26 +265,36 @@ class CrossStation:
     # -- per-lane processing -------------------------------------------------
 
     def process_lane(self, lane, cycle: int) -> None:
-        """Eject, then inject, on this station's slot of ``lane``."""
-        idx = lane.index_at(self.stop, cycle)
+        """Eject, then inject, then charge failures — one fused pass.
+
+        This is the simulator's innermost loop (once per station per lane
+        per cycle), so the former ``_try_inject``/``_count_failures``
+        helpers and the per-port head lookups are inlined: the only calls
+        left on the common path are the actual eject/inject events.
+        """
+        stop = self.stop
+        direction = lane.direction
         flits = lane.flits
+        idx = (stop - direction * cycle) % lane.nstops
         flit = flits[idx]
+        ring_spec = self.ring_spec
 
         # Ejection: on-the-fly flits have absolute priority, so a flit
         # leaving here frees the slot before any injection is considered —
         # this is also what lets SWAP exchange an eject and an inject in
         # the same cycle (Section 4.4).
         if flit is not None:
-            hop = flit.current_hop
-            if hop.exit_stop == self.stop and hop.ring == self.ring_spec.ring_id:
-                port = self.port_by_key.get(hop.port_key)
+            if flit.exit_stop == stop and flit.exit_ring == self._ring_id:
+                port = self.port_by_key.get(flit.exit_port_key)
                 if port is None:
+                    hop = flit.current_hop
                     raise RuntimeError(
                         f"flit {flit.msg.msg_id} wants port {hop.port_key} at "
                         f"({hop.ring},{hop.exit_stop}) but it does not exist"
                     )
-                if port.try_accept_eject(flit, self.stats, self.config.enable_etags):
+                if port.try_accept_eject(flit, self.stats, self._enable_etags):
                     flits[idx] = None
+                    flit = None
                     if port.drm_active and port.inject_queue:
                         # SWAP (Section 4.4): "the header in the Inject
                         # Queue takes [the ejected flit]'s place to move
@@ -209,47 +304,95 @@ class CrossStation:
                         return
 
         # Injection: only into an empty slot, honouring I-tag reservations.
-        if flits[idx] is None:
-            self._try_inject(lane, idx, cycle)
-        else:
-            self._count_failures(lane, idx, None)
-
-    def _try_inject(self, lane, idx: int, cycle: int) -> None:
-        tag_port: Optional[Port] = lane.itags[idx]
+        ports = self.ports
+        itags = lane.itags
         injected_port: Optional[Port] = None
+        blocked_by_foreign_tag = False
+        if flit is None:
+            tag_port: Optional[Port] = itags[idx]
+            if tag_port is not None:
+                if tag_port.station is self:
+                    # The reserved slot returned to its reserver: inject
+                    # the waiting head (or release the tag if the head
+                    # changed its mind about direction / is gone).
+                    itags[idx] = None
+                    tag_port.itag_pending[direction] = False
+                    queue = tag_port.inject_queue
+                    if queue:
+                        head = queue[0]
+                        want = head.dir_pref
+                        if want is None:
+                            want = ring_direction(
+                                ring_spec.nstops, stop, head.exit_stop,
+                                ring_spec.bidirectional)
+                            head.dir_pref = want
+                        if want == direction:
+                            self._inject(lane, idx, tag_port, cycle)
+                            injected_port = tag_port
+                    # fall through: if not injected, normal arbitration may
+                    # use the now-unreserved slot this same cycle.
+                else:
+                    # Reserved for another station; nobody here may use it,
+                    # but waiting ports are still charged a failure below.
+                    blocked_by_foreign_tag = True
 
-        if tag_port is not None:
-            if tag_port.station is self:
-                # The reserved slot returned to its reserver: inject the
-                # waiting head (or release the tag if the head changed its
-                # mind about direction / is gone).
-                lane.itags[idx] = None
-                tag_port.itag_pending[lane.direction] = False
-                head = tag_port.head_for_direction(lane.direction)
-                if head is not None:
-                    self._inject(lane, idx, tag_port, cycle)
-                    injected_port = tag_port
-                # fall through: if not injected, normal arbitration may use
-                # the now-unreserved slot this same cycle.
-            else:
-                # Reserved for another station; nobody here may use it.
-                self._count_failures(lane, idx, None)
-                return
+            if injected_port is None and not blocked_by_foreign_tag:
+                escape_period = lane.escape_period
+                escape_slot = escape_period > 0 and idx % escape_period == 0
+                nports = len(ports)
+                rr = self._rr
+                for offset in range(nports):
+                    port = ports[(rr + offset) % nports]
+                    if escape_slot and not port.is_bridge_port:
+                        continue  # escape slots are reserved for bridges
+                    queue = port.inject_queue
+                    if not queue:
+                        continue
+                    head = queue[0]
+                    want = head.dir_pref
+                    if want is None:
+                        want = ring_direction(
+                            ring_spec.nstops, stop, head.exit_stop,
+                            ring_spec.bidirectional)
+                        head.dir_pref = want
+                    if want == direction:
+                        self._inject(lane, idx, port, cycle)
+                        injected_port = port
+                        self._rr = (ports.index(port) + 1) % nports
+                        break
 
-        if injected_port is None:
-            escape_slot = lane.is_escape(idx)
-            nports = len(self.ports)
-            for offset in range(nports):
-                port = self.ports[(self._rr + offset) % nports]
-                if escape_slot and not port.is_bridge_port:
-                    continue  # escape slots are reserved for bridges
-                if port.head_for_direction(lane.direction) is not None:
-                    self._inject(lane, idx, port, cycle)
-                    injected_port = port
-                    self._rr = (self.ports.index(port) + 1) % nports
-                    break
-
-        self._count_failures(lane, idx, injected_port)
+        # Failure accounting: charge every port that wanted this lane and
+        # lost.  At the I-tag threshold the loser reserves the slot
+        # currently passing (Section 4.1.2): the slot is tagged even if
+        # occupied; no other station may fill it once empty, and one lap
+        # later the reserver injects into it.
+        for port in ports:
+            if port is injected_port:
+                continue
+            queue = port.inject_queue
+            if not queue:
+                continue
+            head = queue[0]
+            want = head.dir_pref
+            if want is None:
+                want = ring_direction(
+                    ring_spec.nstops, stop, head.exit_stop,
+                    ring_spec.bidirectional)
+                head.dir_pref = want
+            if want != direction:
+                continue
+            failures = port.consecutive_failures + 1
+            port.consecutive_failures = failures
+            if (
+                self._enable_itags
+                and not port.itag_pending[direction]
+                and failures % self._itag_threshold == 0
+                and itags[idx] is None
+                and not lane.is_escape(idx)  # escape slots stay unreserved
+            ):
+                itags[idx] = port
+                port.itag_pending[direction] = True
+                self.stats.itags_placed += 1
 
     def _inject(self, lane, idx: int, port: Port, cycle: int) -> None:
         flit = port.inject_queue.popleft()
@@ -259,29 +402,3 @@ class CrossStation:
             flit.injected_any = True
             flit.msg.injected_cycle = cycle
             self.stats.injected += 1
-
-    def _count_failures(self, lane, idx: int, injected_port: Optional[Port]) -> None:
-        """Charge a failed cycle to every port that wanted this lane and lost.
-
-        At the I-tag threshold the loser reserves the slot currently
-        passing (Section 4.1.2): the slot is tagged even if occupied; no
-        other station may fill it once empty, and one lap later the
-        reserver injects into it.
-        """
-        queues = self.config.queues
-        for port in self.ports:
-            if port is injected_port:
-                continue
-            if port.head_for_direction(lane.direction) is None:
-                continue
-            port.consecutive_failures += 1
-            if (
-                self.config.enable_itags
-                and not port.itag_pending[lane.direction]
-                and port.consecutive_failures % queues.itag_threshold == 0
-                and lane.itags[idx] is None
-                and not lane.is_escape(idx)  # escape slots stay unreserved
-            ):
-                lane.itags[idx] = port
-                port.itag_pending[lane.direction] = True
-                self.stats.itags_placed += 1

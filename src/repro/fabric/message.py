@@ -70,7 +70,7 @@ class Message:
     @property
     def size_bits(self) -> int:
         """On-wire size: header always, data payload only for DATA flits."""
-        if self.kind.carries_data:
+        if self.kind is MessageKind.DATA:
             payload_bits = (self.data_bytes * 8 if self.data_bytes is not None
                             else FLIT_DATA_BITS)
             return FLIT_HEADER_BITS + payload_bits

@@ -13,17 +13,41 @@ from typing import Dict, List, Optional
 from repro.fabric.message import Message
 
 
-@dataclass
 class LatencySample:
-    """One delivered message's timing record."""
+    """One delivered message's timing record.
 
-    msg_id: int
-    src: int
-    dst: int
-    created_cycle: int
-    injected_cycle: int
-    delivered_cycle: int
-    deflections: int = 0
+    A plain ``__slots__`` class (not a dataclass): one instance is
+    allocated per delivered message, which makes construction part of the
+    simulator's hot path.
+    """
+
+    __slots__ = ("msg_id", "src", "dst", "created_cycle", "injected_cycle",
+                 "delivered_cycle", "deflections")
+
+    def __init__(self, msg_id: int, src: int, dst: int, created_cycle: int,
+                 injected_cycle: int, delivered_cycle: int,
+                 deflections: int = 0):
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.created_cycle = created_cycle
+        self.injected_cycle = injected_cycle
+        self.delivered_cycle = delivered_cycle
+        self.deflections = deflections
+
+    def _key(self):
+        return (self.msg_id, self.src, self.dst, self.created_cycle,
+                self.injected_cycle, self.delivered_cycle, self.deflections)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LatencySample):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LatencySample(msg_id={self.msg_id}, {self.src}->{self.dst}, "
+                f"created={self.created_cycle}, injected={self.injected_cycle}, "
+                f"delivered={self.delivered_cycle}, defl={self.deflections})")
 
     @property
     def network_latency(self) -> int:
@@ -55,18 +79,14 @@ class FabricStats:
     def record_delivery(self, msg: Message, deflections: int = 0) -> None:
         self.delivered += 1
         self.delivered_bytes += msg.size_bytes
-        self.per_dst_delivered[msg.dst] = self.per_dst_delivered.get(msg.dst, 0) + 1
+        dst = msg.dst
+        per_dst = self.per_dst_delivered
+        per_dst[dst] = per_dst.get(dst, 0) + 1
         if self.keep_samples and msg.injected_cycle is not None:
             self.samples.append(
-                LatencySample(
-                    msg_id=msg.msg_id,
-                    src=msg.src,
-                    dst=msg.dst,
-                    created_cycle=msg.created_cycle,
-                    injected_cycle=msg.injected_cycle,
-                    delivered_cycle=msg.delivered_cycle or 0,
-                    deflections=deflections,
-                )
+                LatencySample(msg.msg_id, msg.src, dst, msg.created_cycle,
+                              msg.injected_cycle, msg.delivered_cycle or 0,
+                              deflections)
             )
 
     @property

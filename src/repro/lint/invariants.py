@@ -117,12 +117,19 @@ class FabricInvariantChecker:
             )
 
     def check_deflection_bound(self, cycle: int) -> None:
-        """No flit may exceed one post-reservation lap per ring slot."""
+        """No flit may exceed one post-reservation lap per ring slot.
+
+        Walks only the occupied slots via the lane's maintained occupancy
+        index (O(flits), not O(nstops)); sorted so the first violation
+        reported matches the slot-order walk of earlier revisions.
+        """
         for ring_id, ring in self.fabric.rings.items():
             bound = (self.max_extra_laps if self.max_extra_laps is not None
                      else self._lap_bounds[ring_id])
             for lane in ring.lanes:
-                for flit in lane.flits:
+                flits = lane.flits
+                for idx in sorted(flits.occupied):
+                    flit = flits[idx]
                     if flit is None:
                         continue
                     laps = flit.laps_deflected
@@ -161,7 +168,9 @@ class FabricInvariantChecker:
         tag_count: Dict[Tuple[int, int], int] = {}
         for ring_id, ring in self.fabric.rings.items():
             for lane in ring.lanes:
-                for idx, port in enumerate(lane.itags):
+                itags = lane.itags
+                for idx in sorted(itags.occupied):
+                    port = itags[idx]
                     if port is None:
                         continue
                     station = port.station

@@ -15,10 +15,19 @@ Generic linters do not know what breaks a simulator.  These rules do:
 - ``bare-except`` — ``except:`` swallows the structured
   :class:`repro.lint.invariants.InvariantViolation` (and
   ``KeyboardInterrupt``), turning a caught correctness bug into silence.
+- ``parallel-seeding`` — worker processes and pid-derived seeds belong
+  in :mod:`repro.perf` only.  A ``multiprocessing``/process-pool import
+  or an ``os.getpid()`` call in a sim path is how "same seed, different
+  worker count, different results" bugs are born; parallel sweeps must
+  go through :func:`repro.perf.sweep.run_sweep`, which derives every
+  point's seed from ``(base_seed, point index)`` before dispatch.
 
 A line can opt out of one rule with a trailing ``# lint: allow[rule]``
 comment; :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
-exempt from the determinism rule wholesale.
+exempt from the determinism rule wholesale, and everything under
+:data:`PERF_EXEMPT_DIRS` (the measurement harness, which legitimately
+reads wall clocks and spawns workers) is exempt from both the
+determinism and parallel-seeding rules.
 """
 
 from __future__ import annotations
@@ -36,11 +45,21 @@ DEFAULT_RULES: Tuple[str, ...] = (
     "mutable-default",
     "float-cycle",
     "bare-except",
+    "parallel-seeding",
 )
 
 #: Files (posix-path suffixes) where the determinism rule does not apply:
 #: the RNG helper is the one legitimate owner of ``random``.
 DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/sim/rng.py",)
+
+#: Directory fragments exempt from the determinism and parallel-seeding
+#: rules: the measurement harness times wall clocks and owns the worker
+#: pools by design — it is harness, not simulation.
+PERF_EXEMPT_DIRS: Tuple[str, ...] = ("repro/perf/",)
+
+#: Modules whose import outside repro/perf/ the parallel-seeding rule
+#: flags.
+_PARALLEL_MODULES = {"multiprocessing", "concurrent.futures"}
 
 #: Modules whose import anywhere in a sim path is nondeterminism.
 _BANNED_MODULES = {"random", "secrets", "numpy.random"}
@@ -127,11 +146,14 @@ class _RuleVisitor(ast.NodeVisitor):
         rules: Sequence[str],
         suppressed: Dict[int, Set[str]],
         determinism_exempt: bool,
+        parallel_exempt: bool = False,
     ):
         self.path = path
         self.rules = set(rules)
         if determinism_exempt:
             self.rules.discard("determinism")
+        if parallel_exempt:
+            self.rules.discard("parallel-seeding")
         self.suppressed = suppressed
         self.findings: List[Finding] = []
 
@@ -151,6 +173,11 @@ class _RuleVisitor(ast.NodeVisitor):
 
     # -- determinism ------------------------------------------------------
 
+    @staticmethod
+    def _parallel_module(name: str) -> bool:
+        return any(name == mod or name.startswith(mod + ".")
+                   for mod in _PARALLEL_MODULES)
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name in _BANNED_MODULES:
@@ -159,6 +186,13 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"import of '{alias.name}' in a sim path; create "
                     "generators with repro.sim.rng.make_rng/split_rng "
                     "(type-hint with repro.sim.rng.Rng)",
+                )
+            if self._parallel_module(alias.name):
+                self._emit(
+                    node, "parallel-seeding",
+                    f"import of '{alias.name}' outside repro/perf/; run "
+                    "parallel work through repro.perf.sweep.run_sweep "
+                    "so per-point seeds stay worker-independent",
                 )
         self.generic_visit(node)
 
@@ -169,6 +203,13 @@ class _RuleVisitor(ast.NodeVisitor):
                 node, "determinism",
                 f"import from '{module}' in a sim path; use "
                 "repro.sim.rng.make_rng/split_rng instead",
+            )
+        if self._parallel_module(module):
+            self._emit(
+                node, "parallel-seeding",
+                f"import from '{module}' outside repro/perf/; run "
+                "parallel work through repro.perf.sweep.run_sweep "
+                "so per-point seeds stay worker-independent",
             )
         self.generic_visit(node)
 
@@ -184,6 +225,14 @@ class _RuleVisitor(ast.NodeVisitor):
                         "deterministic simulator may read",
                     )
                     break
+            if dotted == "os.getpid" or dotted.endswith(".getpid"):
+                self._emit(
+                    node, "parallel-seeding",
+                    f"'{dotted}' outside repro/perf/: a pid-derived "
+                    "value in a sim path makes results depend on which "
+                    "worker ran the point; derive per-point seeds with "
+                    "repro.perf.sweep.point_seed",
+                )
         self.generic_visit(node)
 
     # -- mutable defaults -------------------------------------------------
@@ -265,16 +314,27 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _perf_exempt(posix_path: str) -> bool:
+    """True for files inside the measurement-harness directories."""
+    return any(frag in posix_path or posix_path.startswith(frag.rstrip("/"))
+               for frag in PERF_EXEMPT_DIRS)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Sequence[str] = DEFAULT_RULES,
     determinism_exempt: Optional[bool] = None,
+    parallel_exempt: Optional[bool] = None,
 ) -> List[Finding]:
     """Lint one module's source text; returns findings (empty = clean)."""
+    posix = path.replace(os.sep, "/")
     if determinism_exempt is None:
-        posix = path.replace(os.sep, "/")
-        determinism_exempt = any(posix.endswith(s) for s in DETERMINISM_EXEMPT)
+        determinism_exempt = (any(posix.endswith(s)
+                                  for s in DETERMINISM_EXEMPT)
+                              or _perf_exempt(posix))
+    if parallel_exempt is None:
+        parallel_exempt = _perf_exempt(posix)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -282,7 +342,7 @@ def lint_source(
                         message=f"cannot parse: {exc.msg}", path=path,
                         line=exc.lineno or 0, col=exc.offset or 0)]
     visitor = _RuleVisitor(path, rules, _suppressions(source),
-                           determinism_exempt)
+                           determinism_exempt, parallel_exempt)
     visitor.visit(tree)
     return visitor.findings
 

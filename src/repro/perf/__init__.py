@@ -1,0 +1,21 @@
+"""Performance infrastructure: benchmarks, parallel sweeps, result cache.
+
+This package is the one place in the library allowed to read wall-clock
+time and spawn worker processes — everything under ``repro/perf/`` is
+measurement harness, not simulation.  The simulator itself stays a pure
+function of its seed; the lint rules (:mod:`repro.lint.rules`) enforce
+that split by exempting only this directory from the determinism and
+parallel-seeding rules.
+
+- :mod:`repro.perf.cache` — persistent on-disk result cache shared by
+  sweep workers and the benchmark harness.
+- :mod:`repro.perf.sweep` — deterministic parallel sweep runner
+  (ProcessPoolExecutor with per-point seeds from :mod:`repro.sim.rng`).
+- :mod:`repro.perf.bench` — the ``repro-noc bench`` smoke suite and the
+  ``BENCH_fabric.json`` trajectory format.
+"""
+
+from repro.perf.cache import ResultCache
+from repro.perf.sweep import SweepPoint, point_seed, run_sweep
+
+__all__ = ["ResultCache", "SweepPoint", "point_seed", "run_sweep"]

@@ -1,0 +1,111 @@
+"""Persistent on-disk result cache for sweeps and benchmarks.
+
+One JSON file per entry under a cache root, keyed by a stable SHA-256
+hash of the entry's identity (benchmark name, parameters, seed, cycle
+count, schema version).  Because the key is derived from canonical JSON
+— sorted keys, no whitespace variance — any process that describes the
+same computation derives the same key, which is what lets parallel sweep
+workers and repeated pytest runs share results across process
+boundaries (the in-memory ``benchmarks/common.CACHE`` dict cannot).
+
+Corrupt or unreadable entries are treated as misses, never as errors:
+a cache must not be able to fail a run that would succeed without it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Optional
+
+#: Bump to invalidate every existing entry when the stored payload's
+#: meaning changes (e.g. a simulator semantics fix).
+SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text for hashing: sorted keys, compact."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: Any) -> Any:
+    """A JSON-able identity for a config object.
+
+    Dataclasses (``MultiRingConfig`` and friends) flatten to nested
+    dicts; everything else must already be JSON-serializable.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    return config
+
+
+class ResultCache:
+    """Content-addressed JSON store: ``root/<sha256>.json`` per entry."""
+
+    def __init__(self, root: str, version: int = SCHEMA_VERSION):
+        self.root = root
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def make_key(self, name: str, **parts: Any) -> str:
+        """Stable key for a computation's identity.
+
+        ``parts`` (typically ``params=..., config=..., seed=...,
+        cycles=...``) must be JSON-serializable; pass configs through
+        :func:`config_fingerprint` first.
+        """
+        payload = {"name": name, "version": self.version, "parts": parts}
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Stored value for ``key``, or None on a miss.
+
+        A corrupt, truncated, or unreadable entry is a miss (and is not
+        deleted — a concurrent writer may be mid-rewrite).
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            value = payload["value"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` (must be JSON-serializable) under ``key``.
+
+        Written atomically (temp file + rename) so a reader never sees a
+        half-written entry — sweep workers in other processes may read
+        concurrently.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"version": self.version, "value": value}, fh)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.remove(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

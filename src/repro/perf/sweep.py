@@ -1,0 +1,114 @@
+"""Deterministic parallel sweep runner.
+
+Runs one worker function over a list of sweep points, optionally across
+a :class:`concurrent.futures.ProcessPoolExecutor`.  Three properties
+make the parallelism invisible to the results:
+
+- **Per-point seeds are a function of (base seed, point index) only** —
+  derived via :func:`repro.sim.rng` *before* any work is dispatched, so
+  a point's random stream does not depend on which worker runs it, how
+  many workers exist, or what ran before it.  Never derive a seed from
+  ``os.getpid()`` or worker identity (the ``parallel-seeding`` lint rule
+  flags that pattern outside this package).
+- **Results merge in point order** (``executor.map`` semantics), so the
+  returned list matches the input order regardless of completion order.
+- **``workers <= 1`` degrades to a plain in-process loop** with the same
+  seeds, which is both the no-multiprocessing fallback and the oracle
+  that the determinism tests compare the parallel path against.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.perf.cache import ResultCache
+from repro.sim.rng import make_rng, split_rng
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    ``params`` is stored as a sorted item tuple so points are hashable
+    and two dicts with different insertion orders are the same point.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **params: Any) -> "SweepPoint":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """The seed for sweep point ``index`` under ``base_seed``.
+
+    Pure function of its arguments, routed through
+    :func:`repro.sim.rng.split_rng` so every point gets an independent
+    stream and inserting a worker pool cannot perturb any point's RNG.
+    """
+    return split_rng(make_rng(base_seed), index).randrange(2**63)
+
+
+def _invoke(task: Tuple[Callable[[SweepPoint, int], Any], SweepPoint, int]) -> Any:
+    """Picklable trampoline: ``executor.map`` needs a single argument."""
+    fn, point, seed = task
+    return fn(point, seed)
+
+
+def run_sweep(
+    fn: Callable[[SweepPoint, int], Any],
+    points: Sequence[SweepPoint],
+    base_seed: int = 0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cache_name: Optional[str] = None,
+    cache_context: Optional[Dict[str, Any]] = None,
+) -> List[Any]:
+    """Evaluate ``fn(point, seed)`` for every point; results in order.
+
+    ``fn`` must be a module-level function (workers receive it by
+    pickle) and, when ``cache`` is given, must return something
+    JSON-serializable.  ``cache_context`` folds extra identity (config
+    fingerprints, cycle counts) into every cache key so entries from a
+    differently-configured sweep never alias.
+    """
+    seeds = [point_seed(base_seed, i) for i in range(len(points))]
+    results: List[Any] = [None] * len(points)
+    keys: List[Optional[str]] = [None] * len(points)
+
+    pending: List[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            key = cache.make_key(
+                cache_name or getattr(fn, "__qualname__", "sweep"),
+                point=point.name,
+                params=point.as_dict(),
+                seed=seeds[i],
+                context=cache_context or {},
+            )
+            keys[i] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        tasks = [(fn, points[i], seeds[i]) for i in pending]
+        if workers is not None and workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(_invoke, tasks))
+        else:
+            computed = [_invoke(task) for task in tasks]
+        for i, value in zip(pending, computed):
+            results[i] = value
+            if cache is not None and keys[i] is not None:
+                cache.put(keys[i], value)
+    return results

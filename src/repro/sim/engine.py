@@ -70,9 +70,31 @@ class Simulator:
         self._cycle = cycle + 1
 
     def run(self, cycles: int) -> None:
-        """Advance by ``cycles`` cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Advance by ``cycles`` cycles.
+
+        Fused loop: the component list is bound once (it is the live
+        list, so components registered mid-run still step the same cycle,
+        exactly as per-cycle :meth:`step` calls would) and the invariant
+        sweep is skipped entirely when no probe is registered.
+        """
+        components = self._components
+        invariants = self._invariants
+        cycle = self._cycle
+        end = cycle + cycles
+        if invariants:
+            while cycle < end:
+                for component in components:
+                    component.step(cycle)
+                for check in invariants:
+                    check(cycle)
+                cycle += 1
+                self._cycle = cycle
+        else:
+            while cycle < end:
+                for component in components:
+                    component.step(cycle)
+                cycle += 1
+                self._cycle = cycle
 
     def run_until(
         self,
@@ -82,15 +104,27 @@ class Simulator:
     ) -> bool:
         """Run until ``predicate()`` is true or ``max_cycles`` elapse.
 
-        Returns True if the predicate fired, False on timeout.  The
-        predicate is evaluated every ``check_every`` cycles to keep hot
-        loops cheap.
+        Returns True if the predicate fired, False on timeout.
+
+        Cadence, explicitly: the predicate is evaluated after every
+        ``check_every``-th step — that is, after steps ``check_every``,
+        ``2*check_every``, ... — and, if ``max_cycles`` is not a multiple
+        of ``check_every``, once more after the final step so a timeout
+        never misses a predicate that became true inside the last
+        partial window.  The predicate is never evaluated twice for the
+        same step and never before the first step.
         """
-        for i in range(max_cycles):
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        steps = 0
+        for _ in range(max_cycles):
             self.step()
-            if i % check_every == 0 and predicate():
+            steps += 1
+            if steps % check_every == 0 and predicate():
                 return True
-        return bool(predicate())
+        if steps % check_every != 0 and predicate():
+            return True
+        return False
 
 
 class FunctionComponent(SimComponent):

@@ -60,3 +60,48 @@ def test_topology_command(capsys, tmp_path):
     with open(out_file) as fh:
         spec = load_topology(fh)
     assert len(spec.rings) == 4
+
+
+def test_bench_smoke_writes_report(tmp_path, capsys):
+    out_json = tmp_path / "BENCH_fabric.json"
+    assert main(["bench", "--smoke", "--repeats", "1", "--cycles", "40",
+                 "--json", str(out_json)]) == 0
+    printed = capsys.readouterr().out
+    assert "ring_full_saturated" in printed
+    import json
+    report = json.loads(out_json.read_text())
+    names = [r["name"] for r in report["results"]]
+    assert "ring_full_saturated" in names and "chiplet_pair_swap" in names
+    assert all(r["cycles_per_sec"] > 0 for r in report["results"])
+    assert report["calibration_score"] > 0
+
+
+def test_bench_baseline_regression_gate(tmp_path, capsys):
+    out_json = tmp_path / "bench.json"
+    assert main(["bench", "--repeats", "1", "--cycles", "40",
+                 "--json", str(out_json)]) == 0
+    capsys.readouterr()
+    # Comparing a run against itself can never regress beyond budget.
+    assert main(["bench", "--repeats", "1", "--cycles", "40",
+                 "--baseline", str(out_json),
+                 "--max-regression", "0.9"]) == 0
+    # An impossible baseline forces the regression exit code.
+    import json
+    report = json.loads(out_json.read_text())
+    for entry in report["results"]:
+        entry["normalized"] *= 1e9
+    inflated = tmp_path / "inflated.json"
+    inflated.write_text(json.dumps(report))
+    capsys.readouterr()
+    assert main(["bench", "--repeats", "1", "--cycles", "40",
+                 "--baseline", str(inflated),
+                 "--max-regression", "0.25"]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_sweep_rw_workers_match_sequential(tmp_path, capsys):
+    assert main(["sweep-rw", "--cycles", "60", "--workers", "1"]) == 0
+    seq = capsys.readouterr().out
+    assert main(["sweep-rw", "--cycles", "60", "--workers", "2"]) == 0
+    par = capsys.readouterr().out
+    assert seq == par

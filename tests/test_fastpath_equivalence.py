@@ -1,0 +1,192 @@
+"""Fast stepping must be cycle-for-cycle identical to the reference walk.
+
+``Ring.step_fast`` only skips station visits it can prove are no-ops, so
+for the same seed the fast and reference (``fast_path=False``) paths
+must produce byte-identical :class:`~repro.fabric.stats.FabricStats` —
+including per-message latency samples — on every topology and feature
+combination.  These tests drive randomized traffic through both and
+compare.
+"""
+
+import pytest
+
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.ring import ExitBucketedSlots, SlotList
+from repro.core.topology import chiplet_pair, single_ring_topology
+from repro.fabric.message import Message, MessageKind
+from repro.params import QueueParams
+from repro.sim.rng import make_rng
+
+
+def uniform_plan(nodes, cycles, per_cycle, seed):
+    rng = make_rng(seed)
+    plan = []
+    for cycle in range(cycles):
+        for _ in range(per_cycle):
+            src = rng.choice(nodes)
+            dst = rng.choice(nodes)
+            if src != dst:
+                plan.append((cycle, src, dst))
+    return plan
+
+
+def run_plan(fabric, plan, cycles, kind=MessageKind.REQUEST):
+    """Inject a pre-generated plan with explicit msg ids and run."""
+    i, n = 0, len(plan)
+    for cycle in range(cycles):
+        while i < n and plan[i][0] == cycle:
+            _, src, dst = plan[i]
+            fabric.try_inject(Message(src=src, dst=dst, kind=kind,
+                                      created_cycle=cycle, msg_id=i))
+            i += 1
+        fabric.step(cycle)
+    return fabric.stats
+
+
+def assert_equivalent(make_fabric, plan, cycles, kind=MessageKind.REQUEST):
+    fast = run_plan(make_fabric(True), plan, cycles, kind)
+    ref = run_plan(make_fabric(False), plan, cycles, kind)
+    assert fast == ref, (
+        f"fast/reference stats diverge:\nfast={fast}\nref ={ref}")
+    assert fast.delivered > 0 or not plan
+    return fast
+
+
+def ring_factory(nstops, bidirectional, **config_kwargs):
+    def make(fast):
+        topo, _ = single_ring_topology(nstops, bidirectional=bidirectional)
+        return MultiRingFabric(
+            topo, MultiRingConfig(fast_path=fast, **config_kwargs))
+    return make
+
+
+@pytest.mark.parametrize("bidirectional", [True, False],
+                         ids=["full-ring", "half-ring"])
+@pytest.mark.parametrize("per_cycle", [1, 8], ids=["light", "saturated"])
+def test_ring_equivalence(bidirectional, per_cycle):
+    plan = uniform_plan(list(range(12)), 600, per_cycle,
+                        seed=per_cycle * 10 + bidirectional)
+    assert_equivalent(ring_factory(12, bidirectional), plan, 600)
+
+
+@pytest.mark.parametrize("config_kwargs", [
+    dict(enable_etags=False),
+    dict(enable_itags=False),
+    dict(enable_etags=False, enable_itags=False),
+    dict(escape_slot_period=4),
+], ids=["no-etags", "no-itags", "no-tags", "escape-slots"])
+def test_feature_ablation_equivalence(config_kwargs):
+    plan = uniform_plan(list(range(12)), 600, 6, seed=99)
+    assert_equivalent(ring_factory(12, True, **config_kwargs), plan, 600)
+
+
+def test_streaming_saturation_equivalence():
+    """The bench's headline pattern: few producers, many consumers."""
+    producers = list(range(0, 32, 8))
+    consumers = [n for n in range(32) if n not in producers]
+    rng = make_rng(7)
+    plan = []
+    for cycle in range(500):
+        for src in producers:
+            for _ in range(2):
+                plan.append((cycle, src, rng.choice(consumers)))
+    assert_equivalent(ring_factory(32, True), plan, 500)
+
+
+def test_chiplet_pair_swap_equivalence():
+    """Bridged rings under deadlock pressure: SWAP/DRM, bridge injects."""
+    queues = QueueParams(inject_queue_depth=2, eject_queue_depth=2,
+                         bridge_rx_depth=2, bridge_tx_depth=2,
+                         bridge_reserved_tx=2, swap_detect_threshold=32)
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    rng = make_rng(11)
+    plan = []
+    for cycle in range(800):
+        for src in ring0:
+            plan.append((cycle, src, rng.choice(ring1)))
+        for src in ring1:
+            plan.append((cycle, src, rng.choice(ring0)))
+
+    def make(fast):
+        t, _, _ = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+        return MultiRingFabric(t, MultiRingConfig(
+            queues=queues, eject_drain_per_cycle=1, fast_path=fast))
+
+    stats = assert_equivalent(make, plan, 800, kind=MessageKind.DATA)
+    assert stats.swap_events > 0, "scenario failed to exercise SWAP/DRM"
+
+
+def test_fast_path_clean_under_invariant_checker():
+    """--check-invariants probes hold on the fast path, and observing
+    them does not perturb the run."""
+    plan = uniform_plan(list(range(12)), 400, 6, seed=21)
+    factory = ring_factory(12, True)
+    plain = run_plan(factory(True), plan, 400)
+    checked_fabric = factory(True)
+    checker = checked_fabric.attach_invariant_checker()
+    checked = run_plan(checked_fabric, plan, 400)
+    assert checker.checks_run > 0
+    assert checked == plain
+
+
+# -- data-structure units backing the fast path ---------------------------
+
+
+def test_slotlist_tracks_occupied():
+    slots = SlotList(4)
+    assert slots.occupied == set()
+    slots[1] = "flit"
+    slots[3] = "other"
+    assert slots.occupied == {1, 3}
+    slots[1] = None
+    assert slots.occupied == {3}
+    with pytest.raises(TypeError):
+        slots.append("no")
+    with pytest.raises(TypeError):
+        slots.clear()
+
+
+class _FakeFlit:
+    def __init__(self, exit_stop):
+        self.exit_stop = exit_stop
+
+
+def test_exit_buckets_follow_residue():
+    """A slot lands in the bucket of the cycle-residue at which its flit
+    passes its exit stop: (direction * (exit - idx)) mod nstops."""
+    slots = ExitBucketedSlots(8, direction=1)
+    flit = _FakeFlit(exit_stop=5)
+    slots[2] = flit
+    assert slots.occupied == {2}
+    assert slots.buckets[(5 - 2) % 8] == {2}
+    # Overwrite with a different exit: old bucket entry is retired.
+    other = _FakeFlit(exit_stop=2)
+    slots[2] = other
+    assert slots.buckets[(5 - 2) % 8] == set()
+    assert slots.buckets[0] == {2}
+    slots[2] = None
+    assert all(not bucket for bucket in slots.buckets)
+    assert slots.occupied == set()
+
+
+def test_exit_buckets_reverse_direction():
+    slots = ExitBucketedSlots(8, direction=-1)
+    flit = _FakeFlit(exit_stop=1)
+    slots[3] = flit
+    assert slots.buckets[(-1 * (1 - 3)) % 8] == {3}
+
+
+def test_enqueue_inject_registers_station():
+    topo, nodes = single_ring_topology(6, bidirectional=True)
+    fabric = MultiRingFabric(topo, MultiRingConfig(fast_path=True))
+    ring = fabric.rings[0]
+    assert not ring.pending_stations
+    fabric.try_inject(Message(src=nodes[0], dst=nodes[3], msg_id=0))
+    station = fabric.node_port(nodes[0]).station
+    assert station in ring.pending_stations
+    # Once the queue drains, the fast step forgets the station.
+    for cycle in range(20):
+        fabric.step(cycle)
+    assert station not in ring.pending_stations
+    assert fabric.stats.delivered == 1

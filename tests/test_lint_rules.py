@@ -150,3 +150,49 @@ def test_shipped_tree_lints_clean():
     findings, nfiles = lint_paths([default_source_root()])
     assert nfiles > 50  # sanity: we really walked the package
     assert findings == []
+
+
+# -- parallel-seeding -----------------------------------------------------
+
+
+def test_multiprocessing_import_flagged():
+    assert "parallel-seeding" in rules_hit("import multiprocessing\n")
+    assert "parallel-seeding" in rules_hit(
+        "from multiprocessing import Pool\n")
+
+
+def test_process_pool_import_flagged():
+    assert "parallel-seeding" in rules_hit(
+        "from concurrent.futures import ProcessPoolExecutor\n")
+
+
+def test_getpid_seed_flagged():
+    assert "parallel-seeding" in rules_hit(
+        """
+        import os
+
+        def worker_seed(base):
+            return base ^ os.getpid()
+        """
+    )
+
+
+def test_perf_package_is_exempt():
+    source = (
+        "import time\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import os\n"
+        "def t():\n"
+        "    return time.perf_counter(), os.getpid()\n"
+    )
+    hits = rules_hit(source, path="pkg/repro/perf/sweep.py")
+    assert "parallel-seeding" not in hits
+    assert "determinism" not in hits
+    # The same source in a sim path trips both rules.
+    hits = rules_hit(source, path="pkg/repro/sim/model.py")
+    assert {"parallel-seeding", "determinism"} <= hits
+
+
+def test_parallel_seeding_inline_optout():
+    assert "parallel-seeding" not in rules_hit(
+        "import multiprocessing  # lint: allow[parallel-seeding]\n")

@@ -1,0 +1,187 @@
+"""The sweep runner must be deterministic and cache-transparent.
+
+Parallelism is only acceptable if it is invisible: N workers, 1 worker,
+and a cache-warmed rerun must all return the same results in the same
+order.  These tests pin that, plus the cache's corruption handling and
+the bench report's regression comparison.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.bench import compare_to_baseline
+from repro.perf.cache import ResultCache, canonical_json, config_fingerprint
+from repro.perf.sweep import SweepPoint, point_seed, run_sweep
+from repro.sim.rng import make_rng
+
+
+def echo_worker(point, seed):
+    """Module-level (picklable) worker: derive a value from the seed."""
+    rng = make_rng(seed)
+    return {"name": point.name, "params": point.as_dict(),
+            "draw": rng.randrange(10 ** 9)}
+
+
+POINTS = [SweepPoint.make(f"p{i}", scale=i) for i in range(6)]
+
+
+# -- deterministic seeding -------------------------------------------------
+
+
+def test_point_seed_is_pure():
+    assert point_seed(0, 0) == point_seed(0, 0)
+    assert point_seed(0, 1) == point_seed(0, 1)
+
+
+def test_point_seeds_differ_across_points_and_bases():
+    seeds = [point_seed(3, i) for i in range(20)]
+    assert len(set(seeds)) == 20
+    assert point_seed(3, 0) != point_seed(4, 0)
+
+
+def test_sweep_point_params_order_invariant():
+    a = SweepPoint.make("x", alpha=1, beta=2)
+    b = SweepPoint.make("x", beta=2, alpha=1)
+    assert a == b
+    assert a.as_dict() == {"alpha": 1, "beta": 2}
+
+
+# -- runner ----------------------------------------------------------------
+
+
+def test_sequential_and_parallel_results_identical():
+    sequential = run_sweep(echo_worker, POINTS, base_seed=5, workers=1)
+    parallel = run_sweep(echo_worker, POINTS, base_seed=5, workers=3)
+    assert sequential == parallel
+    assert [r["name"] for r in sequential] == [p.name for p in POINTS]
+
+
+def test_results_ordered_regardless_of_completion(tmp_path):
+    results = run_sweep(echo_worker, POINTS, base_seed=1, workers=4)
+    assert [r["params"]["scale"] for r in results] == list(range(6))
+
+
+# -- cache -----------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_counters(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.make_key("bench", seed=1, cycles=100)
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    cache.put(key, {"value": 42})
+    assert cache.get(key) == {"value": 42}
+    assert cache.hits == 1
+
+
+def test_cache_key_stability_and_sensitivity():
+    cache = ResultCache("/nonexistent")
+    base = cache.make_key("bench", seed=1, cycles=100)
+    assert base == cache.make_key("bench", cycles=100, seed=1)
+    assert base != cache.make_key("bench", seed=2, cycles=100)
+    assert base != cache.make_key("other", seed=1, cycles=100)
+    assert base != ResultCache("/nonexistent", version=99).make_key(
+        "bench", seed=1, cycles=100)
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.make_key("bench", seed=1)
+    cache.put(key, [1, 2, 3])
+    with open(os.path.join(str(tmp_path), key + ".json"), "w") as fh:
+        fh.write("{not json")
+    assert cache.get(key) is None
+
+
+def test_sweep_uses_cache_across_runs(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = run_sweep(echo_worker, POINTS, base_seed=5, workers=1,
+                      cache=cache, cache_name="echo")
+    warm = ResultCache(str(tmp_path))
+    second = run_sweep(echo_worker, POINTS, base_seed=5, workers=1,
+                       cache=warm, cache_name="echo")
+    assert first == second
+    assert warm.hits == len(POINTS) and warm.misses == 0
+    # A different base seed must not alias into the same entries.
+    other = run_sweep(echo_worker, POINTS, base_seed=6, workers=1,
+                      cache=warm, cache_name="echo")
+    assert other != first
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(cache.make_key("a"), 1)
+    cache.put(cache.make_key("b"), 2)
+    assert cache.clear() == 2
+    assert cache.get(cache.make_key("a")) is None
+
+
+def test_config_fingerprint_flattens_dataclasses():
+    from repro.core.config import MultiRingConfig
+    fp = config_fingerprint(MultiRingConfig())
+    assert fp["fast_path"] is True
+    canonical_json(fp)  # must be JSON-able
+
+
+# -- bench regression comparison ------------------------------------------
+
+
+def _report(normalized, stats=None):
+    return {"results": [{"name": "case", "normalized": normalized,
+                         "stats": stats or {"delivered": 10}}]}
+
+
+def test_regression_within_budget_passes():
+    assert compare_to_baseline(_report(0.80), _report(1.0),
+                               max_regression=0.25) == []
+
+
+def test_regression_beyond_budget_fails():
+    failures = compare_to_baseline(_report(0.70), _report(1.0),
+                                   max_regression=0.25)
+    assert len(failures) == 1 and "case" in failures[0]
+
+
+def test_fingerprint_drift_fails_even_if_faster():
+    failures = compare_to_baseline(
+        _report(2.0, stats={"delivered": 11}),
+        _report(1.0, stats={"delivered": 10}))
+    assert len(failures) == 1 and "fingerprint" in failures[0]
+
+
+def test_unknown_case_is_skipped():
+    report = {"results": [{"name": "new_case", "normalized": 0.1,
+                           "stats": {}}]}
+    assert compare_to_baseline(report, _report(1.0)) == []
+
+
+# -- benchmarks/common.py disk-backed memo --------------------------------
+
+
+def test_memo_persists_across_processes(tmp_path, monkeypatch):
+    import importlib
+    import subprocess
+    import sys
+
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path))
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    script = (
+        "import sys;"
+        f"sys.path.insert(0, {repr(os.path.join(repo_root, 'benchmarks'))});"
+        f"sys.path.insert(0, {repr(os.path.join(repo_root, 'src'))});"
+        "import common;"
+        "print(common.memo('t', lambda: 41 + 1, params={'seed': 1}))"
+    )
+    env = dict(os.environ, REPRO_BENCH_CACHE=str(tmp_path))
+    out1 = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True)
+    assert out1.stdout.strip() == "42", out1.stderr
+    # Second process: computed value must come from disk (lambda would
+    # still return 42, so instead check that an entry file exists).
+    entries = [n for n in os.listdir(str(tmp_path)) if n.endswith(".json")]
+    assert len(entries) == 1
+    out2 = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True)
+    assert out2.stdout.strip() == "42", out2.stderr

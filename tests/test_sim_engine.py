@@ -81,3 +81,55 @@ def test_split_rng_children_independent():
     c2 = split_rng(parent2, 2)
     # Different salts give different streams from the same parent state.
     assert [c1.random() for _ in range(3)] != [c2.random() for _ in range(3)]
+
+
+def test_run_until_check_every_cadence():
+    """Predicate runs after steps k, 2k, ... — not after every step."""
+    sim = Simulator()
+    counter = Counter()
+    sim.register(counter)
+    evaluations = []
+
+    def predicate():
+        evaluations.append(sim.cycle)
+        return len(counter.calls) >= 3
+
+    fired = sim.run_until(predicate, max_cycles=10, check_every=4)
+    assert fired
+    # True first became observable at step 3, but the first check is
+    # after step 4; no checks happened at steps 1-3.
+    assert sim.cycle == 4
+    assert evaluations == [4]
+
+
+def test_run_until_final_partial_window_is_checked():
+    """A predicate turning true inside the last partial window is seen."""
+    sim = Simulator()
+    counter = Counter()
+    sim.register(counter)
+    fired = sim.run_until(lambda: len(counter.calls) >= 5,
+                          max_cycles=5, check_every=3)
+    # 5 % 3 != 0, so a final check after step 5 catches it.
+    assert fired
+    assert sim.cycle == 5
+
+
+def test_run_until_no_double_check_on_timeout():
+    """When max_cycles is a multiple of check_every, the last in-stride
+    check is the final check — the predicate never runs twice per step."""
+    sim = Simulator()
+    evaluations = []
+
+    def predicate():
+        evaluations.append(sim.cycle)
+        return False
+
+    fired = sim.run_until(predicate, max_cycles=6, check_every=3)
+    assert not fired
+    assert evaluations == [3, 6]
+
+
+def test_run_until_rejects_bad_cadence():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run_until(lambda: True, max_cycles=1, check_every=0)
