@@ -208,6 +208,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.faults.campaign import format_campaign, run_campaign
+    from repro.perf.cache import ResultCache
+
+    rates = [float(x) for x in args.rates.split(",") if x.strip()]
+    retry_limits = [int(x) for x in args.retry_limits.split(",") if x.strip()]
+    cache = ResultCache(args.cache) if args.cache else None
+    results = run_campaign(rates=rates, retry_limits=retry_limits,
+                           messages=args.messages, base_seed=args.seed,
+                           workers=args.workers, cache=cache)
+    print(format_campaign(results))
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"under {cache.root}")
+    if args.require_zero_drops:
+        bad = [r for r in results if r["dropped"] or r["wedged"]]
+        if bad:
+            for r in bad:
+                print(f"FAIL {r['point']}: dropped {r['dropped']}, "
+                      f"wedged {r['wedged']}", file=sys.stderr)
+            return 1
+        print("all points delivered every message (zero drops)")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -288,6 +319,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify fabric invariants every cycle (detects "
                         "the SWAP-off livelock at runtime)")
     p.set_defaults(fn=_cmd_deadlock)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: flit error rate × retry budget "
+             "on the chiplet-pair die-to-die link")
+    p.add_argument("--messages", type=int, default=200,
+                   help="cross-chiplet messages per campaign point")
+    p.add_argument("--rates", default="0,1e-4,1e-3",
+                   help="comma-separated per-flit error rates")
+    p.add_argument("--retry-limits", default="8",
+                   help="comma-separated link retry budgets")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; per-point seeds derive from it")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process; results are "
+                        "identical either way)")
+    p.add_argument("--cache", metavar="DIR",
+                   help="persist per-point results under DIR")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the result records to FILE")
+    p.add_argument("--require-zero-drops", action="store_true",
+                   help="exit 1 if any point dropped a message or wedged "
+                        "(CI gate)")
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("topology", help="describe a built-in topology")
     p.add_argument("system", choices=["server", "ai", "pair"])

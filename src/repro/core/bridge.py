@@ -74,6 +74,13 @@ class RingBridgeL2:
 
         Eject Queue -> Tx buffers -> link pipe -> peer Inject Queue
                    \\-> reserved Tx (DRM only, priority on the link)
+
+    The link pipe has two implementations: the baseline perfect FIFO
+    (below) and the reliable link layer of :mod:`repro.faults.link`
+    (CRC/ack-nak/replay), enabled by :meth:`enable_link_layer` or a
+    ``MultiRingConfig.reliability`` setting.  Both are stepped only from
+    :meth:`step`, which runs once per cycle under fast and reference
+    ring stepping alike, so link behaviour is identical across modes.
     """
 
     def __init__(
@@ -103,8 +110,65 @@ class RingBridgeL2:
         ]
         self.port_a = port_a
         self.port_b = port_b
+        #: Reliable per-direction links (None = baseline perfect pipe),
+        #: aligned with ``_paths``.
+        self._links = None
+        #: Bridge-scoped fault models (whole-bridge stall windows).
+        self._bridge_models: List = []
+        if config.reliability is not None:
+            self.enable_link_layer(config.reliability)
+
+    @property
+    def links(self) -> List:
+        """The reliable D2D links, one per direction (empty if disabled)."""
+        return self._links or []
+
+    def _ensure_fault_stats(self):
+        if self.stats.faults is None:
+            from repro.faults.stats import FaultStats
+            self.stats.faults = FaultStats()
+        return self.stats.faults
+
+    def enable_link_layer(self, reliability=None) -> None:
+        """Replace the perfect link pipe with the reliable link layer.
+
+        Must run before any traffic crosses the bridge; idempotent (the
+        first enable's configuration wins).
+        """
+        if self._links is not None:
+            return
+        from repro.faults.link import D2DLink, LinkReliabilityConfig
+        if reliability is None:
+            reliability = LinkReliabilityConfig()
+        for _, _, tx, pipe, _ in self._paths:
+            if tx or pipe:
+                raise RuntimeError(
+                    "enable_link_layer must run before traffic crosses "
+                    f"bridge {self.spec.bridge_id}")
+        faults = self._ensure_fault_stats()
+        bid = self.spec.bridge_id
+        self._links = [
+            D2DLink(f"bridge{bid}:a->b", self._link_latency, reliability,
+                    self.stats, faults),
+            D2DLink(f"bridge{bid}:b->a", self._link_latency, reliability,
+                    self.stats, faults),
+        ]
+
+    def add_bridge_fault(self, model) -> None:
+        """Attach a bound bridge-scoped fault model (stall windows)."""
+        self._ensure_fault_stats()
+        self._bridge_models.append(model)
 
     def step(self, cycle: int) -> None:
+        if self._bridge_models:
+            stalled = False
+            for model in self._bridge_models:  # poll all: fixed draw counts
+                if model.bridge_stalled(cycle):
+                    stalled = True
+            if stalled:
+                self.stats.faults.bridge_stall_cycles += 1
+                return
+
         # Detection runs on the Inject Queue of each endpoint's station:
         # consecutive injection failures over threshold mean the local
         # ring cannot absorb cross-ring flits (Section 4.4).
@@ -113,17 +177,40 @@ class RingBridgeL2:
         self.port_a.drm_active = self.swap_a.in_drm
         self.port_b.drm_active = self.swap_b.in_drm
 
-        for src_port, dst_port, tx, link, swap in self._paths:
-            # 4) link exit -> peer Inject Queue.
-            if link and link[0][0] <= cycle and not dst_port.inject_full:
-                dst_port.enqueue_inject(link.pop(0)[1])
+        links = self._links
+        for idx, (src_port, dst_port, tx, link, swap) in enumerate(self._paths):
+            if links is None:
+                # 4) link exit -> peer Inject Queue.
+                if link and link[0][0] <= cycle:
+                    if dst_port.inject_full:
+                        # Ring-side backpressure on the link exit; count
+                        # it so a stuck peer ring is visible in stats
+                        # instead of an unexplained latency cliff.
+                        self.stats.link_stall_cycles += 1
+                    else:
+                        dst_port.enqueue_inject(link.pop(0)[1])
 
-            # 3) Tx -> link, one flit per cycle, reserved Tx first.
-            if len(link) <= self._link_latency:
-                if swap.has_priority_flit:
-                    link.append([cycle + self._link_latency, swap.pop_priority_flit()])
-                elif tx and tx[0][0] <= cycle:
-                    link.append([cycle + self._link_latency, tx.pop(0)[1]])
+                # 3) Tx -> link, one flit per cycle, reserved Tx first.
+                if len(link) <= self._link_latency:
+                    if swap.has_priority_flit:
+                        link.append([cycle + self._link_latency, swap.pop_priority_flit()])
+                    elif tx and tx[0][0] <= cycle:
+                        link.append([cycle + self._link_latency, tx.pop(0)[1]])
+            else:
+                d2d = links[idx]
+                d2d.begin_cycle(cycle)
+                d2d.process_acks(cycle)
+                # 4) link exit -> peer Inject Queue (CRC check, ack/nak).
+                d2d.deliver(cycle, dst_port)
+                # 3) Tx -> link: pending retransmissions beat new flits;
+                # reserved (SWAP) Tx beats the normal Tx; a full replay
+                # buffer backpressures new flits only.
+                if d2d.ready(cycle) and not d2d.try_retransmit(cycle):
+                    if swap.has_priority_flit:
+                        if d2d.can_send_new():
+                            d2d.send_new(cycle, swap.pop_priority_flit())
+                    elif tx and tx[0][0] <= cycle and d2d.can_send_new():
+                        d2d.send_new(cycle, tx.pop(0)[1])
 
             # 2) DRM: when normal Tx is full, push an Eject-Queue flit into
             # the reserved Tx to vacate eject space for a circling flit.
@@ -147,13 +234,19 @@ class RingBridgeL2:
 
     def occupancy(self) -> int:
         total = len(self.swap_a.reserved_tx) + len(self.swap_b.reserved_tx)
-        for _, _, tx, link, _ in self._paths:
-            total += len(tx) + len(link)
+        links = self._links
+        for idx, (_, _, tx, link, _) in enumerate(self._paths):
+            total += len(tx)
+            total += links[idx].occupancy() if links is not None else len(link)
         return total
 
     def flits_in_flight(self) -> List[Flit]:
         out = list(self.swap_a.reserved_tx) + list(self.swap_b.reserved_tx)
-        for _, _, tx, link, _ in self._paths:
+        links = self._links
+        for idx, (_, _, tx, link, _) in enumerate(self._paths):
             out.extend(entry[1] for entry in tx)
-            out.extend(entry[1] for entry in link)
+            if links is not None:
+                out.extend(links[idx].flits_in_flight())
+            else:
+                out.extend(entry[1] for entry in link)
         return out

@@ -8,9 +8,12 @@ also hand-build them for custom floorplans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.params import QUEUES, QueueParams
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.faults.link import LinkReliabilityConfig
 
 
 @dataclass(frozen=True)
@@ -158,3 +161,8 @@ class MultiRingConfig:
     #: False forces the reference walk — cycle-for-cycle identical, kept
     #: as the semantic spec for the equivalence tests and for debugging.
     fast_path: bool = True
+    #: Enable the reliable die-to-die link layer (CRC/ack-nak/replay) on
+    #: every RBRG-L2 (:class:`repro.faults.link.LinkReliabilityConfig`).
+    #: None keeps the baseline perfect-pipe link; installing a
+    #: :class:`repro.faults.FaultInjector` enables it implicitly.
+    reliability: Optional["LinkReliabilityConfig"] = None

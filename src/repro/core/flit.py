@@ -25,6 +25,26 @@ from repro.core.routing import Hop
 from repro.fabric.message import Message
 
 
+def _crc16(*values: int) -> int:
+    """CRC-16/CCITT over a tuple of header integers.
+
+    The reliable D2D link layer seals flit headers with this at Tx and
+    re-checks at Rx (:mod:`repro.faults.link`).  Pure integer math so it
+    is identical across platforms and stepping modes.
+    """
+    crc = 0xFFFF
+    for value in values:
+        value &= 0xFFFFFFFF
+        for shift in (24, 16, 8, 0):
+            crc ^= ((value >> shift) & 0xFF) << 8
+            for _ in range(8):
+                if crc & 0x8000:
+                    crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+                else:
+                    crc = (crc << 1) & 0xFFFF
+    return crc
+
+
 class Flit:
     """A message plus its route and in-network bookkeeping."""
 
@@ -39,6 +59,8 @@ class Flit:
         "exit_stop",
         "exit_port_key",
         "dir_pref",
+        "crc",
+        "corrupt_bits",
     )
 
     def __init__(self, msg: Message, route: List[Hop]):
@@ -60,6 +82,26 @@ class Flit:
         #: Cached shortest-direction choice at the current inject stop
         #: (None = not computed for this hop yet).
         self.dir_pref: Optional[int] = None
+        #: Header CRC sealed by the reliable link layer at Tx (None =
+        #: never crossed a CRC-protected link since the last seal).
+        self.crc: Optional[int] = None
+        #: Corruptions delivered undetected (CRC checking disabled).
+        self.corrupt_bits = 0
+
+    def seal_crc(self) -> None:
+        """Stamp the header CRC before a link traversal.
+
+        The sealed fields (message identity plus ``hop_index``) are
+        constant between the bridge's ``advance_hop`` at Tx and the CRC
+        check at the receiving end of the link.
+        """
+        self.crc = _crc16(self.msg.msg_id, self.msg.src, self.msg.dst,
+                          self.hop_index)
+
+    def crc_valid(self) -> bool:
+        """Whether the sealed CRC still matches the header."""
+        return self.crc is not None and self.crc == _crc16(
+            self.msg.msg_id, self.msg.src, self.msg.dst, self.hop_index)
 
     @property
     def current_hop(self) -> Hop:

@@ -161,6 +161,16 @@ class MultiRingFabric(Fabric):
         self.invariant_checker = checker
         return checker
 
+    def attach_fault_injector(self, injector):
+        """Install a :class:`repro.faults.FaultInjector` on this fabric.
+
+        Enables the reliable link layer on every RBRG-L2 and binds the
+        injector's fault models to the die-to-die links.  Returns the
+        fabric's :class:`repro.faults.stats.FaultStats` (also reachable
+        as ``fabric.stats.faults``).
+        """
+        return injector.install(self)
+
     def flits_in_flight(self) -> List[Flit]:
         """Every flit currently inside the network (for conservation tests)."""
         out: List[Flit] = []

@@ -8,9 +8,12 @@ test every fabric must pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.fabric.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from repro.faults.stats import FaultStats
 
 
 class LatencySample:
@@ -70,11 +73,22 @@ class FabricStats:
     itags_placed: int = 0
     etags_placed: int = 0
     swap_events: int = 0         # DRM activations (RBRG-L2)
+    #: Messages abandoned by the reliable link layer (retry budget
+    #: exhausted).  Zero unless fault injection is active.
+    dropped: int = 0
+    #: Cycles a D2D link head could not enter the peer Inject Queue
+    #: (ring-side backpressure on the link exit).
+    link_stall_cycles: int = 0
     delivered_bytes: float = 0.0
     samples: List[LatencySample] = field(default_factory=list)
     keep_samples: bool = True
     #: Delivered-message count per destination node, for equilibrium checks.
     per_dst_delivered: Dict[int, int] = field(default_factory=dict)
+    #: Fault-injection counters (:class:`repro.faults.stats.FaultStats`);
+    #: None unless a reliable link layer is enabled.  Part of dataclass
+    #: equality, so the fast/reference equivalence suite also pins fault
+    #: schedules and recovery behaviour.
+    faults: Optional["FaultStats"] = None
 
     def record_delivery(self, msg: Message, deflections: int = 0) -> None:
         self.delivered += 1
@@ -91,8 +105,8 @@ class FabricStats:
 
     @property
     def in_flight(self) -> int:
-        """Messages accepted but not yet delivered."""
-        return self.accepted - self.delivered
+        """Messages accepted but neither delivered nor dropped."""
+        return self.accepted - self.delivered - self.dropped
 
     def mean_network_latency(self) -> Optional[float]:
         if not self.samples:

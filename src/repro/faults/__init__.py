@@ -1,0 +1,57 @@
+"""Deterministic fault injection and recovery for the D2D link layer.
+
+The paper's inter-chiplet RBRG-L2 rides a parallel-IO die-to-die link
+(Section 4.1.3); real D2D PHYs take bit errors, lane failures, and
+stalls.  This package provides both halves of the robustness story:
+
+- **fault models** (:mod:`repro.faults.models`) — transient bit errors,
+  burst errors, degraded lanes, stuck Tx buffers, and bridge stall
+  windows, all seeded through :mod:`repro.sim.rng` so a campaign is a
+  pure function of its seed;
+- **recovery machinery** (:mod:`repro.faults.link`) — a reliable link
+  layer on :class:`repro.core.bridge.RingBridgeL2` with per-flit CRC
+  tagging, ack/nak + bounded-retry replay, and degraded-lane
+  renegotiation;
+- **a progress watchdog** (:mod:`repro.faults.watchdog`) — turns a
+  silent no-forward-progress hang into a diagnostic exception;
+- **a campaign runner** (:mod:`repro.faults.campaign`, behind the
+  ``repro-noc faults`` CLI) — sweeps fault rates × recovery configs on
+  the :mod:`repro.perf` sweep/cache infrastructure.
+
+Everything observable lands in :class:`repro.faults.stats.FaultStats`,
+which is folded into :class:`repro.fabric.stats.FabricStats` so the
+fast/reference stepping equivalence suite covers faulted runs too.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.link import D2DLink, LinkReliabilityConfig
+from repro.faults.models import (
+    MODEL_REGISTRY,
+    BitErrorModel,
+    BridgeStallModel,
+    BurstErrorModel,
+    FaultModel,
+    LaneFailureModel,
+    StuckTxModel,
+    model_from_dict,
+)
+from repro.faults.stats import FaultStats
+from repro.faults.watchdog import NoProgressError, ProgressWatchdog, fabric_diagnostic
+
+__all__ = [
+    "BitErrorModel",
+    "BridgeStallModel",
+    "BurstErrorModel",
+    "D2DLink",
+    "FaultInjector",
+    "FaultModel",
+    "FaultStats",
+    "LaneFailureModel",
+    "LinkReliabilityConfig",
+    "MODEL_REGISTRY",
+    "NoProgressError",
+    "ProgressWatchdog",
+    "StuckTxModel",
+    "fabric_diagnostic",
+    "model_from_dict",
+]

@@ -1,0 +1,109 @@
+"""Wires fault-model prototypes onto a fabric's RBRG-L2 links.
+
+The injector is the single entry point for fault campaigns::
+
+    injector = FaultInjector(seed=7).add(BitErrorModel(1e-3))
+    fabric.attach_fault_injector(injector)
+
+Install enables the reliable link layer on every RBRG-L2 (using the
+fabric's configured :class:`repro.faults.link.LinkReliabilityConfig`, or
+the injector's, or the defaults) and binds every model prototype with an
+independent RNG stream derived from the injector seed — per bridge, per
+direction, per model — via :func:`repro.sim.rng.split_rng`.  The whole
+fault schedule is therefore a pure function of the seed and the traffic,
+identical under fast and reference stepping.
+
+Only RBRG-L2 bridges carry a die-to-die link; attaching a model to an
+RBRG-L1 (or an unknown bridge id) raises, and the config validator's
+``fault-on-non-l2-bridge`` rule catches the same mistake statically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.link import LinkReliabilityConfig
+from repro.faults.models import FaultModel
+from repro.faults.stats import FaultStats
+from repro.sim.rng import make_rng, split_rng
+
+
+class FaultInjector:
+    """A seeded plan of fault models to install on a fabric's L2 links."""
+
+    def __init__(self, seed: int = 0,
+                 reliability: Optional[LinkReliabilityConfig] = None):
+        self.seed = seed
+        self.reliability = reliability
+        #: Populated at install time with the fabric's shared FaultStats.
+        self.stats: Optional[FaultStats] = None
+        self._plans: List[Tuple[Optional[int], FaultModel]] = []
+        self._installed = False
+
+    def add(self, model: FaultModel,
+            bridge: Optional[int] = None) -> "FaultInjector":
+        """Queue ``model`` for ``bridge`` (None = every RBRG-L2)."""
+        if not isinstance(model, FaultModel):
+            raise TypeError(f"{model!r} is not a FaultModel")
+        self._plans.append((bridge, model))
+        return self
+
+    @property
+    def models(self) -> List[FaultModel]:
+        return [model for _, model in self._plans]
+
+    def install(self, fabric) -> FaultStats:
+        """Enable link layers and bind every planned model; returns the
+        fabric's shared :class:`FaultStats`."""
+        from repro.core.bridge import RingBridgeL2  # avoid an import cycle
+
+        if self._installed:
+            raise RuntimeError("fault injector is already installed")
+        levels = {}
+        l2 = {}
+        for bridge in fabric.bridges:
+            levels[bridge.spec.bridge_id] = bridge.spec.level
+            if isinstance(bridge, RingBridgeL2):
+                l2[bridge.spec.bridge_id] = bridge
+        for target, model in self._plans:
+            if target is None:
+                continue
+            if target not in levels:
+                raise ValueError(
+                    f"fault model {model.describe()} targets unknown "
+                    f"bridge {target}")
+            if target not in l2:
+                raise ValueError(
+                    f"fault model {model.describe()} attached to non-L2 "
+                    f"bridge {target}: only RBRG-L2 die-to-die links take "
+                    "fault models")
+        if not l2:
+            raise ValueError(
+                "fabric has no RBRG-L2 bridge; nothing to inject faults "
+                "into")
+
+        reliability = (self.reliability or fabric.config.reliability
+                       or LinkReliabilityConfig())
+        for bridge_id in sorted(l2):
+            l2[bridge_id].enable_link_layer(reliability)
+        fault_stats: FaultStats = fabric.stats.faults
+
+        # Bind prototypes in a fixed order so split_rng draws — and hence
+        # every per-link stream — depend only on the injector seed.
+        base = make_rng(self.seed)
+        for plan_index, (target, model) in enumerate(self._plans):
+            for bridge_id in sorted(l2):
+                if target is not None and target != bridge_id:
+                    continue
+                bridge = l2[bridge_id]
+                if model.scope == "bridge":
+                    salt = (bridge_id << 12) ^ (plan_index << 2) ^ 3
+                    bridge.add_bridge_fault(model.bound(split_rng(base, salt)))
+                else:
+                    for dir_idx, link in enumerate(bridge.links):
+                        salt = (bridge_id << 12) ^ (plan_index << 2) ^ dir_idx
+                        link.models.append(
+                            model.bound(split_rng(base, salt)))
+        self.stats = fault_stats
+        self._installed = True
+        return fault_stats

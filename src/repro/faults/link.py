@@ -1,0 +1,283 @@
+"""Reliable die-to-die link layer for the RBRG-L2 (CRC / ack-nak / replay).
+
+The baseline :class:`repro.core.bridge.RingBridgeL2` models the
+parallel-IO link as a perfect FIFO pipe.  :class:`D2DLink` replaces that
+pipe with a link-layer protocol that survives the fault models of
+:mod:`repro.faults.models`:
+
+- **CRC tagging** — every flit is sealed with a header CRC at Tx
+  (:meth:`repro.core.flit.Flit.seal_crc`); the receiver discards
+  traversals the fault models corrupted (and, independently, any flit
+  whose header mutated in flight — a link must never advance a route).
+- **Ack/nak + replay** — the transmitter keeps every unacknowledged flit
+  in a replay buffer sized to the link round trip; a NAK triggers a
+  retransmission of the clean buffered copy, bounded by a retry budget.
+  When the budget runs out the flit is *dropped loudly*: counted in
+  :class:`repro.faults.stats.FaultStats` and in
+  ``FabricStats.dropped`` so conservation accounting stays exact.
+- **Degraded-lane renegotiation** — a lane failure narrows the link
+  (longer transmit interval, extra latency) instead of dropping traffic.
+
+The protocol state is stepped exclusively from ``RingBridgeL2.step``,
+which runs once per cycle under both the fast and reference ring
+stepping paths, so faulted runs stay cycle-identical across them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.faults.models import FaultModel
+from repro.faults.stats import FaultStats
+
+
+@dataclass(frozen=True)
+class LinkReliabilityConfig:
+    """Link-layer tuning for every RBRG-L2 of a fabric.
+
+    Attach via ``MultiRingConfig(reliability=LinkReliabilityConfig(...))``
+    or implicitly by installing a :class:`repro.faults.FaultInjector`.
+    """
+
+    #: Seal and check a per-flit header CRC; detection is what turns a
+    #: corrupted traversal into a NAK instead of a silent bad delivery.
+    enable_crc: bool = True
+    #: Keep unacked flits in a replay buffer and retransmit on NAK.
+    enable_retry: bool = True
+    #: Maximum retransmissions per flit; one more NAK drops the flit.
+    retry_limit: int = 8
+    #: Replay-buffer entries; 0 sizes it automatically to the link round
+    #: trip (forward latency + ack latency + 2 cycles of processing).
+    replay_depth: int = 0
+    #: Ack/nak return latency; None mirrors the forward link latency.
+    ack_latency: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.replay_depth < 0:
+            raise ValueError("replay_depth must be >= 0 (0 = auto)")
+        if self.ack_latency is not None and self.ack_latency < 0:
+            raise ValueError("ack_latency must be >= 0")
+
+    def round_trip(self, link_latency: int) -> int:
+        """Worst-case Tx->Rx->ack cycles for a link of ``link_latency``."""
+        ack = self.ack_latency if self.ack_latency is not None else link_latency
+        return link_latency + ack + 2
+
+    def effective_replay_depth(self, link_latency: int) -> int:
+        """The replay depth actually used on a link of ``link_latency``."""
+        if self.replay_depth > 0:
+            return self.replay_depth
+        return max(2, self.round_trip(link_latency))
+
+
+class D2DLink:
+    """One direction of an RBRG-L2 die-to-die link with the protocol on.
+
+    Pipe entries are ``[arrive_cycle, seq, flit, clean]``; ack entries
+    are ``[arrive_cycle, seq, ok, event_cycle]``.  The replay buffer
+    maps ``seq -> [flit, retransmissions, first_tx_cycle]`` and holds
+    the authoritative clean copy of every unacknowledged flit, so a
+    message is counted once no matter how many times it crosses the wire.
+    """
+
+    __slots__ = (
+        "label", "reliability", "base_latency", "latency", "interval",
+        "ack_latency", "replay_depth", "stats", "faults", "models",
+        "data", "acks", "replay", "retx", "next_seq", "next_tx_free",
+        "degraded",
+    )
+
+    def __init__(self, label: str, link_latency: int,
+                 reliability: LinkReliabilityConfig,
+                 stats, fault_stats: FaultStats):
+        self.label = label
+        self.reliability = reliability
+        self.base_latency = max(0, link_latency)
+        self.latency = self.base_latency
+        self.interval = 1
+        self.ack_latency = (reliability.ack_latency
+                            if reliability.ack_latency is not None
+                            else self.base_latency)
+        self.replay_depth = reliability.effective_replay_depth(self.base_latency)
+        self.stats = stats            # FabricStats (duck-typed)
+        self.faults = fault_stats
+        self.models: List[FaultModel] = []
+        self.data: List[list] = []
+        self.acks: List[list] = []
+        self.replay: Dict[int, list] = {}
+        self.retx: Deque[int] = deque()
+        self.next_seq = 0
+        self.next_tx_free = 0
+        self.degraded = False
+
+    # -- per-cycle protocol steps (called in order by the bridge) ---------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Renegotiate lane parameters against the fault models."""
+        state = None
+        for model in self.models:
+            lane = model.lane_state(cycle)
+            if lane is not None:
+                state = lane if state is None else (
+                    max(state[0], lane[0]), max(state[1], lane[1]))
+        if state is not None:
+            if not self.degraded:
+                self.degraded = True
+                self.faults.lane_events += 1
+                self.faults.record(
+                    cycle, "lane-degraded",
+                    f"{self.label}: interval {state[0]}, "
+                    f"+{state[1]} cycles latency")
+            self.interval = max(1, state[0])
+            self.latency = self.base_latency + max(0, state[1])
+        elif self.degraded:
+            self.degraded = False
+            self.interval = 1
+            self.latency = self.base_latency
+            self.faults.record(cycle, "lane-recovered", self.label)
+
+    def process_acks(self, cycle: int) -> None:
+        """Retire acked replay entries; schedule or drop on NAK."""
+        acks = self.acks
+        replay = self.replay
+        while acks and acks[0][0] <= cycle:
+            _, seq, ok, event_cycle = acks.pop(0)
+            entry = replay.get(seq)
+            if entry is None:
+                continue  # already dropped by an earlier NAK
+            if ok:
+                del replay[seq]
+                if entry[1] > 0:
+                    self.faults.recovered += 1
+                    self.faults.retry_latency.append(event_cycle - entry[2])
+            elif entry[1] >= self.reliability.retry_limit:
+                del replay[seq]
+                self._drop(cycle, entry[0], entry[1])
+            else:
+                entry[1] += 1
+                self.faults.retried += 1
+                self.retx.append(seq)
+
+    def deliver(self, cycle: int, dst_port) -> None:
+        """Move the pipe head into the peer Inject Queue (CRC-checked)."""
+        data = self.data
+        if not data or data[0][0] > cycle:
+            return
+        if dst_port.inject_full:
+            # Peer ring cannot absorb; count the backpressure stall
+            # instead of silently waiting (see RingBridgeL2.step).
+            self.stats.link_stall_cycles += 1
+            return
+        _, seq, flit, clean = data.pop(0)
+        rel = self.reliability
+        if rel.enable_crc:
+            clean = clean and flit.crc_valid()
+        if rel.enable_crc and not clean:
+            self.faults.detected += 1
+            if rel.enable_retry:
+                self.acks.append([cycle + self.ack_latency, seq, False, cycle])
+            else:
+                self._drop(cycle, flit, 0)
+            return
+        if not clean:
+            # CRC disabled: the corruption sails through undetected.
+            flit.corrupt_bits += 1
+            self.faults.undetected += 1
+            self.faults.record(
+                cycle, "undetected",
+                f"{self.label}: msg {flit.msg.msg_id} delivered corrupt")
+        if rel.enable_retry:
+            self.acks.append([cycle + self.ack_latency, seq, True, cycle])
+        dst_port.enqueue_inject(flit)
+
+    def ready(self, cycle: int) -> bool:
+        """Whether the Tx may put any flit on the wire this cycle."""
+        stuck = False
+        for model in self.models:
+            if model.tx_stuck(cycle):
+                stuck = True
+        if stuck:
+            self.faults.tx_stuck_cycles += 1
+            return False
+        if cycle < self.next_tx_free:
+            return False
+        return len(self.data) <= self.latency
+
+    def try_retransmit(self, cycle: int) -> bool:
+        """Send the oldest pending retransmission, if any."""
+        retx = self.retx
+        replay = self.replay
+        while retx:
+            seq = retx.popleft()
+            entry = replay.get(seq)
+            if entry is None:
+                continue  # dropped after the NAK queued it
+            self._send(cycle, seq, entry[0])
+            return True
+        return False
+
+    def can_send_new(self) -> bool:
+        """Replay-buffer backpressure: no new flits while it is full."""
+        return (not self.reliability.enable_retry
+                or len(self.replay) < self.replay_depth)
+
+    def send_new(self, cycle: int, flit) -> None:
+        """Transmit a fresh flit: assign seq, seal CRC, enter replay."""
+        rel = self.reliability
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        if rel.enable_crc:
+            flit.seal_crc()
+        if rel.enable_retry:
+            self.replay[seq] = [flit, 0, cycle]
+        self._send(cycle, seq, flit)
+
+    # -- internals --------------------------------------------------------
+
+    def _send(self, cycle: int, seq: int, flit) -> None:
+        corrupt = False
+        for model in self.models:  # poll every model: draw counts stay fixed
+            if model.corrupts(cycle):
+                corrupt = True
+        if corrupt:
+            self.faults.injected += 1
+            self.faults.record(
+                cycle, "corrupted",
+                f"{self.label}: seq {seq} msg {flit.msg.msg_id}")
+        self.data.append([cycle + self.latency, seq, flit, not corrupt])
+        self.next_tx_free = cycle + self.interval
+
+    def _drop(self, cycle: int, flit, attempts: int) -> None:
+        self.faults.dropped += 1
+        self.stats.dropped += 1
+        self.faults.record(
+            cycle, "dropped",
+            f"{self.label}: msg {flit.msg.msg_id} abandoned after "
+            f"{attempts} retransmission(s)")
+
+    # -- accounting -------------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Unique messages owned by this link (replay copy counts once)."""
+        replay = self.replay
+        total = len(replay)
+        for entry in self.data:
+            if entry[1] not in replay:
+                total += 1
+        return total
+
+    def flits_in_flight(self) -> List:
+        replay = self.replay
+        out = [entry[0] for entry in replay.values()]
+        out.extend(entry[2] for entry in self.data if entry[1] not in replay)
+        return out
+
+    def describe(self) -> str:
+        mode = "degraded" if self.degraded else "healthy"
+        return (f"{self.label}: {mode}, pipe {len(self.data)}, replay "
+                f"{len(self.replay)}/{self.replay_depth}, "
+                f"retx pending {len(self.retx)}")

@@ -1,0 +1,250 @@
+"""Pluggable deterministic fault models for the die-to-die link.
+
+A model instance added to a :class:`repro.faults.injector.FaultInjector`
+is a *prototype*: at install time it is :meth:`FaultModel.bound` once per
+link (or per bridge, for bridge-scoped models) with an independent RNG
+stream derived from the injector seed via :func:`repro.sim.rng.split_rng`.
+The bound copy owns all mutable state, so one prototype can serve every
+link of a fabric without cross-talk.
+
+Determinism contract: a model may draw from its RNG only inside its
+hooks, and the hooks are called at moments that are identical under the
+fast and reference stepping paths (bridge steps happen once per cycle in
+both).  Hooks that consult multiple models must call every model — no
+short-circuiting — so draw counts never depend on another model's answer.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional, Tuple
+
+from repro.sim.rng import Rng
+
+
+class FaultModel:
+    """Base fault model: all hooks default to "no fault".
+
+    ``scope`` is ``"link"`` (bound once per link direction) or
+    ``"bridge"`` (bound once per bridge).  ``rng`` is attached by
+    :meth:`bound`; prototypes have none.
+    """
+
+    name = "fault"
+    scope = "link"
+
+    rng: Optional[Rng] = None
+
+    def bound(self, rng: Rng) -> "FaultModel":
+        """A runtime copy of this prototype with its own RNG and state."""
+        clone = copy.copy(self)
+        clone.rng = rng
+        clone.reset()
+        return clone
+
+    def reset(self) -> None:
+        """Clear mutable per-run state (overridden by stateful models)."""
+
+    # -- hooks ------------------------------------------------------------
+
+    def corrupts(self, cycle: int) -> bool:
+        """Whether this link traversal (starting now) is corrupted."""
+        return False
+
+    def lane_state(self, cycle: int) -> Optional[Tuple[int, int]]:
+        """Degraded-lane parameters, or None when lanes are healthy.
+
+        Returns ``(interval, extra_latency)``: the link may transmit at
+        most one flit every ``interval`` cycles and each traversal takes
+        ``extra_latency`` additional cycles.
+        """
+        return None
+
+    def tx_stuck(self, cycle: int) -> bool:
+        """Whether the link's Tx path is frozen this cycle."""
+        return False
+
+    def bridge_stalled(self, cycle: int) -> bool:
+        """Whether the whole bridge is frozen this cycle (bridge scope)."""
+        return False
+
+    def describe(self) -> str:
+        return self.name
+
+
+class BitErrorModel(FaultModel):
+    """Independent transient bit errors: each traversal corrupts with
+    probability ``rate`` (the per-flit error rate; at 64B+40b flits a
+    1e-3 flit error rate corresponds to a ~2e-6 bit error rate)."""
+
+    name = "bit-error"
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"bit-error rate {rate} must be in [0, 1]")
+        self.rate = rate
+
+    def corrupts(self, cycle: int) -> bool:
+        if self.rate <= 0.0:
+            return False
+        return self.rng.random() < self.rate
+
+    def describe(self) -> str:
+        return f"bit-error(rate={self.rate:g})"
+
+
+class BurstErrorModel(FaultModel):
+    """Correlated error bursts: with probability ``start_rate`` per
+    traversal a burst begins, corrupting ``burst_len`` consecutive
+    traversals (the common PHY failure mode after a clock glitch)."""
+
+    name = "burst-error"
+
+    def __init__(self, start_rate: float, burst_len: int = 4):
+        if not 0.0 <= start_rate <= 1.0:
+            raise ValueError(f"burst start rate {start_rate} must be in [0, 1]")
+        if burst_len < 1:
+            raise ValueError(f"burst length {burst_len} must be >= 1")
+        self.start_rate = start_rate
+        self.burst_len = burst_len
+        self._remaining = 0
+
+    def reset(self) -> None:
+        self._remaining = 0
+
+    def corrupts(self, cycle: int) -> bool:
+        if self._remaining > 0:
+            self._remaining -= 1
+            return True
+        if self.start_rate > 0.0 and self.rng.random() < self.start_rate:
+            self._remaining = self.burst_len - 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"burst-error(start={self.start_rate:g}, len={self.burst_len})"
+
+
+class LaneFailureModel(FaultModel):
+    """Permanent or transient lane failure: from ``fail_cycle`` (until
+    ``recover_cycle``, if any) the link runs degraded — ``interval``
+    cycles between transmissions and ``extra_latency`` extra cycles per
+    traversal — instead of dropping traffic.  This is the renegotiated
+    half-width mode real parallel-IO PHYs fall back to."""
+
+    name = "lane-failure"
+
+    def __init__(self, fail_cycle: int, recover_cycle: Optional[int] = None,
+                 interval: int = 2, extra_latency: int = 4):
+        if fail_cycle < 0:
+            raise ValueError("fail_cycle must be >= 0")
+        if recover_cycle is not None and recover_cycle <= fail_cycle:
+            raise ValueError("recover_cycle must be after fail_cycle")
+        if interval < 1:
+            raise ValueError("degraded interval must be >= 1")
+        if extra_latency < 0:
+            raise ValueError("degraded extra latency must be >= 0")
+        self.fail_cycle = fail_cycle
+        self.recover_cycle = recover_cycle
+        self.interval = interval
+        self.extra_latency = extra_latency
+
+    def lane_state(self, cycle: int) -> Optional[Tuple[int, int]]:
+        if cycle < self.fail_cycle:
+            return None
+        if self.recover_cycle is not None and cycle >= self.recover_cycle:
+            return None
+        return (self.interval, self.extra_latency)
+
+    def describe(self) -> str:
+        until = ("forever" if self.recover_cycle is None
+                 else f"until {self.recover_cycle}")
+        return (f"lane-failure(at={self.fail_cycle} {until}, "
+                f"interval={self.interval}, +{self.extra_latency} cycles)")
+
+
+class StuckTxModel(FaultModel):
+    """Stuck Tx buffer: the link transmits nothing from ``start_cycle``
+    for ``duration`` cycles (None = forever — a black-holed link)."""
+
+    name = "stuck-tx"
+
+    def __init__(self, start_cycle: int, duration: Optional[int] = None):
+        if start_cycle < 0:
+            raise ValueError("start_cycle must be >= 0")
+        if duration is not None and duration < 1:
+            raise ValueError("duration must be >= 1 (or None for forever)")
+        self.start_cycle = start_cycle
+        self.duration = duration
+
+    def tx_stuck(self, cycle: int) -> bool:
+        if cycle < self.start_cycle:
+            return False
+        return self.duration is None or cycle < self.start_cycle + self.duration
+
+    def describe(self) -> str:
+        until = ("forever" if self.duration is None
+                 else f"for {self.duration} cycles")
+        return f"stuck-tx(at={self.start_cycle} {until})"
+
+
+class BridgeStallModel(FaultModel):
+    """Periodic whole-bridge stall windows: every ``period`` cycles the
+    bridge freezes for ``duration`` cycles (SWAP detection, link Tx/Rx,
+    everything), modelling clock-domain or power-state hiccups."""
+
+    name = "bridge-stall"
+    scope = "bridge"
+
+    def __init__(self, period: int, duration: int, start_cycle: int = 0):
+        if period < 1:
+            raise ValueError("stall period must be >= 1")
+        if not 0 < duration < period:
+            raise ValueError("stall duration must be in (0, period)")
+        if start_cycle < 0:
+            raise ValueError("start_cycle must be >= 0")
+        self.period = period
+        self.duration = duration
+        self.start_cycle = start_cycle
+
+    def bridge_stalled(self, cycle: int) -> bool:
+        if cycle < self.start_cycle:
+            return False
+        return (cycle - self.start_cycle) % self.period < self.duration
+
+    def describe(self) -> str:
+        return (f"bridge-stall(every {self.period} cycles for "
+                f"{self.duration}, from {self.start_cycle})")
+
+
+#: Scenario-file model names -> constructor (used by the config
+#: validator and the campaign runner).
+MODEL_REGISTRY: Dict[str, type] = {
+    BitErrorModel.name: BitErrorModel,
+    BurstErrorModel.name: BurstErrorModel,
+    LaneFailureModel.name: LaneFailureModel,
+    StuckTxModel.name: StuckTxModel,
+    BridgeStallModel.name: BridgeStallModel,
+}
+
+
+def model_from_dict(raw: dict) -> FaultModel:
+    """Build a fault model from a scenario-file dict.
+
+    ``{"model": "bit-error", "rate": 1e-3}`` — the ``model`` key selects
+    the class, the rest are constructor parameters.  Raises ValueError
+    on unknown names or bad parameters (TypeError from a wrong keyword
+    is re-raised as ValueError so validators can collect it).
+    """
+    params = dict(raw)
+    name = params.pop("model", None)
+    params.pop("bridge", None)  # targeting, consumed by the injector
+    cls = MODEL_REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault model {name!r} (known: "
+            f"{', '.join(sorted(MODEL_REGISTRY))})")
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for fault model '{name}': {exc}")

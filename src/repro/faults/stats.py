@@ -1,0 +1,71 @@
+"""Counters and event log for fault injection and link-layer recovery.
+
+One :class:`FaultStats` is shared by every reliable D2D link of a fabric
+and hangs off :class:`repro.fabric.stats.FabricStats` (``stats.faults``),
+so the fast/reference equivalence suite — which compares whole
+``FabricStats`` objects — transitively requires fault schedules and
+recovery behaviour to be cycle-identical under both stepping modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Hard cap on retained log entries; beyond it only the counter grows.
+#: A module constant (not a field) so two runs always agree on it.
+LOG_LIMIT = 512
+
+
+@dataclass
+class FaultStats:
+    """Everything observable about injected faults and their recovery."""
+
+    #: Corrupted link traversals (each fault model hit counts once).
+    injected: int = 0
+    #: CRC mismatches caught at the receiving end of a link.
+    detected: int = 0
+    #: Corrupted flits delivered because CRC checking was disabled.
+    undetected: int = 0
+    #: Retransmissions scheduled in response to a NAK.
+    retried: int = 0
+    #: Flits delivered clean after at least one retransmission.
+    recovered: int = 0
+    #: Flits abandoned after the retry budget ran out (or a detected
+    #: corruption with no retry path).  Mirrored into
+    #: :attr:`repro.fabric.stats.FabricStats.dropped` so conservation
+    #: accounting stays exact.
+    dropped: int = 0
+    #: Degraded-lane renegotiations (one per link entering degraded mode).
+    lane_events: int = 0
+    #: Cycles a link's Tx was frozen by a stuck-Tx fault.
+    tx_stuck_cycles: int = 0
+    #: Cycles an entire bridge was frozen by a stall-window fault.
+    bridge_stall_cycles: int = 0
+    #: First-transmit -> clean-delivery-acknowledged latency of every
+    #: flit that needed at least one retransmission.
+    retry_latency: List[int] = field(default_factory=list)
+    #: Bounded event log: (cycle, event, detail).
+    log: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: Events that no longer fit in :attr:`log`.
+    log_truncated: int = 0
+
+    def record(self, cycle: int, event: str, detail: str) -> None:
+        """Append to the bounded event log."""
+        if len(self.log) < LOG_LIMIT:
+            self.log.append((cycle, event, detail))
+        else:
+            self.log_truncated += 1
+
+    def mean_retry_latency(self) -> Optional[float]:
+        if not self.retry_latency:
+            return None
+        return sum(self.retry_latency) / len(self.retry_latency)
+
+    def summary(self) -> str:
+        return (
+            f"faults: injected {self.injected}, detected {self.detected}, "
+            f"undetected {self.undetected}, retried {self.retried}, "
+            f"recovered {self.recovered}, dropped {self.dropped}, "
+            f"lane events {self.lane_events}"
+        )

@@ -1,0 +1,172 @@
+"""No-forward-progress watchdog: raise with a diagnostic, never hang.
+
+A wedged fabric (black-holed link, disabled recovery, protocol bug) used
+to look like an infinite ``run_to_drain`` loop or a silent timeout.  The
+:class:`ProgressWatchdog` observes a *progress signature* — a tuple that
+must change while work is outstanding — and raises
+:class:`NoProgressError` with a full diagnostic dump (per-station
+occupancy, in-flight flits, SWAP state, link-layer state, fault log)
+once the signature has been frozen for ``patience`` cycles.
+
+Wire-up points: :meth:`repro.sim.engine.Simulator.run_until` takes a
+``watchdog=`` argument, and :func:`repro.testing.run_to_drain` arms a
+fabric watchdog by default.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+
+class NoProgressError(RuntimeError):
+    """The watched system made no forward progress for too long.
+
+    Attributes:
+        cycle: cycle at which the watchdog fired.
+        stalled_for: cycles since the progress signature last changed.
+        diagnostic: the full state dump (also part of ``str(exc)``).
+    """
+
+    def __init__(self, cycle: int, stalled_for: int, diagnostic: str = ""):
+        self.cycle = cycle
+        self.stalled_for = stalled_for
+        self.diagnostic = diagnostic
+        message = (f"no forward progress for {stalled_for} cycles "
+                   f"(at cycle {cycle}): the system is wedged")
+        if diagnostic:
+            message += "\n" + diagnostic
+        super().__init__(message)
+
+
+class ProgressWatchdog:
+    """Raises :class:`NoProgressError` when progress stalls.
+
+    Args:
+        progress: returns the progress signature; any change counts as
+            forward progress.  Activity that is not progress (deflections,
+            spinning ring slots) must not be part of the signature.
+        active: returns True while work is outstanding; while False the
+            watchdog stays disarmed and its stall clock resets.
+        patience: cycles the signature may stay frozen while active.
+        diagnostic: builds the state dump for the exception (called only
+            when firing).
+    """
+
+    def __init__(
+        self,
+        progress: Callable[[], Tuple],
+        active: Optional[Callable[[], bool]] = None,
+        patience: int = 2048,
+        diagnostic: Optional[Callable[[], str]] = None,
+    ):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self._progress = progress
+        self._active = active
+        self._patience = patience
+        self._diagnostic = diagnostic
+        self._last_signature: Optional[Tuple] = None
+        self._last_change: Optional[int] = None
+
+    @classmethod
+    def for_fabric(cls, fabric, patience: int = 2048) -> "ProgressWatchdog":
+        """A watchdog over a fabric's delivery/injection/drop counters."""
+        stats = fabric.stats
+
+        def progress() -> Tuple:
+            return (stats.delivered, stats.injected, stats.accepted,
+                    stats.dropped)
+
+        return cls(
+            progress,
+            active=lambda: stats.in_flight > 0,
+            patience=patience,
+            diagnostic=lambda: fabric_diagnostic(fabric),
+        )
+
+    def reset(self) -> None:
+        self._last_signature = None
+        self._last_change = None
+
+    def observe(self, cycle: int) -> None:
+        """Check progress at ``cycle``; raises when the patience runs out."""
+        if self._active is not None and not self._active():
+            self.reset()
+            return
+        signature = self._progress()
+        if signature != self._last_signature or self._last_change is None:
+            self._last_signature = signature
+            self._last_change = cycle
+            return
+        stalled = cycle - self._last_change
+        if stalled >= self._patience:
+            dump = self._diagnostic() if self._diagnostic is not None else ""
+            raise NoProgressError(cycle, stalled, dump)
+
+
+def fabric_diagnostic(fabric, max_flits: int = 16) -> str:
+    """Human-readable dump of where every undelivered flit is stuck.
+
+    Works on any :class:`repro.fabric.interface.Fabric`; multi-ring
+    fabrics additionally get per-station occupancy, bridge/SWAP/link
+    state, and the fault log tail.
+    """
+    stats = fabric.stats
+    lines = [
+        "diagnostic dump:",
+        (f"  stats: accepted {stats.accepted}, injected {stats.injected}, "
+         f"delivered {stats.delivered}, dropped {stats.dropped}, "
+         f"in flight {stats.in_flight}, deflections {stats.deflections}, "
+         f"swap events {stats.swap_events}, "
+         f"link stalls {stats.link_stall_cycles}"),
+    ]
+
+    rings = getattr(fabric, "rings", None)
+    if rings:
+        for ring_id in sorted(rings):
+            ring = rings[ring_id]
+            busy = []
+            for station in ring.stations:
+                for port in station.ports:
+                    inj, ej = len(port.inject_queue), len(port.eject_queue)
+                    if inj or ej or port.consecutive_failures:
+                        busy.append(
+                            f"stop {station.stop} {port.key}: "
+                            f"inject {inj}, eject {ej}, "
+                            f"fails {port.consecutive_failures}")
+            lines.append(
+                f"  ring {ring_id}: {ring.occupancy()} flit(s) on lanes"
+                + (f"; {'; '.join(busy)}" if busy else ""))
+
+    for bridge in getattr(fabric, "bridges", []) or []:
+        spec = bridge.spec
+        desc = (f"  bridge {spec.bridge_id} (L{spec.level}): "
+                f"occupancy {bridge.occupancy()}")
+        swap_a = getattr(bridge, "swap_a", None)
+        if swap_a is not None:
+            desc += (f", SWAP a={'DRM' if swap_a.in_drm else 'idle'}"
+                     f"/{len(swap_a.reserved_tx)} reserved, "
+                     f"b={'DRM' if bridge.swap_b.in_drm else 'idle'}"
+                     f"/{len(bridge.swap_b.reserved_tx)} reserved")
+        lines.append(desc)
+        for link in getattr(bridge, "links", None) or []:
+            lines.append(f"    link {link.describe()}")
+
+    in_flight = getattr(fabric, "flits_in_flight", None)
+    if in_flight is not None:
+        flits = in_flight()
+        lines.append(f"  in-flight flits ({len(flits)}):")
+        for flit in flits[:max_flits]:
+            lines.append(f"    {flit!r}")
+        if len(flits) > max_flits:
+            lines.append(f"    ... and {len(flits) - max_flits} more")
+
+    faults = stats.faults
+    if faults is not None:
+        lines.append("  " + faults.summary())
+        tail = faults.log[-8:]
+        if tail:
+            lines.append("  fault log tail:")
+            for cycle, event, detail in tail:
+                lines.append(f"    cycle {cycle}: [{event}] {detail}")
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ from repro.lint.rules import DEFAULT_RULES, lint_paths, lint_source
 from repro.lint.runner import CheckReport, run_check
 from repro.lint.validator import (
     validate_config,
+    validate_reliability,
     validate_scenario,
     validate_scenario_file,
     validate_spec,
@@ -37,6 +38,7 @@ __all__ = [
     "lint_source",
     "run_check",
     "validate_config",
+    "validate_reliability",
     "validate_scenario",
     "validate_scenario_file",
     "validate_spec",

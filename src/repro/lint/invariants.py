@@ -103,9 +103,14 @@ class FabricInvariantChecker:
     # -- individual probes ------------------------------------------------
 
     def check_conservation(self, cycle: int) -> None:
-        """accepted - delivered messages must all be physically present."""
+        """Undelivered, undropped messages must all be physically present.
+
+        ``stats.in_flight`` is ``accepted - delivered - dropped``: the
+        reliable link layer's loud drops leave the network, everything
+        else must still be in a queue, a lane slot, or a bridge stage.
+        """
         stats = self.fabric.stats
-        expected = stats.accepted - stats.delivered
+        expected = stats.in_flight
         present = self.fabric.occupancy()
         if present != expected:
             verb = "vanished from" if present < expected else "duplicated in"
@@ -113,7 +118,7 @@ class FabricInvariantChecker:
                 "flit-conservation", cycle,
                 f"{abs(expected - present)} flit(s) {verb} the network",
                 {"accepted": stats.accepted, "delivered": stats.delivered,
-                 "in_network": present},
+                 "dropped": stats.dropped, "in_network": present},
             )
 
     def check_deflection_bound(self, cycle: int) -> None:

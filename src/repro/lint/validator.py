@@ -15,7 +15,11 @@ spec-level ``validate()`` cannot do alone:
 - inter-chiplet ring cycles with SWAP disabled — statically
   deadlock-prone per Section 4.4: any RBRG-L2 closes a cyclic channel
   dependency between the rings it joins, so with neither SWAP nor
-  escape slots there is no recovery path once both sides saturate.
+  escape slots there is no recovery path once both sides saturate;
+- reliability misconfigurations: retry enabled without CRC (nothing can
+  trigger a retry), an explicit replay buffer smaller than the link
+  round trip (acks cannot return before the buffer chokes the link),
+  and fault models attached to bridges without a die-to-die link.
 
 Scenario files are either a bare topology dict (the
 :mod:`repro.core.serialize` format) or ``{"topology": {...},
@@ -27,7 +31,7 @@ nested :class:`repro.params.QueueParams` dict).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MultiRingConfig, TopologySpec
 from repro.lint.findings import Finding, Severity
@@ -53,6 +57,15 @@ _QUEUE_KEYS = {
     "itag_threshold",
     "swap_detect_threshold",
     "swap_exit_threshold",
+}
+
+#: LinkReliabilityConfig fields a scenario's "reliability" section may set.
+_RELIABILITY_KEYS = {
+    "enable_crc",
+    "enable_retry",
+    "retry_limit",
+    "replay_depth",
+    "ack_latency",
 }
 
 
@@ -286,6 +299,49 @@ def validate_config(
     return findings
 
 
+def validate_reliability(
+    reliability,
+    l2_link_latencies: Sequence[int] = (),
+    path: Optional[str] = None,
+) -> List[Finding]:
+    """Reliable-link-layer misconfiguration checks.
+
+    ``reliability`` is a :class:`repro.faults.link.LinkReliabilityConfig`
+    (or None, which validates trivially); ``l2_link_latencies`` are the
+    die-to-die link latencies of the topology's RBRG-L2 bridges, used to
+    compare an explicit replay depth against the worst link round trip.
+    """
+    findings: List[Finding] = []
+    if reliability is None:
+        return findings
+    if reliability.enable_retry and not reliability.enable_crc:
+        findings.append(_err(
+            "retry-without-crc",
+            "retry is enabled but CRC checking is disabled: a NAK can "
+            "only come from a CRC mismatch, so the replay machinery can "
+            "never trigger and corrupted flits are delivered undetected",
+            path))
+    if not l2_link_latencies:
+        findings.append(_warn(
+            "reliability-without-l2",
+            "a reliability config is set but the topology has no RBRG-L2 "
+            "bridge; the link layer protects die-to-die links only", path))
+        return findings
+    if reliability.enable_retry and reliability.replay_depth > 0:
+        worst = max(l2_link_latencies)
+        need = reliability.round_trip(worst)
+        if reliability.replay_depth < need:
+            findings.append(_err(
+                "replay-buffer-too-small",
+                f"replay_depth {reliability.replay_depth} is smaller than "
+                f"the link round trip ({need} cycles at link latency "
+                f"{worst}): every in-flight flit occupies a replay slot "
+                "until its ack returns, so the buffer backpressures the "
+                "link before the first ack can arrive (set replay_depth=0 "
+                "to size it automatically)", path))
+    return findings
+
+
 def validate_spec(
     spec: TopologySpec,
     config: Optional[MultiRingConfig] = None,
@@ -325,7 +381,34 @@ def validate_spec(
             has_l2_bridges=any(b.level == 2 for b in spec.bridges),
             path=path,
         ))
+        findings.extend(validate_reliability(
+            config.reliability,
+            [b.link_latency for b in spec.bridges if b.level == 2],
+            path=path,
+        ))
     return findings
+
+
+def _reliability_from_dict(raw: dict, path: Optional[str],
+                           findings: List[Finding]):
+    """Build a LinkReliabilityConfig from a scenario's config section."""
+    from repro.faults.link import LinkReliabilityConfig
+
+    kwargs = {}
+    for key, value in raw.items():
+        if key not in _RELIABILITY_KEYS:
+            findings.append(_err(
+                "unknown-config-key",
+                f"unknown reliability key '{key}' (known: "
+                f"{', '.join(sorted(_RELIABILITY_KEYS))})", path))
+        else:
+            kwargs[key] = value
+    try:
+        return LinkReliabilityConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        findings.append(_err(
+            "bad-threshold", f"invalid reliability config: {exc}", path))
+        return None
 
 
 def _config_from_dict(raw: dict, path: Optional[str],
@@ -342,14 +425,68 @@ def _config_from_dict(raw: dict, path: Optional[str],
                         f"{', '.join(sorted(_QUEUE_KEYS))})", path))
                 else:
                     queue_kwargs[qkey] = qvalue
+        elif key == "reliability":
+            if isinstance(value, dict):
+                kwargs["reliability"] = _reliability_from_dict(
+                    value, path, findings)
+            else:
+                findings.append(_err(
+                    "unknown-config-key",
+                    "the 'reliability' config section must be an object "
+                    f"(got {type(value).__name__})", path))
         elif key not in _CONFIG_KEYS:
             findings.append(_err(
                 "unknown-config-key",
                 f"unknown config key '{key}' (known: "
-                f"{', '.join(sorted(_CONFIG_KEYS | {'queues'}))})", path))
+                f"{', '.join(sorted(_CONFIG_KEYS | {'queues', 'reliability'}))})",
+                path))
         else:
             kwargs[key] = value
     return MultiRingConfig(queues=QueueParams(**queue_kwargs), **kwargs)
+
+
+def _validate_faults_section(
+    faults_raw, bridges, path: Optional[str], findings: List[Finding]
+) -> None:
+    """Check a scenario's top-level ``faults`` list of model dicts."""
+    from repro.faults.models import model_from_dict
+
+    if not isinstance(faults_raw, list):
+        findings.append(_err(
+            "unknown-fault-model",
+            "the 'faults' section must be a list of fault-model objects",
+            path))
+        return
+    levels = {b.get("bridge_id"): b.get("level") for b in bridges}
+    has_l2 = any(level == 2 for level in levels.values())
+    for i, entry in enumerate(faults_raw):
+        if not isinstance(entry, dict):
+            findings.append(_err(
+                "unknown-fault-model",
+                f"faults[{i}] must be an object with a 'model' key", path))
+            continue
+        try:
+            model_from_dict(entry)
+        except ValueError as exc:
+            findings.append(_err(
+                "unknown-fault-model", f"faults[{i}]: {exc}", path))
+        target = entry.get("bridge")
+        if target is not None:
+            if target not in levels:
+                findings.append(_err(
+                    "fault-on-non-l2-bridge",
+                    f"faults[{i}] targets unknown bridge {target}", path))
+            elif levels[target] != 2:
+                findings.append(_err(
+                    "fault-on-non-l2-bridge",
+                    f"faults[{i}] is attached to RBRG-L1 bridge {target}; "
+                    "only RBRG-L2 die-to-die links take fault models",
+                    path))
+        elif not has_l2:
+            findings.append(_err(
+                "fault-on-non-l2-bridge",
+                f"faults[{i}] has no RBRG-L2 bridge to attach to; the "
+                "topology has no die-to-die link", path))
 
 
 def validate_scenario(raw: dict, path: Optional[str] = None) -> List[Finding]:
@@ -369,6 +506,13 @@ def validate_scenario(raw: dict, path: Optional[str] = None) -> List[Finding]:
         has_l2_bridges=any(b.get("level") == 2 for b in bridges),
         path=path,
     ))
+    findings.extend(validate_reliability(
+        config.reliability,
+        [b.get("link_latency", 0) for b in bridges if b.get("level") == 2],
+        path=path,
+    ))
+    if "faults" in raw and "topology" in raw:
+        _validate_faults_section(raw["faults"], bridges, path, findings)
     return findings
 
 

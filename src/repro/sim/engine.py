@@ -101,6 +101,7 @@ class Simulator:
         predicate: Callable[[], bool],
         max_cycles: int,
         check_every: int = 1,
+        watchdog=None,
     ) -> bool:
         """Run until ``predicate()`` is true or ``max_cycles`` elapse.
 
@@ -113,6 +114,11 @@ class Simulator:
         never misses a predicate that became true inside the last
         partial window.  The predicate is never evaluated twice for the
         same step and never before the first step.
+
+        ``watchdog`` (a :class:`repro.faults.watchdog.ProgressWatchdog`)
+        is observed after every step and turns a wedged system into a
+        :class:`repro.faults.watchdog.NoProgressError` with a diagnostic
+        dump instead of a silent timeout.
         """
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
@@ -120,6 +126,8 @@ class Simulator:
         for _ in range(max_cycles):
             self.step()
             steps += 1
+            if watchdog is not None:
+                watchdog.observe(self._cycle)
             if steps % check_every == 0 and predicate():
                 return True
         if steps % check_every != 0 and predicate():

@@ -9,12 +9,30 @@ from repro.fabric.message import Message, MessageKind
 from repro.sim.rng import make_rng
 
 
-def run_to_drain(fabric: Fabric, start_cycle: int = 0, max_cycles: int = 100_000) -> int:
-    """Step ``fabric`` until every accepted message is delivered.
+def run_to_drain(
+    fabric: Fabric,
+    start_cycle: int = 0,
+    max_cycles: int = 100_000,
+    watchdog=None,
+    patience: int = 2048,
+) -> int:
+    """Step ``fabric`` until every accepted message is delivered or dropped.
 
     Returns the cycle after draining.  Raises RuntimeError on timeout so a
     livelocked configuration fails loudly in tests.
+
+    A progress watchdog is armed by default (``watchdog=None`` builds a
+    :class:`repro.faults.watchdog.ProgressWatchdog` over the fabric with
+    ``patience``): a wedged fabric — black-holed link, disabled recovery —
+    raises :class:`repro.faults.watchdog.NoProgressError` with a full
+    diagnostic dump well before the drain timeout.  Pass
+    ``watchdog=False`` to disable, or a ready-made watchdog to reuse one.
     """
+    if watchdog is None:
+        from repro.faults.watchdog import ProgressWatchdog
+        watchdog = ProgressWatchdog.for_fabric(fabric, patience=patience)
+    elif watchdog is False:
+        watchdog = None
     cycle = start_cycle
     while fabric.stats.in_flight > 0:
         if cycle - start_cycle >= max_cycles:
@@ -24,6 +42,8 @@ def run_to_drain(fabric: Fabric, start_cycle: int = 0, max_cycles: int = 100_000
             )
         fabric.step(cycle)
         cycle += 1
+        if watchdog is not None:
+            watchdog.observe(cycle)
     return cycle
 
 

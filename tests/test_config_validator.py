@@ -13,8 +13,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import MultiRingConfig
 from repro.core.serialize import topology_to_dict
 from repro.core.topology import chiplet_pair, grid_of_rings, single_ring_topology
+from repro.faults import LinkReliabilityConfig
 from repro.lint import (
     validate_config,
+    validate_reliability,
     validate_scenario,
     validate_scenario_file,
     validate_spec,
@@ -154,6 +156,102 @@ def test_scenario_file_roundtrip(tmp_path):
     bad = tmp_path / "bad.json"
     bad.write_text("{not json")
     assert "unreadable-scenario" in rules(validate_scenario_file(str(bad)))
+
+
+# -- reliability / fault-injection configuration rules ---------------------
+
+
+def test_reliability_clean_config_accepted():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(reliability=LinkReliabilityConfig())
+    assert validate_spec(spec, config) == []
+
+
+def test_retry_without_crc_detected():
+    reliability = LinkReliabilityConfig(enable_crc=False, enable_retry=True)
+    findings = validate_reliability(reliability, [8])
+    assert "retry-without-crc" in rules(errors(findings))
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(reliability=reliability)
+    assert "retry-without-crc" in rules(validate_spec(spec, config))
+
+
+def test_replay_buffer_too_small_detected():
+    # chiplet_pair's d2d link latency is 8 -> round trip 18 > 3.
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(
+        reliability=LinkReliabilityConfig(replay_depth=3))
+    findings = validate_spec(spec, config)
+    assert "replay-buffer-too-small" in rules(errors(findings))
+    # Auto-sized (replay_depth=0) and explicitly-large buffers are fine.
+    for depth in (0, 64):
+        config = MultiRingConfig(
+            reliability=LinkReliabilityConfig(replay_depth=depth))
+        assert "replay-buffer-too-small" not in rules(
+            validate_spec(spec, config))
+
+
+def test_reliability_without_l2_bridge_warns():
+    spec, _ = single_ring_topology(6)
+    config = MultiRingConfig(reliability=LinkReliabilityConfig())
+    findings = validate_spec(spec, config)
+    assert "reliability-without-l2" in rules(findings)
+    assert errors(findings) == []
+
+
+def test_scenario_reliability_section_validated():
+    spec, _, _ = chiplet_pair()
+    raw = {"topology": topology_to_dict(spec),
+           "config": {"reliability": {"enable_crc": False}}}
+    assert "retry-without-crc" in rules(validate_scenario(raw))
+    raw["config"]["reliability"] = {"enable_crcc": True}
+    assert "unknown-config-key" in rules(validate_scenario(raw))
+    raw["config"]["reliability"] = {"retry_limit": -2}
+    assert "bad-threshold" in rules(validate_scenario(raw))
+    raw["config"]["reliability"] = "yes please"
+    assert "unknown-config-key" in rules(validate_scenario(raw))
+
+
+def test_scenario_faults_section_validated():
+    spec, _, _ = chiplet_pair()
+    base = topology_to_dict(spec)
+    l2_id = base["bridges"][0]["bridge_id"]
+
+    raw = {"topology": base,
+           "faults": [{"model": "bit-error", "rate": 1e-3}]}
+    assert validate_scenario(raw) == []
+
+    raw["faults"] = [{"model": "bit-flipper", "rate": 1e-3}]
+    assert "unknown-fault-model" in rules(validate_scenario(raw))
+
+    raw["faults"] = [{"model": "bit-error", "rate": 1e-3,
+                      "bridge": l2_id + 999}]
+    assert "fault-on-non-l2-bridge" in rules(validate_scenario(raw))
+
+    raw["faults"] = "not-a-list"
+    assert "unknown-fault-model" in rules(validate_scenario(raw))
+
+
+def test_fault_targeting_l1_bridge_detected():
+    layout = grid_of_rings(2, 2, 2, 2)  # local<->trunk bridges are L1
+    base = topology_to_dict(layout.topology)
+    l1 = next(b for b in base["bridges"] if b["level"] == 1)
+    raw = {"topology": base,
+           "faults": [{"model": "bit-error", "rate": 1e-3,
+                       "bridge": l1["bridge_id"]}]}
+    assert "fault-on-non-l2-bridge" in rules(validate_scenario(raw))
+    # Untargeted faults on a topology with no L2 bridge at all.
+    spec, _ = single_ring_topology(6)
+    raw = {"topology": topology_to_dict(spec),
+           "faults": [{"model": "bit-error", "rate": 1e-3}]}
+    assert "fault-on-non-l2-bridge" in rules(validate_scenario(raw))
+
+
+def test_fault_model_bad_parameters_detected():
+    spec, _, _ = chiplet_pair()
+    raw = {"topology": topology_to_dict(spec),
+           "faults": [{"model": "bit-error", "ratee": 1e-3}]}
+    assert "unknown-fault-model" in rules(validate_scenario(raw))
 
 
 # -- property-based: random valid topologies are accepted ------------------

@@ -117,6 +117,40 @@ def test_chiplet_pair_swap_equivalence():
     assert stats.swap_events > 0, "scenario failed to exercise SWAP/DRM"
 
 
+def test_fault_injection_equivalence():
+    """Fault schedules and link-layer recovery are stepping-mode blind.
+
+    ``FabricStats.faults`` participates in dataclass equality, so this
+    asserts identical injection cycles, retry counts, retry latencies,
+    and event logs under fast and reference stepping.
+    """
+    from repro.faults import (BitErrorModel, BurstErrorModel, FaultInjector,
+                              LaneFailureModel, LinkReliabilityConfig)
+
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4)
+    rng = make_rng(17)
+    plan = []
+    for cycle in range(0, 600, 2):
+        plan.append((cycle, rng.choice(ring0), rng.choice(ring1)))
+        plan.append((cycle, rng.choice(ring1), rng.choice(ring0)))
+
+    def make(fast):
+        t, _, _ = chiplet_pair(nodes_per_ring=4)
+        fabric = MultiRingFabric(t, MultiRingConfig(
+            reliability=LinkReliabilityConfig(), fast_path=fast))
+        fabric.attach_fault_injector(
+            FaultInjector(seed=5)
+            .add(BitErrorModel(5e-2))
+            .add(BurstErrorModel(5e-3, burst_len=3))
+            .add(LaneFailureModel(fail_cycle=200, recover_cycle=350)))
+        return fabric
+
+    stats = assert_equivalent(make, plan, 900, kind=MessageKind.DATA)
+    assert stats.faults is not None
+    assert stats.faults.injected > 0, "scenario failed to inject any fault"
+    assert stats.faults.recovered > 0, "no flit exercised the replay path"
+
+
 def test_fast_path_clean_under_invariant_checker():
     """--check-invariants probes hold on the fast path, and observing
     them does not perturb the run."""
