@@ -257,10 +257,65 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.verify import (
+        Counterexample,
+        replay_counterexample,
+        run_verify,
+    )
+
+    if args.replay:
+        ce = Counterexample.load(args.replay)
+        code = 0
+        for fast in (True, False):
+            result = replay_counterexample(ce, fast_path=fast)
+            if args.json:
+                print(_json.dumps(result.to_dict(), indent=2))
+            else:
+                mode = "fast" if fast else "reference"
+                verdict = "confirmed" if result.confirmed else "NOT CONFIRMED"
+                print(f"replay[{mode}]: {verdict} "
+                      f"({result.observed_rule or 'no violation'}) "
+                      f"{result.detail}")
+            if not result.confirmed:
+                code = 1
+        return code
+
+    report = run_verify(
+        args.system or None,
+        no_swap=args.no_swap,
+        model_check=not args.no_model_check,
+        liveness=not args.no_liveness,
+        replay=not args.no_replay,
+        max_states=args.max_states,
+        max_in_flight=args.max_in_flight,
+        profile=args.profile,
+    )
+    if args.save_counterexample:
+        saved = False
+        for system in report.systems:
+            if system.counterexamples:
+                system.counterexamples[0].save(args.save_counterexample)
+                saved = True
+                break
+        if not saved:
+            print("no counterexample to save", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-noc",
         description="Bufferless multi-ring NoC reproduction (HPCA 2022)",
+        epilog="exit codes: 0 success, 1 findings (check/verify) or a "
+               "failed gate, 2 usage errors or an escaped invariant "
+               "violation",
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
@@ -284,6 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "verify",
+        help="formal verification: channel-dependency deadlock analysis "
+             "+ bounded model checking with counterexample replay")
+    p.add_argument("--system", action="append",
+                   choices=["pair", "chiplet-pair", "server", "ai", "all"],
+                   help="system(s) to verify (repeatable; default: pair "
+                        "and chiplet-pair)")
+    p.add_argument("--no-swap", action="store_true",
+                   help="verify with SWAP disabled (expected to produce "
+                        "a deadlock counterexample on the pair testbench)")
+    p.add_argument("--max-states", type=int, default=5000,
+                   help="visited-state budget for the model checker")
+    p.add_argument("--max-in-flight", type=int, default=None,
+                   help="bound on in-flight flits during exploration "
+                        "(default: 2 healthy, 24 with --no-swap)")
+    p.add_argument("--no-model-check", action="store_true",
+                   help="CDG analysis only; skip state enumeration")
+    p.add_argument("--no-liveness", action="store_true",
+                   help="skip the drain/DRM-exit liveness analysis")
+    p.add_argument("--no-replay", action="store_true",
+                   help="do not replay counterexamples on the simulator")
+    p.add_argument("--save-counterexample", metavar="FILE",
+                   help="write the first counterexample to FILE as JSON")
+    p.add_argument("--replay", metavar="FILE",
+                   help="replay a saved counterexample file in both "
+                        "fast-path modes instead of verifying")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--profile", action="store_true",
+                   help="report wall-clock time per verification stage")
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("ring", help="drain random traffic on one ring")
     p.add_argument("--nodes", type=int, default=12)

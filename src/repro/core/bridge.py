@@ -66,6 +66,21 @@ class RingBridgeL1:
     def flits_in_flight(self) -> List[Flit]:
         return [entry[1] for _, _, pipe in self._paths for entry in pipe]
 
+    def snapshot(self, cycle: int) -> tuple:
+        """Structural state for repro.verify's canonical encoding.
+
+        Pipeline ready-cycles are encoded relative to ``cycle`` and
+        clamped at zero: an entry whose ready cycle has passed behaves
+        identically no matter how long ago it became ready.
+        """
+        return (
+            self.spec.bridge_id,
+            tuple(
+                tuple((max(entry[0] - cycle, 0), entry[1]) for entry in pipe)
+                for _, _, pipe in self._paths
+            ),
+        )
+
 
 class RingBridgeL2:
     """Inter-chiplet ring bridge with die-to-die link and SWAP.
@@ -239,6 +254,33 @@ class RingBridgeL2:
             total += len(tx)
             total += links[idx].occupancy() if links is not None else len(link)
         return total
+
+    def snapshot(self, cycle: int) -> tuple:
+        """Structural state for repro.verify's canonical encoding.
+
+        Covers the Tx pipelines, the baseline link pipes, and both SWAP
+        controllers (ready cycles relative to ``cycle``, clamped at
+        zero).  The reliable link layer carries sequence-numbered replay
+        state that is deliberately outside the model checker's scope, so
+        snapshotting a bridge with the link layer enabled is an error.
+        """
+        if self._links is not None:
+            raise RuntimeError(
+                f"bridge {self.spec.bridge_id}: snapshot() does not support "
+                "the reliable link layer (model checking covers the "
+                "baseline link only)")
+        return (
+            self.spec.bridge_id,
+            (self.swap_a.in_drm, tuple(self.swap_a.reserved_tx)),
+            (self.swap_b.in_drm, tuple(self.swap_b.reserved_tx)),
+            tuple(
+                (
+                    tuple((max(e[0] - cycle, 0), e[1]) for e in tx),
+                    tuple((max(e[0] - cycle, 0), e[1]) for e in link),
+                )
+                for _, _, tx, link, _ in self._paths
+            ),
+        )
 
     def flits_in_flight(self) -> List[Flit]:
         out = list(self.swap_a.reserved_tx) + list(self.swap_b.reserved_tx)

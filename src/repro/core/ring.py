@@ -23,7 +23,8 @@ Stepping has two interchangeable implementations:
 
 from __future__ import annotations
 
-from typing import List, Optional
+import copy
+from typing import List, Optional, Tuple
 
 from repro.core.config import MultiRingConfig, RingSpec
 from repro.core.flit import Flit
@@ -66,6 +67,18 @@ class SlotList(list):
     def clear(self):  # pragma: no cover - guard
         raise TypeError("SlotList has a fixed size")
 
+    def __deepcopy__(self, memo):
+        # list subclasses are normally reconstructed entry-by-entry via
+        # append(), which the fixed-size guard above forbids — and the
+        # generic path would skip ``occupied`` anyway.  The model checker
+        # (repro.verify) clones whole fabrics, so rebuild explicitly.
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        list.__init__(clone, (copy.deepcopy(v, memo)
+                              for v in list.__iter__(self)))
+        clone.occupied = set(self.occupied)
+        return clone
+
 
 class ExitBucketedSlots(SlotList):
     """Flit slots that additionally index ejections by cycle residue.
@@ -106,6 +119,12 @@ class ExitBucketedSlots(SlotList):
             buckets[(d * (value.exit_stop - idx)) % n].add(idx)
         list.__setitem__(self, idx, value)
 
+    def __deepcopy__(self, memo):
+        clone = SlotList.__deepcopy__(self, memo)
+        clone.direction = self.direction
+        clone.buckets = [set(b) for b in self.buckets]
+        return clone
+
 
 class Lane:
     """One direction of a ring: ``nstops`` slots rotating one stop/cycle."""
@@ -145,6 +164,29 @@ class Lane:
         """Occupied slots' flits in slot order — O(occupancy)."""
         flits = self.flits
         return [flits[i] for i in sorted(flits.occupied)]
+
+    def snapshot(self, cycle: int) -> Tuple:
+        """Structural state in the stop frame (for repro.verify).
+
+        Returns ``(direction, flits, itags)`` where ``flits`` is a tuple
+        of ``(stop, Flit)`` and ``itags`` a tuple of ``(stop, Port)``,
+        both sorted by the *stop* each slot is currently passing.  The
+        stop frame makes the encoding shift-invariant: two cycles whose
+        slot arrays are rotations of each other with identical per-stop
+        contents behave identically (escape slots excepted — they are
+        pinned to slot indices, so callers must mix in the rotation phase
+        when ``escape_period > 0``).
+        """
+        flits = self.flits
+        itags = self.itags
+        flit_view = tuple(sorted(
+            (self.stop_at(idx, cycle), flits[idx]) for idx in flits.occupied
+        ))
+        tag_view = tuple(sorted(
+            ((self.stop_at(idx, cycle), itags[idx]) for idx in itags.occupied),
+            key=lambda entry: entry[0],
+        ))
+        return (self.direction, flit_view, tag_view)
 
 
 class Ring:
@@ -469,6 +511,25 @@ class Ring:
                         itags[idx] = port
                         port.itag_pending[d] = True
                         stats.itags_placed += 1
+
+    def snapshot(self, cycle: int) -> Tuple:
+        """Structural ring state for the verify subsystem's state encoding.
+
+        ``(ring_id, phase, lane snapshots, station snapshots)`` with
+        stations sorted by stop.  ``phase`` is ``cycle % nstops`` when
+        escape slots are configured (their positions are slot-index-
+        anchored, so the stop-frame view alone is not shift-invariant)
+        and 0 otherwise.
+        """
+        nstops = self.spec.nstops
+        phase = cycle % nstops if self.config.escape_slot_period > 0 else 0
+        return (
+            self.spec.ring_id,
+            phase,
+            tuple(lane.snapshot(cycle) for lane in self.lanes),
+            tuple(st.snapshot() for st in
+                  sorted(self._station_list, key=lambda s: s.stop)),
+        )
 
     def occupancy(self) -> int:
         """Flits on this ring's lanes — O(lanes) via maintained counters."""

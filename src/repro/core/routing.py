@@ -77,6 +77,14 @@ class Router:
             self._ring_bridges[b.ring_a].append((b, 0))
             self._ring_bridges[b.ring_b].append((b, 1))
 
+    def __deepcopy__(self, memo):
+        # Routes are a pure function of the immutable topology and the
+        # cache is append-only, so fabric clones (repro.verify's model
+        # checker deep-copies whole fabrics per explored transition) can
+        # share one router instead of re-deriving every route.
+        memo[id(self)] = self
+        return self
+
     def placement(self, node: int) -> Tuple[int, int]:
         """(ring, stop) of a node's interface."""
         return self._placement[node]

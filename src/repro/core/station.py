@@ -167,6 +167,26 @@ class Port:
         stats.deflections += 1
         return False
 
+    # -- verification hooks ------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Structural state for the verify subsystem's canonical encoding.
+
+        Returns raw :class:`repro.core.flit.Flit` references and message
+        ids; :mod:`repro.verify.state` renames them into canonical ids.
+        Monotonic counters stay raw here — the encoder is responsible for
+        capping them into a finite abstraction.
+        """
+        return (
+            self.key,
+            tuple(self.inject_queue),
+            tuple(self.eject_queue),
+            frozenset(self.etag_reservations),
+            self.consecutive_failures,
+            (self.itag_pending[1], self.itag_pending[-1]),
+            self.drm_active,
+        )
+
 
 class CrossStation:
     """A stop on one ring, hosting 1–2 ports.
@@ -226,6 +246,11 @@ class CrossStation:
         self.ports.append(port)
         self.port_by_key[key] = port
         return port
+
+    def snapshot(self) -> tuple:
+        """``(stop, round-robin pointer, port snapshots)`` for repro.verify."""
+        return (self.stop, self._rr,
+                tuple(port.snapshot() for port in self.ports))
 
     # -- local (same-stop) transfers ---------------------------------------
 

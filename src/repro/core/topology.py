@@ -122,6 +122,35 @@ def chiplet_pair(
     return builder.build(), ring0, ring1
 
 
+def tiny_pair(
+    nstops: int = 3,
+    nodes_per_ring: int = 1,
+    bidirectional: bool = False,
+    link_latency: int = 1,
+) -> Tuple[TopologySpec, List[int], List[int]]:
+    """The smallest two-chiplet system — the model checker's testbench.
+
+    Like :func:`chiplet_pair` but sized for exhaustive state enumeration
+    (:mod:`repro.verify`): short rings, half rings by default, and a
+    one-cycle die-to-die link.  The RBRG-L2 endpoints sit at stop 0 of
+    each ring; node interfaces fill stops 1..``nodes_per_ring``.
+    Returns (topology, nodes on ring 0, nodes on ring 1).
+    """
+    if nstops < 2:
+        raise ValueError("a ring needs at least 2 stops")
+    if not 1 <= nodes_per_ring < nstops:
+        raise ValueError("need 1..nstops-1 nodes per ring")
+    if link_latency < 1:
+        raise ValueError("an RBRG-L2 link needs at least 1 cycle")
+    builder = TopologyBuilder()
+    builder.add_ring(0, nstops, bidirectional)
+    builder.add_ring(1, nstops, bidirectional)
+    ring0 = [builder.add_node(0, 1 + i) for i in range(nodes_per_ring)]
+    ring1 = [builder.add_node(1, 1 + i) for i in range(nodes_per_ring)]
+    builder.add_bridge(0, 0, 1, 0, level=2, link_latency=link_latency)
+    return builder.build(), ring0, ring1
+
+
 @dataclass
 class GridLayout:
     """Result of :func:`grid_of_rings`.

@@ -40,7 +40,11 @@ class CheckReport:
         return 1 if self.errors else 0
 
     def format(self) -> str:
-        lines = [f.format() for f in self.findings]
+        # Stable (path, line, rule) order keeps reports diffable across
+        # runs regardless of which checker layer emitted what first.
+        ordered = sorted(self.findings,
+                         key=lambda f: (f.path or "", f.line or 0, f.rule))
+        lines = [f.format() for f in ordered]
         lines.append(
             f"checked {self.files_linted} source files, "
             f"{self.topologies_validated} built-in topologies, "

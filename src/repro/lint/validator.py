@@ -231,8 +231,16 @@ def validate_config(
     has_bridges: bool = True,
     has_l2_bridges: bool = False,
     path: Optional[str] = None,
+    spec: Optional[TopologySpec] = None,
 ) -> List[Finding]:
-    """Tuning-value checks, including the §4.4 static deadlock condition."""
+    """Tuning-value checks, including the §4.4 static deadlock condition.
+
+    The inter-chiplet-cycle rule delegates to the channel-dependency
+    analyzer in :mod:`repro.verify.cdg`; pass a structurally valid
+    ``spec`` to get exact ring/bridge cycle detail in the finding (with
+    ``spec=None`` the rule falls back to the legacy boolean check on
+    ``has_l2_bridges``).
+    """
     findings: List[Finding] = []
     queues = config.queues
     for name in ("inject_queue_depth", "eject_queue_depth"):
@@ -279,13 +287,11 @@ def validate_config(
                     "bridge_reserved_tx is "
                     f"{queues.bridge_reserved_tx}; DRM has no reserved "
                     "buffer to absorb a deadlocked flit", path))
-        elif config.escape_slot_period == 0:
-            findings.append(_err(
-                "swap-disabled-interchiplet-cycle",
-                "topology has RBRG-L2 bridge(s) forming inter-chiplet "
-                "ring cycles, but SWAP is disabled and no escape slots "
-                "are configured; statically deadlock-prone under "
-                "saturation (Section 4.4)", path))
+        # Deferred import: repro.verify builds on the lint findings
+        # types, so the validator must not import it at module load.
+        from repro.verify.cdg import interchiplet_deadlock_findings
+        findings.extend(interchiplet_deadlock_findings(
+            config, spec=spec, has_l2_bridges=has_l2_bridges, path=path))
     if not config.enable_etags:
         findings.append(_warn(
             "unbounded-deflection",
@@ -350,9 +356,11 @@ def validate_spec(
     """Validate an in-memory spec (and optional config) without raising."""
     from repro.core.serialize import topology_to_dict
 
+    spec_ok = True
     try:
         raw = topology_to_dict(spec)
     except ValueError:
+        spec_ok = False
         # Spec too broken for the serializer's own validate(); rebuild the
         # dict by hand so the collector still reports everything.
         raw = {
@@ -380,6 +388,7 @@ def validate_spec(
             has_bridges=bool(spec.bridges),
             has_l2_bridges=any(b.level == 2 for b in spec.bridges),
             path=path,
+            spec=spec if spec_ok else None,
         ))
         findings.extend(validate_reliability(
             config.reliability,
@@ -500,11 +509,20 @@ def validate_scenario(raw: dict, path: Optional[str] = None) -> List[Finding]:
     findings = validate_topology_dict(topo_raw, path)
     config = _config_from_dict(config_raw, path, findings)
     bridges = topo_raw.get("bridges", []) if isinstance(topo_raw, dict) else []
+    # Best-effort spec for exact CDG cycle detail; a dict too broken to
+    # deserialize still gets the boolean fallback via has_l2_bridges.
+    spec: Optional[TopologySpec] = None
+    try:
+        from repro.core.serialize import topology_from_dict
+        spec = topology_from_dict(topo_raw)
+    except (KeyError, TypeError, ValueError):
+        spec = None
     findings.extend(validate_config(
         config,
         has_bridges=bool(bridges),
         has_l2_bridges=any(b.get("level") == 2 for b in bridges),
         path=path,
+        spec=spec,
     ))
     findings.extend(validate_reliability(
         config.reliability,

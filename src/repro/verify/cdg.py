@@ -1,0 +1,423 @@
+"""Static channel-dependency-graph deadlock analysis (Section 4.4).
+
+Dally and Seitz's classic result: a routing network is deadlock-free if
+its channel dependency graph (CDG) is acyclic.  Bufferless rotating-slot
+rings bend the rule — a deflected flit never *holds* a resource while it
+waits, so purely intra-ring cycles cannot wedge — but the buffered
+elements of this fabric (inject/eject queues, RBRG-L1 pipelines, RBRG-L2
+Tx buffers and die-to-die links) reintroduce classic hold-and-wait.
+
+The analyzer builds the CDG for any :class:`TopologySpec` +
+:class:`MultiRingConfig` pair, finds its strongly connected components
+(iterative Tarjan), and classifies every cyclic component:
+
+- ``benign-bufferless`` — the only unbroken dependencies run through
+  ring channels and RBRG-L1 pipelines; deflection keeps the cycle live
+  (flits circle, they never block while holding a claim).
+- ``benign-swap`` — the cycle crosses an RBRG-L2 but SWAP's reserved Tx
+  breaks the Eject-Queue→Tx dependency: DRM can always vacate an eject
+  slot (Section 4.4).
+- ``benign-escape`` — escape slots break the bridge-inject→ring
+  dependency instead.
+- ``deadlock-capable`` — a cycle through RBRG-L2 Tx/link buffers
+  survives with every configured breaking mechanism applied; the fabric
+  can wedge under saturation.
+
+:func:`interchiplet_deadlock_findings` wraps the analysis as the lint
+rule ``swap-disabled-interchiplet-cycle``; the config validator
+delegates here so the analyzer is the single source of truth for the
+rule (id and baseline message preserved).
+
+Channel naming — every channel is a flat tuple:
+
+- ``("ring", ring_id)`` — the rotating slots of one ring (all lanes);
+- ``("inject", ring, stop, port_key)`` / ``("eject", ...)`` — one
+  station port's Inject/Eject Queue, where ``port_key`` is
+  ``("node", id)`` or ``("bridge", id, side)`` exactly as in
+  :class:`repro.core.network.MultiRingFabric`;
+- ``("l1pipe", bridge_id, side)`` — an RBRG-L1 pipeline, in the
+  direction *leaving* endpoint ``side``;
+- ``("tx", bridge_id, side)`` / ``("link", bridge_id, side)`` — an
+  RBRG-L2 Tx buffer / die-to-die link pipe, same direction convention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.lint.findings import Finding, Severity
+
+#: The lint rule id this module owns (kept from the legacy validator).
+RULE = "swap-disabled-interchiplet-cycle"
+
+#: The legacy validator's message, verbatim — tests and downstream
+#: tooling match on it, so the analyzer appends detail rather than
+#: rewording.
+LEGACY_MESSAGE = (
+    "topology has RBRG-L2 bridge(s) forming inter-chiplet "
+    "ring cycles, but SWAP is disabled and no escape slots "
+    "are configured; statically deadlock-prone under "
+    "saturation (Section 4.4)")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One dependency: a flit holding ``src`` waits for space in ``dst``.
+
+    ``breaker`` names the mechanism that removes the dependency when
+    configured (``"swap"`` for the reserved-Tx escape, ``"escape"`` for
+    escape slots); ``None`` marks an unconditional dependency.
+    """
+
+    src: Tuple
+    dst: Tuple
+    breaker: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CdgCycle:
+    """One cyclic strongly connected component of the CDG.
+
+    ``channels``/``edges`` are a representative cycle (the shortest one
+    through the component's *hard* — unbroken — edges when any survive,
+    else through the full component); ``rings``/``bridges`` cover the
+    whole component; ``broken_by`` lists the mechanisms that break the
+    component's cycles (empty for deadlock-capable ones).
+    """
+
+    classification: str
+    channels: Tuple[Tuple, ...]
+    edges: Tuple[Edge, ...]
+    rings: Tuple[int, ...]
+    bridges: Tuple[int, ...]
+    broken_by: Tuple[str, ...] = ()
+
+    @property
+    def is_deadlock_capable(self) -> bool:
+        return self.classification == "deadlock-capable"
+
+
+@dataclass
+class CdgAnalysis:
+    """Result of :func:`analyze_cdg`."""
+
+    channels: Tuple[Tuple, ...]
+    edges: Tuple[Edge, ...]
+    cycles: List[CdgCycle] = field(default_factory=list)
+
+    @property
+    def deadlock_capable(self) -> List[CdgCycle]:
+        return [c for c in self.cycles if c.is_deadlock_capable]
+
+    def to_dict(self) -> dict:
+        return {
+            "channels": len(self.channels),
+            "edges": len(self.edges),
+            "cycles": [
+                {
+                    "classification": c.classification,
+                    "rings": list(c.rings),
+                    "bridges": list(c.bridges),
+                    "broken_by": list(c.broken_by),
+                    "cycle": [format_channel(ch) for ch in c.channels],
+                }
+                for c in self.cycles
+            ],
+        }
+
+
+def _fmt_port(key: Tuple) -> str:
+    if key[0] == "node":
+        return f"node{key[1]}"
+    return f"bridge{key[1]}.{'ab'[key[2]]}"
+
+
+def format_channel(channel: Tuple) -> str:
+    """Human-readable channel name for findings and reports."""
+    kind = channel[0]
+    if kind == "ring":
+        return f"ring{channel[1]}"
+    if kind in ("inject", "eject"):
+        _, ring, stop, key = channel
+        return f"{kind}[{_fmt_port(key)}@r{ring}s{stop}]"
+    # l1pipe / tx / link: (kind, bridge_id, side).
+    _, bid, side = channel
+    direction = "a->b" if side == 0 else "b->a"
+    return f"{kind}[bridge{bid} {direction}]"
+
+
+def _swap_effective(config: MultiRingConfig) -> bool:
+    """SWAP can actually fire: enabled, a reserved Tx slot exists, and a
+    finite detection threshold lets DRM trigger."""
+    queues = config.queues
+    return (config.enable_swap
+            and queues.bridge_reserved_tx >= 1
+            and queues.swap_detect_threshold >= 1)
+
+
+def build_cdg(
+    spec: TopologySpec, config: MultiRingConfig
+) -> Tuple[Set[Tuple], List[Edge]]:
+    """Construct the channel set and dependency edges for a topology.
+
+    Does not validate ``spec``; callers analysing possibly-broken specs
+    should validate first (the lint wrapper falls back to a boolean
+    check when the spec cannot even be built).
+    """
+    channels: Set[Tuple] = set()
+    edges: List[Edge] = []
+
+    for ring in spec.rings:
+        channels.add(("ring", ring.ring_id))
+
+    # Station ports, keyed exactly as MultiRingFabric builds them.
+    ports: List[Tuple[Tuple, int, int]] = [
+        (("node", p.node), p.ring, p.stop) for p in spec.nodes
+    ]
+    for b in spec.bridges:
+        ports.append((("bridge", b.bridge_id, 0), b.ring_a, b.stop_a))
+        ports.append((("bridge", b.bridge_id, 1), b.ring_b, b.stop_b))
+
+    for key, ring, stop in ports:
+        inj = ("inject", ring, stop, key)
+        ej = ("eject", ring, stop, key)
+        channels.update((inj, ej))
+        # A queued flit waits for a free slot.  Escape slots admit only
+        # bridge ports (Ring.step skips them for node ports), so only
+        # bridge-inject edges are breakable.
+        is_bridge = key[0] == "bridge"
+        edges.append(Edge(inj, ("ring", ring),
+                          breaker="escape" if is_bridge else None))
+        # A circling flit waits for space in its exit port's Eject
+        # Queue.  Node eject queues are sinks (eject_drain_per_cycle
+        # always drains them), so they get no outgoing edges.
+        edges.append(Edge(("ring", ring), ej))
+
+    for b in spec.bridges:
+        ends = ((b.ring_a, b.stop_a), (b.ring_b, b.stop_b))
+        for side in (0, 1):
+            src_ring, src_stop = ends[side]
+            dst_ring, dst_stop = ends[1 - side]
+            ej = ("eject", src_ring, src_stop, ("bridge", b.bridge_id, side))
+            inj = ("inject", dst_ring, dst_stop,
+                   ("bridge", b.bridge_id, 1 - side))
+            if b.level == 1:
+                pipe = ("l1pipe", b.bridge_id, side)
+                channels.add(pipe)
+                edges.append(Edge(ej, pipe))
+                edges.append(Edge(pipe, inj))
+            else:
+                tx = ("tx", b.bridge_id, side)
+                link = ("link", b.bridge_id, side)
+                channels.update((tx, link))
+                # DRM pushes Eject-Queue flits into the reserved Tx, so
+                # SWAP breaks exactly this dependency (Section 4.4).
+                edges.append(Edge(ej, tx, breaker="swap"))
+                edges.append(Edge(tx, link))
+                edges.append(Edge(link, inj))
+    return channels, edges
+
+
+def _tarjan(nodes: Set[Tuple],
+            succ: Dict[Tuple, List[Tuple]]) -> List[List[Tuple]]:
+    """Iterative Tarjan SCC (deterministic order, no recursion limit)."""
+    index: Dict[Tuple, int] = {}
+    low: Dict[Tuple, int] = {}
+    stack: List[Tuple] = []
+    on_stack: Set[Tuple] = set()
+    sccs: List[List[Tuple]] = []
+    counter = 0
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(succ.get(root, ())))]
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(succ.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+def _find_cycle(nodes: Set[Tuple],
+                edges: Sequence[Edge]) -> Optional[Tuple[Edge, ...]]:
+    """Shortest cycle through ``edges`` (BFS from each node, in order)."""
+    succ: Dict[Tuple, List[Edge]] = {}
+    for edge in edges:
+        succ.setdefault(edge.src, []).append(edge)
+    best: Optional[Tuple[Edge, ...]] = None
+    for start in sorted(nodes):
+        parent: Dict[Tuple, Edge] = {}
+        queue = deque([start])
+        seen = {start}
+        closing: Optional[Edge] = None
+        while queue and closing is None:
+            cur = queue.popleft()
+            for edge in succ.get(cur, ()):
+                if edge.dst == start:
+                    closing = edge
+                    break
+                if edge.dst in seen or edge.dst not in nodes:
+                    continue
+                seen.add(edge.dst)
+                parent[edge.dst] = edge
+                queue.append(edge.dst)
+        if closing is None:
+            continue
+        path = [closing]
+        cur = closing.src
+        while cur != start:
+            step = parent[cur]
+            path.append(step)
+            cur = step.src
+        path.reverse()
+        if best is None or len(path) < len(best):
+            best = tuple(path)
+    return best
+
+
+def _component_extent(comp: Sequence[Tuple]) -> Tuple[Tuple[int, ...],
+                                                      Tuple[int, ...]]:
+    """Ring ids and bridge ids a component touches."""
+    rings: Set[int] = set()
+    bridges: Set[int] = set()
+    for channel in comp:
+        kind = channel[0]
+        if kind == "ring":
+            rings.add(channel[1])
+        elif kind in ("inject", "eject"):
+            rings.add(channel[1])
+            key = channel[3]
+            if key[0] == "bridge":
+                bridges.add(key[1])
+        else:  # l1pipe / tx / link
+            bridges.add(channel[1])
+    return tuple(sorted(rings)), tuple(sorted(bridges))
+
+
+def analyze_cdg(spec: TopologySpec, config: MultiRingConfig) -> CdgAnalysis:
+    """Build the CDG and classify every cyclic component."""
+    channels, edges = build_cdg(spec, config)
+    escape_ok = config.escape_slot_period > 0
+    swap_ok = _swap_effective(config)
+
+    def broken(edge: Edge) -> bool:
+        if edge.breaker == "swap":
+            return swap_ok
+        if edge.breaker == "escape":
+            return escape_ok
+        return False
+
+    succ: Dict[Tuple, List[Tuple]] = {}
+    for edge in edges:
+        succ.setdefault(edge.src, []).append(edge.dst)
+    for dsts in succ.values():
+        dsts.sort()
+
+    analysis = CdgAnalysis(channels=tuple(sorted(channels)),
+                           edges=tuple(edges))
+    for comp in _tarjan(channels, succ):
+        if len(comp) < 2:
+            continue
+        comp_set = set(comp)
+        comp_edges = [e for e in edges
+                      if e.src in comp_set and e.dst in comp_set]
+        hard_edges = [e for e in comp_edges if not broken(e)]
+        broken_by = tuple(sorted({e.breaker for e in comp_edges
+                                  if broken(e) and e.breaker}))
+        rings, bridges = _component_extent(comp)
+
+        hard_cycle = _find_cycle(comp_set, hard_edges)
+        if hard_cycle is not None:
+            buffered = any(e.src[0] in ("tx", "link") for e in hard_cycle)
+            classification = ("deadlock-capable" if buffered
+                              else "benign-bufferless")
+            representative = hard_cycle
+        else:
+            classification = ("benign-swap" if "swap" in broken_by
+                              else "benign-escape")
+            representative = _find_cycle(comp_set, comp_edges) or ()
+        analysis.cycles.append(CdgCycle(
+            classification=classification,
+            channels=tuple(e.src for e in representative),
+            edges=tuple(representative),
+            rings=rings,
+            bridges=bridges,
+            broken_by=broken_by,
+        ))
+    return analysis
+
+
+def _cycle_detail(cycle: CdgCycle) -> str:
+    chain = " -> ".join(format_channel(ch) for ch in cycle.channels)
+    return f" [cycle: {chain} -> {format_channel(cycle.channels[0])}]"
+
+
+def interchiplet_deadlock_findings(
+    config: MultiRingConfig,
+    spec: Optional[TopologySpec] = None,
+    has_l2_bridges: bool = False,
+    path: Optional[str] = None,
+) -> List[Finding]:
+    """The ``swap-disabled-interchiplet-cycle`` rule, CDG-backed.
+
+    With a (structurally valid) ``spec``, every deadlock-capable cycle
+    the analyzer finds becomes one finding naming the exact ring/bridge
+    channels.  Without a spec — a scenario too broken to deserialize —
+    falls back to the legacy boolean check on ``has_l2_bridges``.
+    """
+    findings: List[Finding] = []
+    if spec is None:
+        if (has_l2_bridges and not config.enable_swap
+                and config.escape_slot_period == 0):
+            findings.append(Finding(rule=RULE, message=LEGACY_MESSAGE,
+                                    severity=Severity.ERROR, path=path))
+        return findings
+
+    for cycle in analyze_cdg(spec, config).deadlock_capable:
+        if not config.enable_swap:
+            message = LEGACY_MESSAGE + _cycle_detail(cycle)
+        else:
+            queues = config.queues
+            message = (
+                "topology has RBRG-L2 bridge(s) forming inter-chiplet "
+                "ring cycles, and SWAP is enabled but can never fire "
+                f"(swap_detect_threshold={queues.swap_detect_threshold}, "
+                f"bridge_reserved_tx={queues.bridge_reserved_tx}); "
+                "statically deadlock-prone under saturation "
+                "(Section 4.4)" + _cycle_detail(cycle))
+        findings.append(Finding(rule=RULE, message=message,
+                                severity=Severity.ERROR, path=path))
+    return findings

@@ -1,0 +1,319 @@
+"""Explicit-state bounded model checking of small fabrics.
+
+A Murphi-style explicit-state search over the *real* simulator classes:
+states are whole :class:`MultiRingFabric` instances, transitions are
+``fabric.step`` under every admissible injection choice, and the visited
+set keys on the canonical encoding of :mod:`repro.verify.state`.  There
+is no abstract model to drift out of sync — what is checked is the code
+that runs.
+
+Checked properties:
+
+- **Safety** — the runtime invariants of
+  :class:`repro.lint.invariants.FabricInvariantChecker` (flit
+  conservation, the one-lap/4×slot-capacity deflection bound, E-tag and
+  I-tag consistency) are attached to every explored fabric and any
+  :class:`InvariantViolation` raised inside a step becomes a
+  counterexample path.
+- **Liveness** — from every newly reached state, a *drain probe* clone
+  is stepped with no further injections: if the network fails to empty
+  before a state repeats, that lasso is a livelock/deadlock
+  counterexample ("every injected flit eventually ejects" fails); once
+  empty, every RBRG-L2 SWAP controller must be observed out of DRM
+  within a few cycles ("DRM always exits").
+
+Exploration is depth-first with the *largest* injection choice explored
+first: the aggressive all-pairs path reproduces a saturation hammer, so
+configurations that wedge (SWAP disabled) produce a counterexample long
+before the budget is spent, while healthy configurations are enumerated
+exhaustively within the in-flight bound.
+
+Budgets cap both the visited-state count and total transitions (drain
+probe steps included); ``ModelCheckResult.exhaustive`` reports whether
+the frontier was fully drained within them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bridge import RingBridgeL2
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.fabric.message import Message
+from repro.lint.invariants import InvariantViolation
+from repro.verify.state import build_model_fabric, clone_fabric, encode_state
+
+#: Injection schedules are lists (one entry per cycle) of (src, dst)
+#: node pairs offered to ``try_inject`` that cycle.
+Schedule = List[List[Tuple[int, int]]]
+
+
+@dataclass
+class Violation:
+    """One property violation with a deterministic reproduction schedule."""
+
+    kind: str  # "safety" | "liveness"
+    rule: str  # invariant rule id, or "livelock" / "drm-stuck"
+    cycle: int
+    message: str
+    schedule: Schedule
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rule": self.rule,
+            "cycle": self.cycle,
+            "message": self.message,
+            "schedule": [[list(pair) for pair in step]
+                         for step in self.schedule],
+        }
+
+
+@dataclass
+class ModelCheckResult:
+    states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    exhaustive: bool = False
+    budget_hit: bool = False
+    drain_inconclusive: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "exhaustive": self.exhaustive,
+            "budget_hit": self.budget_hit,
+            "drain_inconclusive": self.drain_inconclusive,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class ModelChecker:
+    """Bounded exhaustive exploration of one (topology, config) pair.
+
+    ``pairs`` are the (src, dst) node pairs the environment may inject;
+    by default every ordered pair of distinct nodes.  ``max_in_flight``
+    bounds network occupancy (the "bounded in-flight flits" of the
+    subsystem contract); ``max_states``/``max_transitions`` bound the
+    search itself.
+    """
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        config: MultiRingConfig,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        *,
+        max_states: int = 5000,
+        max_transitions: Optional[int] = None,
+        max_in_flight: int = 3,
+        max_drain_cycles: int = 256,
+        max_violations: int = 1,
+        liveness: bool = True,
+        max_extra_laps: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.config = config
+        if pairs is None:
+            nodes = sorted(p.node for p in spec.nodes)
+            pairs = [(a, b) for a in nodes for b in nodes if a != b]
+        self.pairs = list(pairs)
+        self.max_states = max_states
+        self.max_transitions = (max_transitions if max_transitions is not None
+                                else 20 * max_states)
+        self.max_in_flight = max_in_flight
+        self.max_drain_cycles = max_drain_cycles
+        self.max_violations = max_violations
+        self.liveness = liveness
+        self.max_extra_laps = max_extra_laps
+
+        self._choice_menu = self._build_choices()
+        self._visited: Dict[Tuple, Tuple] = {}
+        self._drains_ok: set = set()
+        self._result = ModelCheckResult()
+
+    def _build_choices(self) -> List[Tuple[Tuple[int, int], ...]]:
+        """All injection choices, ascending by size (largest popped first).
+
+        With more than four pairs the full powerset explodes, so the
+        menu degrades to nothing / each singleton / everything — the
+        extremes that matter for wedging and for coverage.
+        """
+        pairs = self.pairs
+        if len(pairs) <= 4:
+            menu: List[Tuple[Tuple[int, int], ...]] = []
+            for size in range(len(pairs) + 1):
+                menu.extend(combinations(pairs, size))
+            return menu
+        singles = [(p,) for p in pairs]
+        return [()] + singles + [tuple(pairs)]
+
+    # -- schedules ---------------------------------------------------------
+
+    def _schedule_to(self, key: Tuple) -> Schedule:
+        steps: Schedule = []
+        cur = key
+        while True:
+            parent, choice, _ = self._visited[cur]
+            if parent is None:
+                break
+            steps.append([tuple(p) for p in choice])
+            cur = parent
+        steps.reverse()
+        return steps
+
+    # -- liveness: drain analysis ------------------------------------------
+
+    def _drm_exit_violation(self, fabric, cycle: int,
+                            schedule: Schedule) -> Optional[Violation]:
+        """After the network empties, every SWAP controller must be
+        observed out of DRM within a few cycles (it may flap back in on
+        stale failure counters; *eventually observed out* is the
+        property)."""
+        pending = []
+        for bridge in fabric.bridges:
+            if isinstance(bridge, RingBridgeL2):
+                pending.extend([bridge.swap_a, bridge.swap_b])
+        pending = [sc for sc in pending if sc.in_drm]
+        for extra in range(4):
+            if not pending:
+                return None
+            fabric.step(cycle + extra)
+            self._result.transitions += 1
+            schedule.append([])
+            pending = [sc for sc in pending if sc.in_drm]
+        if pending:
+            return Violation(
+                kind="liveness", rule="drm-stuck", cycle=cycle + 4,
+                message=f"{len(pending)} SWAP controller(s) never observed "
+                        "out of DRM after the network drained",
+                schedule=schedule)
+        return None
+
+    def _check_drain(self, fabric, key: Tuple,
+                     cycle: int) -> Optional[Violation]:
+        """Prove this state drains: no injections until empty, then DRM
+        exits.  Memoized on canonical keys — every state along a proven
+        drain path is itself proven."""
+        if key in self._drains_ok:
+            return None
+        probe = clone_fabric(fabric)
+        seen = {key}
+        path_keys = [key]
+        drained_in = 0
+        for drained_in in range(1, self.max_drain_cycles + 1):
+            if self._over_budget():
+                self._result.drain_inconclusive += 1
+                return None
+            step_cycle = cycle + drained_in - 1
+            try:
+                probe.step(step_cycle)
+            except InvariantViolation as exc:
+                schedule = self._schedule_to(key)
+                schedule.extend([[]] * drained_in)
+                return Violation(
+                    kind="safety", rule=exc.rule, cycle=step_cycle,
+                    message=f"{exc} (while draining with no further "
+                            "injections)",
+                    schedule=schedule)
+            self._result.transitions += 1
+            if probe.occupancy() == 0:
+                schedule = self._schedule_to(key)
+                schedule.extend([[]] * drained_in)
+                violation = self._drm_exit_violation(
+                    probe, cycle + drained_in, schedule)
+                if violation is None:
+                    self._drains_ok.update(path_keys)
+                return violation
+            probe_key = encode_state(probe, cycle + drained_in)
+            if probe_key in self._drains_ok:
+                self._drains_ok.update(path_keys)
+                return None
+            if probe_key in seen:
+                schedule = self._schedule_to(key)
+                schedule.extend([[]] * drained_in)
+                return Violation(
+                    kind="liveness", rule="livelock",
+                    cycle=cycle + drained_in,
+                    message=f"state repeats after {drained_in} injection-"
+                            f"free cycles with {probe.occupancy()} flit(s) "
+                            "still in flight; they can never eject",
+                    schedule=schedule)
+            seen.add(probe_key)
+            path_keys.append(probe_key)
+        self._result.drain_inconclusive += 1
+        return None
+
+    # -- main search --------------------------------------------------------
+
+    def _over_budget(self) -> bool:
+        over = (len(self._visited) >= self.max_states
+                or self._result.transitions >= self.max_transitions)
+        if over:
+            self._result.budget_hit = True
+        return over
+
+    def run(self) -> ModelCheckResult:
+        result = self._result
+        base = build_model_fabric(self.spec, self.config)
+        base.attach_invariant_checker(max_extra_laps=self.max_extra_laps)
+        root_key = encode_state(base, 0)
+        self._visited = {root_key: (None, (), 0)}
+        stack = [(base, root_key, 0)]
+
+        while stack and len(result.violations) < self.max_violations:
+            if self._over_budget():
+                break
+            fabric, key, depth = stack.pop()
+            occupancy = fabric.occupancy()
+            for choice in self._choice_menu:
+                if self._over_budget():
+                    break
+                if occupancy + len(choice) > self.max_in_flight:
+                    continue
+                child = clone_fabric(fabric)
+                accepted = tuple(
+                    pair for pair in choice
+                    if child.try_inject(Message(src=pair[0], dst=pair[1],
+                                                payload=None)))
+                try:
+                    child.step(depth)
+                except InvariantViolation as exc:
+                    schedule = self._schedule_to(key)
+                    schedule.append([tuple(p) for p in accepted])
+                    result.violations.append(Violation(
+                        kind="safety", rule=exc.rule, cycle=depth,
+                        message=str(exc), schedule=schedule))
+                    if len(result.violations) >= self.max_violations:
+                        break
+                    continue
+                result.transitions += 1
+                child_key = encode_state(child, depth + 1)
+                if child_key in self._visited:
+                    continue
+                self._visited[child_key] = (key, accepted, depth + 1)
+                result.max_depth = max(result.max_depth, depth + 1)
+                if self.liveness:
+                    violation = self._check_drain(child, child_key, depth + 1)
+                    if violation is not None:
+                        result.violations.append(violation)
+                        if len(result.violations) >= self.max_violations:
+                            break
+                        continue
+                stack.append((child, child_key, depth + 1))
+
+        result.states = len(self._visited)
+        result.exhaustive = (not stack
+                             and not result.budget_hit
+                             and result.drain_inconclusive == 0
+                             and not result.violations)
+        return result

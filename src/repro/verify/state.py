@@ -1,0 +1,166 @@
+"""Canonical state encoding and fabric cloning for the model checker.
+
+The explicit-state checker (:mod:`repro.verify.model`) explores the
+reachable states of a small :class:`MultiRingFabric`.  Two things make
+that tractable:
+
+- **Cloning** — :func:`clone_fabric` deep-copies a whole fabric per
+  explored transition, sharing the immutable topology, config and
+  router (the core classes carry ``__deepcopy__`` hooks for their
+  fixed-size slot containers).
+- **Canonicalization** — :func:`encode_state` maps a fabric onto a
+  hashable tuple in which every monotonic counter is abstracted away,
+  so behaviourally identical states collide:
+
+  - lanes are encoded in the *stop frame* (which stop each flit is
+    passing), making the encoding shift-invariant in time; when escape
+    slots are on, the slot pattern breaks that symmetry and the ring
+    snapshot includes ``cycle % nstops`` as a phase;
+  - message ids are renamed to dense canonical ids in a deterministic
+    scan order (rings by id → lanes → slots by stop → stations by stop
+    → ports → bridges in fabric order), so the same configuration
+    reached via differently-numbered messages is one state;
+  - a port's ``consecutive_failures`` collapses to
+    ``(min(f, swap_detect_threshold), f % itag_threshold)`` — the only
+    two observations the fabric ever makes of it (SWAP detection is a
+    ``>=`` test and I-tag placement a modulo test, both preserved by
+    this abstraction);
+  - bridge pipeline ready-cycles are stored relative to *now* and
+    clamped at zero;
+  - pure bookkeeping (stats counters, ``Flit.deflections``, cached
+    direction preferences) is excluded.  ``laps_deflected`` *is*
+    included: the deflection-bound invariant reads it, so it is
+    observable behaviour.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.flit import Flit
+from repro.core.network import MultiRingFabric
+from repro.fabric.message import Message
+
+
+def _discard(msg: Message) -> None:
+    """Delivery handler for model fabrics: drop the message.
+
+    Without a handler the fabric hoards delivered messages in
+    ``_undelivered``, which would bloat every clone.
+    """
+
+
+def build_model_fabric(spec: TopologySpec,
+                       config: MultiRingConfig) -> MultiRingFabric:
+    """A fabric wired for model checking: no-op delivery, no samples."""
+    if config.reliability is not None:
+        raise ValueError(
+            "model checking covers the baseline link only; the reliable "
+            "link layer's sequence/replay state is out of scope "
+            "(set config.reliability=None)")
+    fabric = MultiRingFabric(spec, config)
+    fabric.stats.keep_samples = False
+    for node in fabric.nodes():
+        fabric.attach(node, _discard)
+    return fabric
+
+
+def clone_fabric(fabric: MultiRingFabric) -> MultiRingFabric:
+    """Deep-copy a fabric, sharing its immutable topology/config/router."""
+    memo = {
+        id(fabric.topology): fabric.topology,
+        id(fabric.config): fabric.config,
+    }
+    return copy.deepcopy(fabric, memo)
+
+
+class _Encoder:
+    """Single-use canonical renamer for one :func:`encode_state` call."""
+
+    def __init__(self, config: MultiRingConfig):
+        self._config = config
+        self._cids: Dict[int, int] = {}
+
+    # -- pass 1: assign canonical ids in scan order -----------------------
+
+    def collect(self, obj) -> None:
+        if isinstance(obj, Flit):
+            mid = obj.msg.msg_id
+            if mid not in self._cids:
+                self._cids[mid] = len(self._cids)
+        elif isinstance(obj, (tuple, list)):
+            for item in obj:
+                self.collect(item)
+        # frozensets hold msg ids, not flits; nothing to collect.
+
+    # -- pass 2: rebuild with canonical values ----------------------------
+
+    def flit(self, flit: Flit) -> Tuple:
+        return (self._cids[flit.msg.msg_id], flit.msg.src, flit.msg.dst,
+                flit.hop_index, flit.laps_deflected)
+
+    def failures(self, count: int) -> Tuple[int, int]:
+        queues = self._config.queues
+        capped = min(count, queues.swap_detect_threshold)
+        phase = (count % queues.itag_threshold
+                 if self._config.enable_itags else 0)
+        return (capped, phase)
+
+    def port(self, snap: Tuple) -> Tuple:
+        key, inject, eject, etags, failures, itag_pending, drm = snap
+        live = sorted(self._cids[mid] for mid in etags if mid in self._cids)
+        stale = len(etags) - len(live)
+        return (
+            key,
+            tuple(self.flit(f) for f in inject),
+            tuple(self.flit(f) for f in eject),
+            (tuple(live), stale),
+            self.failures(failures),
+            itag_pending,
+            drm,
+        )
+
+    def ring(self, snap: Tuple) -> Tuple:
+        ring_id, phase, lanes, stations = snap
+        lanes_enc = tuple(
+            (direction,
+             tuple((stop, self.flit(f)) for stop, f in flit_view),
+             # I-tags store the reserving Port; its key is unique
+             # fabric-wide, which is all the reservation semantics need.
+             tuple((stop, tag.key) for stop, tag in tag_view))
+            for direction, flit_view, tag_view in lanes)
+        stations_enc = tuple(
+            (stop, rr, tuple(self.port(p) for p in ports))
+            for stop, rr, ports in stations)
+        return (ring_id, phase, lanes_enc, stations_enc)
+
+    def generic(self, obj):
+        """Bridge snapshots: flits embedded in plain nested tuples."""
+        if isinstance(obj, Flit):
+            return self.flit(obj)
+        if isinstance(obj, (tuple, list)):
+            return tuple(self.generic(item) for item in obj)
+        return obj
+
+
+def encode_state(fabric: MultiRingFabric, cycle: int) -> Tuple:
+    """Hashable canonical encoding of a fabric's complete dynamic state."""
+    encoder = _Encoder(fabric.config)
+    ring_snaps = [fabric.rings[rid].snapshot(cycle)
+                  for rid in sorted(fabric.rings)]
+    bridge_snaps = [bridge.snapshot(cycle) for bridge in fabric.bridges]
+    for snap in ring_snaps:
+        encoder.collect(snap)
+    for snap in bridge_snaps:
+        encoder.collect(snap)
+    return (
+        tuple(encoder.ring(snap) for snap in ring_snaps),
+        tuple(encoder.generic(snap) for snap in bridge_snaps),
+    )
+
+
+def in_flight(fabric: MultiRingFabric) -> int:
+    """Occupancy shorthand the checker uses as its in-flight measure."""
+    return fabric.occupancy()

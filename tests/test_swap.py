@@ -9,6 +9,9 @@ and the system keeps delivering.
 
 import random
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.core import MultiRingFabric, chiplet_pair
 from repro.core.bridge import RingBridgeL2
 from repro.core.config import MultiRingConfig
@@ -74,6 +77,45 @@ def test_swap_controller_state_machine():
     swap.pop_priority_flit()
     swap.update(100)
     assert not swap.in_drm  # drained below exit threshold
+
+
+def test_swap_detect_threshold_boundary():
+    """Detection is a >= test: threshold-1 stays out, threshold enters."""
+    queues = QueueParams(swap_detect_threshold=16, swap_exit_threshold=1,
+                         bridge_reserved_tx=2)
+    swap = SwapController(queues, FabricStats())
+    swap.update(queues.swap_detect_threshold - 1)
+    assert not swap.in_drm
+    swap.update(queues.swap_detect_threshold)
+    assert swap.in_drm
+
+    above = SwapController(queues, FabricStats())
+    above.update(queues.swap_detect_threshold + 1)
+    assert above.in_drm
+
+
+def test_drm_exit_exactly_at_exit_threshold():
+    """DRM persists while occupied reserved Tx >= exit threshold and
+    exits on the first update strictly below it."""
+    queues = QueueParams(swap_detect_threshold=4, swap_exit_threshold=2,
+                         bridge_reserved_tx=3)
+    swap = SwapController(queues, FabricStats())
+    swap.update(queues.swap_detect_threshold)
+    assert swap.in_drm
+
+    class _F:  # minimal flit stand-in
+        pass
+
+    for _ in range(3):
+        assert swap.try_absorb(_F())
+    swap.update(0)
+    assert swap.in_drm  # 3 occupied, above the threshold
+    swap.pop_priority_flit()
+    swap.update(0)
+    assert swap.in_drm  # exactly at the threshold: still draining
+    swap.pop_priority_flit()
+    swap.update(0)
+    assert not swap.in_drm  # one below: DRM exits
 
 
 def test_swap_controller_disabled_never_triggers():
@@ -142,6 +184,35 @@ def test_bridge_l2_occupancy_accounting():
     bridge = fab.bridges[0]
     assert isinstance(bridge, RingBridgeL2)
     assert bridge.occupancy() == len(bridge.flits_in_flight())
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), detect=st.integers(8, 48))
+def test_drm_always_terminates_under_reliable_link(seed, detect):
+    """Property: with the reliable D2D link layer attached, saturation may
+    drive the bridge into DRM but DRM always exits once traffic stops."""
+    from repro.faults.link import LinkReliabilityConfig
+
+    queues = QueueParams(
+        inject_queue_depth=2, eject_queue_depth=2, bridge_rx_depth=2,
+        bridge_tx_depth=2, bridge_reserved_tx=2, itag_threshold=8,
+        swap_detect_threshold=detect, swap_exit_threshold=1)
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    config = MultiRingConfig(queues=queues, enable_swap=True,
+                             eject_drain_per_cycle=1,
+                             reliability=LinkReliabilityConfig())
+    fab = MultiRingFabric(topo, config)
+    cycle = hammer_cross_ring(fab, ring0, ring1, 500, seed=seed)
+    controllers = [sc for bridge in fab.bridges
+                   if isinstance(bridge, RingBridgeL2)
+                   for sc in (bridge.swap_a, bridge.swap_b)]
+    for c in range(cycle, cycle + 5000):
+        if (fab.stats.in_flight == 0
+                and not any(sc.in_drm for sc in controllers)):
+            break
+        fab.step(c)
+    assert fab.stats.in_flight == 0, "network failed to drain"
+    assert not any(sc.in_drm for sc in controllers), "DRM never exited"
 
 
 def test_bridge_l1_transfers_without_link_delay():

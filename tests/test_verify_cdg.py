@@ -1,0 +1,128 @@
+"""Channel-dependency-graph analyzer: cycle detection + classification.
+
+The CDG layer is the static half of ``repro-noc verify``: it must find
+the inter-chiplet cycle on every L2-bridged topology, classify it by
+whether SWAP (or escape slots) break it, and feed the exact same verdict
+to the ``swap-disabled-interchiplet-cycle`` validator rule.
+"""
+
+import pytest
+
+from repro.core.config import MultiRingConfig
+from repro.core.topology import (
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+    tiny_pair,
+)
+from repro.lint.validator import validate_config
+from repro.params import QueueParams
+from repro.verify import analyze_cdg, interchiplet_deadlock_findings
+from repro.verify.cdg import LEGACY_MESSAGE, RULE, build_cdg, format_channel
+
+pytestmark = pytest.mark.lint
+
+
+def test_single_ring_has_no_cycles():
+    spec, _ = single_ring_topology(8)
+    analysis = analyze_cdg(spec, MultiRingConfig())
+    assert analysis.cycles == []
+    assert analysis.deadlock_capable == []
+
+
+def test_chiplet_pair_cycle_benign_with_swap():
+    spec, _, _ = chiplet_pair()
+    analysis = analyze_cdg(spec, MultiRingConfig(enable_swap=True))
+    assert len(analysis.cycles) == 1
+    cyc = analysis.cycles[0]
+    assert cyc.classification == "benign-swap"
+    assert not cyc.is_deadlock_capable
+    assert "swap" in cyc.broken_by
+    assert set(cyc.rings) == {0, 1}
+    assert list(cyc.bridges) == [0]
+
+
+def test_chiplet_pair_cycle_deadlock_capable_without_swap():
+    spec, _, _ = chiplet_pair()
+    analysis = analyze_cdg(spec, MultiRingConfig(enable_swap=False))
+    assert len(analysis.deadlock_capable) == 1
+    cyc = analysis.deadlock_capable[0]
+    assert cyc.classification == "deadlock-capable"
+    # The representative cycle walks eject -> tx -> link -> inject on
+    # both sides of the bridge plus the two rings.
+    kinds = {ch[0] for ch in cyc.channels}
+    assert {"eject", "tx", "link", "inject", "ring"} <= kinds
+
+
+def test_escape_slots_break_the_cycle():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(enable_swap=False, escape_slot_period=4)
+    analysis = analyze_cdg(spec, config)
+    assert len(analysis.cycles) == 1
+    assert analysis.cycles[0].classification == "benign-escape"
+    assert analysis.deadlock_capable == []
+
+
+def test_ineffective_swap_is_deadlock_capable():
+    """SWAP enabled but with zero reserved Tx can never fire."""
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(
+        enable_swap=True,
+        queues=QueueParams(bridge_reserved_tx=0))
+    analysis = analyze_cdg(spec, config)
+    assert len(analysis.deadlock_capable) == 1
+
+
+def test_l1_grid_cycles_are_benign_bufferless():
+    layout = grid_of_rings(3, 2, 2, 3)
+    analysis = analyze_cdg(layout.topology, MultiRingConfig())
+    assert analysis.cycles, "the torus of L1 bridges is cyclic"
+    assert analysis.deadlock_capable == []
+    assert all(c.classification == "benign-bufferless"
+               for c in analysis.cycles)
+
+
+def test_format_channel_names_are_stable():
+    spec, _, _ = tiny_pair()
+    analysis = analyze_cdg(spec, MultiRingConfig(enable_swap=False))
+    chain = [format_channel(ch)
+             for ch in analysis.deadlock_capable[0].channels]
+    assert any(name.startswith("tx[bridge0") for name in chain)
+    assert any(name.startswith("link[bridge0") for name in chain)
+    assert "ring0" in chain and "ring1" in chain
+
+
+def test_findings_keep_legacy_rule_and_message():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(enable_swap=False)
+    findings = interchiplet_deadlock_findings(config, spec=spec,
+                                              has_l2_bridges=True)
+    assert len(findings) == 1
+    assert findings[0].rule == RULE
+    assert findings[0].message.startswith(LEGACY_MESSAGE)
+    assert "[cycle:" in findings[0].message
+
+
+def test_findings_empty_when_swap_enabled():
+    spec, _, _ = chiplet_pair()
+    config = MultiRingConfig(enable_swap=True)
+    assert interchiplet_deadlock_findings(config, spec=spec,
+                                          has_l2_bridges=True) == []
+
+
+def test_validator_rule_is_backed_by_the_cdg():
+    """validate_config with a spec reports the CDG-derived finding."""
+    spec, _, _ = chiplet_pair()
+    findings = validate_config(MultiRingConfig(enable_swap=False),
+                               has_l2_bridges=True, spec=spec)
+    cycle_findings = [f for f in findings if f.rule == RULE]
+    assert len(cycle_findings) == 1
+    assert "[cycle:" in cycle_findings[0].message
+
+
+def test_edges_cover_every_bridge_stage():
+    spec, _, _ = tiny_pair()
+    channels, edges = build_cdg(spec, MultiRingConfig())
+    kinds = {ch[0] for ch in channels}
+    assert {"ring", "inject", "eject", "tx", "link"} <= kinds
+    assert any(e.breaker == "swap" for e in edges)
