@@ -3,12 +3,14 @@
 from repro.analysis.metrics import (
     LatencySummary,
     find_knee,
+    percentile,
     summarize_latencies,
 )
 from repro.analysis.report import ComparisonTable, format_table
 
 __all__ = [
     "LatencySummary",
+    "percentile",
     "summarize_latencies",
     "find_knee",
     "ComparisonTable",

@@ -24,11 +24,39 @@ class LatencySummary:
     maximum: float
 
 
-def _percentile(ordered: Sequence[float], pct: float) -> float:
-    if not ordered:
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The repository-wide percentile definition (linear interpolation).
+
+    Rank ``pct/100 * (n-1)`` over the sorted samples, interpolating
+    between the two neighbouring order statistics when the rank is
+    fractional (numpy's default "linear" method).  Every percentile in
+    the repo — :class:`repro.fabric.stats.FabricStats`,
+    :class:`repro.cpu.core.CoreStats`, :func:`summarize_latencies`, the
+    observability histograms — goes through this definition, replacing
+    three divergent nearest-rank variants whose banker's-rounding
+    ``int(round(...))`` picked the wrong rank on small sample sets
+    (e.g. the median of two samples returned the lower one instead of
+    their midpoint).
+
+    Raises ``ValueError`` on an empty sample set or ``pct`` outside
+    [0, 100]; a single sample is every percentile of itself.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be within [0, 100]")
+    n = len(samples)
+    if n == 0:
         raise ValueError("no samples")
-    idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
-    return float(ordered[idx])
+    ordered = sorted(samples)
+    rank = pct / 100.0 * (n - 1)
+    lower = int(rank)
+    frac = rank - lower
+    if frac == 0.0 or lower + 1 >= n:
+        return float(ordered[lower])
+    return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * frac
+
+
+def _percentile(ordered: Sequence[float], pct: float) -> float:
+    return percentile(ordered, pct)
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:

@@ -17,6 +17,18 @@ from repro.analysis.plot import line_chart, sparkline
 from repro.sim.rng import make_rng
 
 
+def _fmt_or_na(value, fmt: str = "{:.1f}") -> str:
+    """Format a metric, or ``n/a`` when the run produced none.
+
+    Every summary metric in this CLI is None on a zero-delivery run
+    (``--messages 0``, a fully wedged fabric, ...); those runs must
+    still exit cleanly rather than crash formatting None.
+    """
+    if value is None:
+        return "n/a"
+    return fmt.format(value)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} — bufferless multi-ring NoC for "
           "heterogeneous chiplets (HPCA 2022 reproduction)")
@@ -41,9 +53,11 @@ def _cmd_ring(args: argparse.Namespace) -> int:
     stats = fabric.stats
     kind = "half" if args.half else "full"
     print(f"{kind} ring, {args.nodes} stations: delivered "
-          f"{stats.delivered}/{args.messages}, mean latency "
-          f"{stats.mean_network_latency():.1f} cycles, p99 "
-          f"{stats.latency_percentile(99):.0f}")
+          f"{stats.delivered}/{args.messages}, mean network latency "
+          f"{_fmt_or_na(stats.mean_network_latency())} cycles, p99 network "
+          f"{_fmt_or_na(stats.network_latency_percentile(99), '{:.0f}')}, "
+          f"p99 total "
+          f"{_fmt_or_na(stats.latency_percentile(99), '{:.0f}')}")
     if checker is not None:
         print(checker.summary())
     return 0
@@ -67,7 +81,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
     package.system.check_coherence()
     scope = "inter" if args.inter else "intra"
     print(f"{args.fabric}: {scope}-chiplet M-state read latency "
-          f"{reader.stats.mean_latency():.1f} cycles")
+          f"{_fmt_or_na(reader.stats.mean_latency())} cycles")
     return 0
 
 
@@ -239,6 +253,111 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core import MultiRingFabric, chiplet_pair, single_ring_topology
+    from repro.core.topology import tiny_pair
+    from repro.fabric import Message
+    from repro.obs import (
+        MetricsRegistry,
+        SnapshotSampler,
+        format_hotspots,
+        validate_event_stream,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.sim.engine import FunctionComponent, Simulator
+
+    if args.system == "ring":
+        topo, nodes = single_ring_topology(12, bidirectional=True)
+    elif args.system == "tiny":
+        topo, ring0, ring1 = tiny_pair()
+        nodes = list(ring0) + list(ring1)
+    else:
+        topo, ring0, ring1 = chiplet_pair()
+        nodes = list(ring0) + list(ring1)
+    fabric = MultiRingFabric(topo)
+    recorder = fabric.attach_trace_recorder()
+    registry = MetricsRegistry()
+    sampler = SnapshotSampler(fabric, registry)
+
+    rng = make_rng(args.seed)
+    remaining = [args.messages]
+
+    def pump(cycle: int) -> None:
+        if not remaining[0]:
+            return
+        src = nodes[rng.randrange(len(nodes))]
+        dst = nodes[rng.randrange(len(nodes))]
+        if src == dst:
+            return
+        if fabric.try_inject(Message(src=src, dst=dst, created_cycle=cycle)):
+            remaining[0] -= 1
+
+    sim = Simulator()
+    sim.register(FunctionComponent(pump, "pump"))
+    sim.register(fabric)
+    stats = fabric.stats
+    drained = sim.run_until(
+        lambda: remaining[0] == 0 and stats.in_flight == 0,
+        max_cycles=args.max_cycles,
+        check_every=args.sample_every,
+        on_check=sampler,
+    )
+
+    events = recorder.sorted_events()
+    registry.ingest(events, stats=stats)
+    errors = validate_event_stream(events)
+
+    state = "drained" if drained else "TIMED OUT"
+    print(f"{args.system}: {state} after {sim.cycle} cycles, delivered "
+          f"{stats.delivered}/{args.messages}, {len(events)} events, "
+          f"{len(registry.snapshots)} snapshots")
+    print(f"  mean network latency {_fmt_or_na(stats.mean_network_latency())}"
+          f" cycles, p99 network "
+          f"{_fmt_or_na(stats.network_latency_percentile(99), '{:.0f}')}, "
+          f"p99 total "
+          f"{_fmt_or_na(stats.latency_percentile(99), '{:.0f}')}")
+    if recorder.dropped_events:
+        print(f"  WARNING: {recorder.dropped_events} event(s) beyond "
+              f"--limit were dropped")
+    print(f"hotspots (top {args.top_hotspots}):")
+    print(format_hotspots(registry, args.top_hotspots))
+
+    if args.events:
+        with open(args.events, "w") as fh:
+            count = write_jsonl(events, fh)
+        print(f"wrote {count} events to {args.events}")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            count = write_chrome_trace(events, fh)
+        print(f"wrote {count} Chrome trace events to {args.chrome}")
+    if args.json:
+        record = {
+            "system": args.system,
+            "cycles": sim.cycle,
+            "drained": drained,
+            "delivered": stats.delivered,
+            "events": len(events),
+            "latency": registry.latency_summary(),
+            "ring_totals": {str(ring): totals for ring, totals
+                            in sorted(registry.ring_totals().items())},
+            "snapshots": registry.snapshots,
+            "schema_errors": errors,
+        }
+        with open(args.json, "w") as fh:
+            _json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote metrics to {args.json}")
+
+    if errors:
+        for error in errors[:10]:
+            print(f"SCHEMA: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -372,6 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="report wall-clock time per verification stage")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "trace",
+        help="flit-level event tracing: run random traffic with the "
+             "observability layer on, print a hotspot table, and export "
+             "JSONL / Chrome trace_event dumps")
+    p.add_argument("--system", default="pair",
+                   choices=["pair", "ring", "tiny"],
+                   help="fabric to trace (default: the chiplet pair)")
+    p.add_argument("--messages", type=int, default=200,
+                   help="random messages to inject (one attempt/cycle)")
+    p.add_argument("--max-cycles", type=int, default=20000,
+                   help="give up (and report a timeout) after this many "
+                        "cycles")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sample-every", type=int, default=64,
+                   help="snapshot cadence in cycles (rides the engine's "
+                        "check_every)")
+    p.add_argument("--top-hotspots", type=int, default=10,
+                   help="stations in the hotspot table")
+    p.add_argument("--events", metavar="FILE",
+                   help="write the canonical JSONL event dump to FILE")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="write a Chrome trace_event file to FILE "
+                        "(chrome://tracing, Perfetto)")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the metrics summary (latency histograms, "
+                        "ring totals, snapshots) to FILE")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("ring", help="drain random traffic on one ring")
     p.add_argument("--nodes", type=int, default=12)

@@ -49,16 +49,24 @@ class RingBridgeL1:
         ]
 
     def step(self, cycle: int) -> None:
+        trace = self.stats.trace
         for src_port, dst_port, pipe in self._paths:
             # Drain the pipeline head onto the peer ring's inject queue.
             if pipe and pipe[0][0] <= cycle and not dst_port.inject_full:
-                dst_port.enqueue_inject(pipe.pop(0)[1])
+                out = pipe.pop(0)[1]
+                dst_port.enqueue_inject(out)
+                if trace.enabled:
+                    trace.emit(cycle, "bridge-exit", out.msg.msg_id, -1, -1,
+                               f"bridge={self.spec.bridge_id}")
             # Intake from our Eject Queue; stalling here is the
             # backpressure that makes upstream flits deflect.
             if src_port.eject_queue and len(pipe) < self._depth:
                 flit: Flit = src_port.eject_queue.popleft()
                 flit.advance_hop()
                 pipe.append([cycle + self._latency, flit])
+                if trace.enabled:
+                    trace.emit(cycle, "bridge-enter", flit.msg.msg_id, -1, -1,
+                               f"bridge={self.spec.bridge_id}")
 
     def occupancy(self) -> int:
         return sum(len(pipe) for _, _, pipe in self._paths)
@@ -203,7 +211,13 @@ class RingBridgeL2:
                         # instead of an unexplained latency cliff.
                         self.stats.link_stall_cycles += 1
                     else:
-                        dst_port.enqueue_inject(link.pop(0)[1])
+                        out = link.pop(0)[1]
+                        dst_port.enqueue_inject(out)
+                        trace = self.stats.trace
+                        if trace.enabled:
+                            trace.emit(cycle, "bridge-exit", out.msg.msg_id,
+                                       -1, -1,
+                                       f"bridge={self.spec.bridge_id}")
 
                 # 3) Tx -> link, one flit per cycle, reserved Tx first.
                 if len(link) <= self._link_latency:
@@ -235,16 +249,20 @@ class RingBridgeL2:
                 and len(tx) >= self._tx_depth
                 and swap.reserved_capacity_free > 0
             ):
-                swap.try_absorb(self._take(src_port))
+                swap.try_absorb(self._take(src_port, cycle))
 
             # 1) Eject Queue -> Tx.
             if src_port.eject_queue and len(tx) < self._tx_depth:
-                flit = self._take(src_port)
+                flit = self._take(src_port, cycle)
                 tx.append([cycle + self._bridge_latency, flit])
 
-    def _take(self, port: Port) -> Flit:
+    def _take(self, port: Port, cycle: int) -> Flit:
         flit: Flit = port.eject_queue.popleft()
         flit.advance_hop()
+        trace = self.stats.trace
+        if trace.enabled:
+            trace.emit(cycle, "bridge-enter", flit.msg.msg_id, -1, -1,
+                       f"bridge={self.spec.bridge_id}")
         return flit
 
     def occupancy(self) -> int:

@@ -19,6 +19,7 @@ from repro.core.station import Port
 from repro.fabric.interface import Fabric
 from repro.fabric.message import Message
 from repro.fabric.probes import BandwidthProbe
+from repro.obs.trace import port_key_str
 
 
 def _drain_order(port: Port) -> int:
@@ -94,6 +95,15 @@ class MultiRingFabric(Fabric):
         route = self.router.route(msg.src, msg.dst)
         port.enqueue_inject(Flit(msg, route))
         self.stats.accepted += 1
+        trace = self.stats.trace
+        if trace.enabled:
+            station = port.station
+            cycle = msg.created_cycle
+            trace.emit(cycle, "create", msg.msg_id, station._ring_id,
+                       station.stop,
+                       f"src={msg.src} dst={msg.dst} hops={len(route)}")
+            trace.emit(cycle, "accept", msg.msg_id, station._ring_id,
+                       station.stop, f"port={port_key_str(port.key)}")
         return True
 
     def step(self, cycle: int) -> None:
@@ -160,6 +170,23 @@ class MultiRingFabric(Fabric):
             checker = FabricInvariantChecker(self, **kwargs)
         self.invariant_checker = checker
         return checker
+
+    def attach_trace_recorder(self, recorder=None, kinds=None,
+                              limit=None):
+        """Enable flit-level event tracing (:mod:`repro.obs`).
+
+        With no ``recorder``, builds a
+        :class:`repro.obs.trace.TraceRecorder` (``kinds``/``limit``
+        forwarded).  Every ring, station, bridge, and link shares this
+        fabric's :class:`repro.fabric.stats.FabricStats`, so installing
+        the recorder on ``stats.trace`` instruments the whole fabric.
+        Recorders only observe — traced runs reproduce untraced stats.
+        """
+        if recorder is None:
+            from repro.obs.trace import TraceRecorder
+            recorder = TraceRecorder(kinds=kinds, limit=limit)
+        self.stats.trace = recorder
+        return recorder
 
     def attach_fault_injector(self, injector):
         """Install a :class:`repro.faults.FaultInjector` on this fabric.

@@ -31,6 +31,7 @@ from repro.core.flit import Flit
 from repro.core.routing import ring_direction
 from repro.core.station import CrossStation, Port
 from repro.fabric.stats import FabricStats
+from repro.obs.trace import port_key_str
 
 
 class SlotList(list):
@@ -293,6 +294,8 @@ class Ring:
         enable_etags = config.enable_etags
         enable_itags = config.enable_itags
         threshold = config.queues.itag_threshold
+        trace = stats.trace
+        tracing = trace.enabled
         lset = list.__setitem__
 
         # Stations with any queued injection, discovered from the
@@ -399,7 +402,7 @@ class Ring:
                             f"{hop.port_key} at ({hop.ring},{hop.exit_stop}) "
                             "but it does not exist"
                         )
-                    if port.try_accept_eject(flit, stats, enable_etags):
+                    if port.try_accept_eject(flit, stats, enable_etags, cycle):
                         occ_discard(idx)
                         cur_bucket.discard(idx)
                         lset(flits, idx, None)
@@ -416,6 +419,13 @@ class Ring:
                                 swap_in.injected_any = True
                                 swap_in.msg.injected_cycle = cycle
                                 stats.injected += 1
+                            if tracing:
+                                pk = port_key_str(port.key)
+                                trace.emit(cycle, "inject",
+                                           swap_in.msg.msg_id, ring_id, stop,
+                                           f"d={d:+d} port={pk}")
+                                trace.emit(cycle, "swap", swap_in.msg.msg_id,
+                                           ring_id, stop, f"port={pk}")
                             continue
 
                 # -- injection into an empty slot, honouring I-tags -----
@@ -447,6 +457,12 @@ class Ring:
                                         head.injected_any = True
                                         head.msg.injected_cycle = cycle
                                         stats.injected += 1
+                                    if tracing:
+                                        trace.emit(
+                                            cycle, "inject", head.msg.msg_id,
+                                            ring_id, stop,
+                                            f"d={d:+d} port="
+                                            f"{port_key_str(tag_port.key)}")
                                     injected_port = tag_port
                         else:
                             blocked = True
@@ -480,6 +496,12 @@ class Ring:
                                     head.injected_any = True
                                     head.msg.injected_cycle = cycle
                                     stats.injected += 1
+                                if tracing:
+                                    trace.emit(
+                                        cycle, "inject", head.msg.msg_id,
+                                        ring_id, stop,
+                                        f"d={d:+d} port="
+                                        f"{port_key_str(port.key)}")
                                 injected_port = port
                                 st._rr = (j + 1) % nports
                                 break
@@ -511,6 +533,11 @@ class Ring:
                         itags[idx] = port
                         port.itag_pending[d] = True
                         stats.itags_placed += 1
+                        if tracing:
+                            trace.emit(cycle, "itag", head.msg.msg_id,
+                                       ring_id, stop,
+                                       f"d={d:+d} port="
+                                       f"{port_key_str(port.key)}")
 
     def snapshot(self, cycle: int) -> Tuple:
         """Structural ring state for the verify subsystem's state encoding.

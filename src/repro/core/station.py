@@ -25,6 +25,7 @@ from repro.core.config import MultiRingConfig, RingSpec
 from repro.core.flit import Flit
 from repro.core.routing import ring_direction
 from repro.fabric.stats import FabricStats
+from repro.obs.trace import port_key_str
 
 
 class Port:
@@ -128,14 +129,19 @@ class Port:
 
     # -- ejection side ----------------------------------------------------
 
-    def try_accept_eject(self, flit: Flit, stats: FabricStats, enable_etags: bool) -> bool:
+    def try_accept_eject(self, flit: Flit, stats: FabricStats,
+                         enable_etags: bool, cycle: int = -1) -> bool:
         """Offer an arriving flit to the Eject Queue.
 
         Returns True if accepted.  On refusal the caller deflects the flit
         and — with E-tags enabled — this port reserves the next freed
         buffer for it, which bounds deflection to roughly one lap.
+
+        ``cycle`` only stamps trace events (:mod:`repro.obs`); the
+        admission decision never reads it.
         """
         queue = self.eject_queue
+        trace = stats.trace
         if enable_etags:
             reservations = self.etag_reservations
             msg_id = flit.msg.msg_id
@@ -145,27 +151,54 @@ class Port:
                     queue.append(flit)
                     if self.drain_registry is not None:
                         self.drain_registry[self] = None
+                    if trace.enabled:
+                        self._trace_eject(trace, cycle, flit)
                     return True
                 flit.deflections += 1
                 flit.laps_deflected += 1
                 stats.deflections += 1
+                if trace.enabled:
+                    self._trace_deflect(trace, cycle, flit)
                 return False
             if len(queue) < self.eject_depth - len(reservations):
                 queue.append(flit)
                 if self.drain_registry is not None:
                     self.drain_registry[self] = None
+                if trace.enabled:
+                    self._trace_eject(trace, cycle, flit)
                 return True
             reservations.add(msg_id)
             stats.etags_placed += 1
+            if trace.enabled:
+                station = self.station
+                trace.emit(cycle, "etag", msg_id, station._ring_id,
+                           station.stop, f"port={port_key_str(self.key)}")
         else:
             if len(queue) < self.eject_depth:
                 queue.append(flit)
                 if self.drain_registry is not None:
                     self.drain_registry[self] = None
+                if trace.enabled:
+                    self._trace_eject(trace, cycle, flit)
                 return True
         flit.deflections += 1
         stats.deflections += 1
+        if trace.enabled:
+            self._trace_deflect(trace, cycle, flit)
         return False
+
+    # -- trace helpers (only reached with a recorder attached) -------------
+
+    def _trace_eject(self, trace, cycle: int, flit: Flit) -> None:
+        station = self.station
+        trace.emit(cycle, "eject", flit.msg.msg_id, station._ring_id,
+                   station.stop, f"port={port_key_str(self.key)}")
+
+    def _trace_deflect(self, trace, cycle: int, flit: Flit) -> None:
+        station = self.station
+        trace.emit(cycle, "deflect", flit.msg.msg_id, station._ring_id,
+                   station.stop,
+                   f"port={port_key_str(self.key)} defl={flit.deflections}")
 
     # -- verification hooks ------------------------------------------------
 
@@ -277,7 +310,8 @@ class CrossStation:
                     f"flit {flit.msg.msg_id} exits at ({hop.ring},{hop.exit_stop}) "
                     f"to {hop.port_key}, but no such port exists there"
                 )
-            if target.try_accept_eject(flit, self.stats, self._enable_etags):
+            if target.try_accept_eject(flit, self.stats, self._enable_etags,
+                                       cycle):
                 queue.popleft()
                 port.consecutive_failures = 0
                 if not flit.injected_any:
@@ -317,7 +351,8 @@ class CrossStation:
                         f"flit {flit.msg.msg_id} wants port {hop.port_key} at "
                         f"({hop.ring},{hop.exit_stop}) but it does not exist"
                     )
-                if port.try_accept_eject(flit, self.stats, self._enable_etags):
+                if port.try_accept_eject(flit, self.stats, self._enable_etags,
+                                         cycle):
                     flits[idx] = None
                     flit = None
                     if port.drm_active and port.inject_queue:
@@ -325,7 +360,12 @@ class CrossStation:
                         # Queue takes [the ejected flit]'s place to move
                         # forward on the ring" — simultaneous ejection and
                         # injection at the cross station.
-                        self._inject(lane, idx, port, cycle)
+                        swapped = self._inject(lane, idx, port, cycle)
+                        trace = self.stats.trace
+                        if trace.enabled:
+                            trace.emit(cycle, "swap", swapped.msg.msg_id,
+                                       self._ring_id, stop,
+                                       f"port={port_key_str(port.key)}")
                         return
 
         # Injection: only into an empty slot, honouring I-tag reservations.
@@ -418,12 +458,24 @@ class CrossStation:
                 itags[idx] = port
                 port.itag_pending[direction] = True
                 self.stats.itags_placed += 1
+                trace = self.stats.trace
+                if trace.enabled:
+                    trace.emit(cycle, "itag", head.msg.msg_id, self._ring_id,
+                               stop,
+                               f"d={direction:+d} port={port_key_str(port.key)}")
 
-    def _inject(self, lane, idx: int, port: Port, cycle: int) -> None:
+    def _inject(self, lane, idx: int, port: Port, cycle: int) -> Flit:
         flit = port.inject_queue.popleft()
         lane.flits[idx] = flit
         port.consecutive_failures = 0
+        stats = self.stats
         if not flit.injected_any:
             flit.injected_any = True
             flit.msg.injected_cycle = cycle
-            self.stats.injected += 1
+            stats.injected += 1
+        trace = stats.trace
+        if trace.enabled:
+            trace.emit(cycle, "inject", flit.msg.msg_id, self._ring_id,
+                       self.stop,
+                       f"d={lane.direction:+d} port={port_key_str(port.key)}")
+        return flit

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro.analysis.metrics import percentile as shared_percentile
 from repro.coherence.requester import RequestNode
 from repro.sim.engine import SimComponent
 from repro.sim.rng import Rng, make_rng
@@ -43,11 +44,11 @@ class CoreStats:
         return sum(self.latencies) / len(self.latencies)
 
     def percentile(self, pct: float) -> Optional[float]:
+        """Latency percentile via the shared interpolating definition
+        (:func:`repro.analysis.metrics.percentile`); None if empty."""
         if not self.latencies:
             return None
-        ordered = sorted(self.latencies)
-        idx = min(len(ordered) - 1, int(round(pct / 100 * (len(ordered) - 1))))
-        return float(ordered[idx])
+        return shared_percentile(self.latencies, pct)
 
 
 @dataclass

@@ -10,10 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.analysis.metrics import percentile as _percentile
 from repro.fabric.message import Message
+from repro.obs.trace import NULL_TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
     from repro.faults.stats import FaultStats
+    from repro.obs.trace import NullTrace, TraceRecorder
 
 
 class LatencySample:
@@ -89,6 +92,12 @@ class FabricStats:
     #: equality, so the fast/reference equivalence suite also pins fault
     #: schedules and recovery behaviour.
     faults: Optional["FaultStats"] = None
+    #: Flit-level event recorder (:mod:`repro.obs`).  Defaults to the
+    #: shared nil object, so untraced hot paths pay one ``trace.enabled``
+    #: attribute check per potential event.  Excluded from equality —
+    #: recorders observe a run, they are not part of its outcome.
+    trace: "TraceRecorder | NullTrace" = field(
+        default=NULL_TRACE, compare=False, repr=False)
 
     def record_delivery(self, msg: Message, deflections: int = 0) -> None:
         self.delivered += 1
@@ -119,9 +128,18 @@ class FabricStats:
         return sum(s.total_latency for s in self.samples) / len(self.samples)
 
     def latency_percentile(self, pct: float) -> Optional[float]:
-        """Total-latency percentile, pct in [0, 100]."""
+        """*Total*-latency percentile (creation -> delivery), pct in
+        [0, 100]; None with no samples.  Uses the shared interpolating
+        definition (:func:`repro.analysis.metrics.percentile`)."""
         if not self.samples:
             return None
-        ordered = sorted(s.total_latency for s in self.samples)
-        idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
-        return float(ordered[idx])
+        return _percentile([s.total_latency for s in self.samples], pct)
+
+    def network_latency_percentile(self, pct: float) -> Optional[float]:
+        """*Network*-latency percentile (injection -> delivery), pct in
+        [0, 100]; None with no samples.  Report this beside
+        :meth:`mean_network_latency` — and label which of the two
+        latencies a number is, they diverge under injection queueing."""
+        if not self.samples:
+            return None
+        return _percentile([s.network_latency for s in self.samples], pct)

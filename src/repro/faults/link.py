@@ -31,6 +31,7 @@ from typing import Deque, Dict, List, Optional
 
 from repro.faults.models import FaultModel
 from repro.faults.stats import FaultStats
+from repro.obs.trace import NULL_TRACE
 
 
 @dataclass(frozen=True)
@@ -161,6 +162,11 @@ class D2DLink:
                 entry[1] += 1
                 self.faults.retried += 1
                 self.retx.append(seq)
+                trace = getattr(self.stats, "trace", NULL_TRACE)
+                if trace.enabled:
+                    trace.emit(cycle, "link-retry", entry[0].msg.msg_id,
+                               -1, -1,
+                               f"link={self.label} attempt={entry[1]}")
 
     def deliver(self, cycle: int, dst_port) -> None:
         """Move the pipe head into the peer Inject Queue (CRC-checked)."""
@@ -193,6 +199,10 @@ class D2DLink:
         if rel.enable_retry:
             self.acks.append([cycle + self.ack_latency, seq, True, cycle])
         dst_port.enqueue_inject(flit)
+        trace = getattr(self.stats, "trace", NULL_TRACE)
+        if trace.enabled:
+            trace.emit(cycle, "bridge-exit", flit.msg.msg_id, -1, -1,
+                       f"link={self.label}")
 
     def ready(self, cycle: int) -> bool:
         """Whether the Tx may put any flit on the wire this cycle."""
@@ -258,6 +268,10 @@ class D2DLink:
             cycle, "dropped",
             f"{self.label}: msg {flit.msg.msg_id} abandoned after "
             f"{attempts} retransmission(s)")
+        trace = getattr(self.stats, "trace", NULL_TRACE)
+        if trace.enabled:
+            trace.emit(cycle, "drop", flit.msg.msg_id, -1, -1,
+                       f"link={self.label} attempts={attempts}")
 
     # -- accounting -------------------------------------------------------
 

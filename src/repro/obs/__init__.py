@@ -1,0 +1,58 @@
+"""Flit-level observability: event tracing, metrics, exporters.
+
+The fabric's end-of-run counters (:class:`repro.fabric.stats.FabricStats`)
+say *how much* happened; this package says *where* and *when*.  Three
+layers:
+
+- :mod:`repro.obs.trace` — :class:`TraceRecorder`, the per-flit event
+  stream (create/accept/inject/deflect/itag/etag/bridge-enter/
+  bridge-exit/link-retry/drop/swap/eject) hooked into the rings,
+  stations, bridges, and the reliable D2D link layer.  Disabled by
+  default behind a nil object (:data:`NULL_TRACE`) so an untraced run
+  pays one attribute check per potential event.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: per-station /
+  per-ring / per-link counters, log-bucketed latency histograms, and
+  periodic fabric snapshots sampled on the engine's ``check_every``
+  cadence (:class:`SnapshotSampler`).
+- :mod:`repro.obs.export` — JSONL event dump, Chrome ``trace_event``
+  export (one track per ring and per bridge/link), and the event-schema
+  validator the CI ``trace-smoke`` job runs.
+
+Distinct from :mod:`repro.workloads.trace`, which records *message-level
+traffic* for replay; this package records *in-network flit events* for
+attribution.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    EVENT_FIELDS,
+    EVENT_KINDS,
+    event_to_dict,
+    events_to_jsonl,
+    read_jsonl,
+    validate_event_stream,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hotspots import format_hotspots, hotspot_rows
+from repro.obs.metrics import LogHistogram, MetricsRegistry, SnapshotSampler
+from repro.obs.trace import NULL_TRACE, NullTrace, TraceEvent, TraceRecorder
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_KINDS",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "NullTrace",
+    "SnapshotSampler",
+    "TraceEvent",
+    "TraceRecorder",
+    "event_to_dict",
+    "events_to_jsonl",
+    "format_hotspots",
+    "hotspot_rows",
+    "read_jsonl",
+    "validate_event_stream",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,193 @@
+"""Event-stream exporters and the schema validator.
+
+Two wire formats:
+
+- **JSONL** — one event per line, fixed key order
+  (``cycle, kind, msg, ring, stop, info``).  Byte-identical for
+  byte-identical event streams, which is what the fast/reference
+  trace-equivalence contract (and the CI ``trace-smoke`` job) compares.
+- **Chrome ``trace_event``** — loadable in ``chrome://tracing`` /
+  Perfetto.  Every ring gets a track (tid = ring id) and every bridge
+  gets a track (tid = ``_BRIDGE_TID_BASE`` + bridge id; the reliable
+  D2D link's events land on its bridge's track).  Events are instant
+  events with the cycle number as the microsecond timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.obs.trace import TraceEvent
+
+#: The twelve event kinds, in pipeline order (documentation order only;
+#: streams are sorted by the canonical tuple order, not by this).
+EVENT_KINDS = (
+    "create",        # message routed and offered to its source port
+    "accept",        # message entered the source Inject Queue
+    "inject",        # flit won a ring slot (includes re-injection after a bridge)
+    "deflect",       # eject refused; flit passes through and keeps circling
+    "itag",          # injection-starved port reserved a passing slot
+    "etag",          # deflected flit reserved the next freed eject buffer
+    "bridge-enter",  # bridge drained the flit from a ring-side Eject Queue
+    "bridge-exit",   # bridge handed the flit to the peer ring's Inject Queue
+    "link-retry",    # reliable D2D link scheduled a retransmission (NAK)
+    "drop",          # reliable D2D link abandoned the flit (retry budget)
+    "swap",          # SWAP/DRM exchanged an eject and an inject in one cycle
+    "eject",         # flit accepted into a destination Eject Queue
+)
+
+#: JSONL field names, in serialization order.
+EVENT_FIELDS = ("cycle", "kind", "msg", "ring", "stop", "info")
+
+_KIND_SET = frozenset(EVENT_KINDS)
+_BRIDGE_TID_BASE = 1000
+_BRIDGE_INFO = re.compile(r"(?:bridge=|link=bridge)(\d+)")
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Union[int, str]]:
+    """One event tuple as a dict in :data:`EVENT_FIELDS` order."""
+    return dict(zip(EVENT_FIELDS, event))
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events to JSONL (one compact object per line).
+
+    Key order and separators are fixed, so equal event streams produce
+    equal bytes.
+    """
+    lines = [
+        json.dumps(event_to_dict(event), separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: Iterable[TraceEvent], fh: TextIO) -> int:
+    """Write events as JSONL; returns the number of events written."""
+    count = 0
+    for event in events:
+        fh.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(fh: TextIO) -> List[TraceEvent]:
+    """Parse a JSONL event dump back into event tuples."""
+    events: List[TraceEvent] = []
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append(tuple(record[field] for field in EVENT_FIELDS))
+    return events
+
+
+def validate_event_stream(
+    events: Sequence[Union[TraceEvent, Dict[str, Union[int, str]]]],
+) -> List[str]:
+    """Schema-check an event stream; returns human-readable errors.
+
+    Accepts tuples or parsed JSONL dicts.  Checks per event: field
+    count/types, a known kind, sane coordinates (``ring``/``stop`` are
+    ``-1`` or non-negative, and off-ring events carry a bridge/link
+    identity in ``info``); across events: non-decreasing cycles (the
+    canonical order is chronological).  An empty list means the stream
+    is valid.
+    """
+    errors: List[str] = []
+    last_cycle: Optional[int] = None
+    for index, raw in enumerate(events):
+        if isinstance(raw, dict):
+            try:
+                event = tuple(raw[field] for field in EVENT_FIELDS)
+            except KeyError as exc:
+                errors.append(f"event {index}: missing field {exc}")
+                continue
+        else:
+            event = tuple(raw)
+        if len(event) != len(EVENT_FIELDS):
+            errors.append(
+                f"event {index}: {len(event)} fields, expected "
+                f"{len(EVENT_FIELDS)}")
+            continue
+        cycle, kind, msg, ring, stop, info = event
+        where = f"event {index} ({kind!r} @ cycle {cycle!r})"
+        if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+            errors.append(f"{where}: cycle must be a non-negative int")
+        if kind not in _KIND_SET:
+            errors.append(f"{where}: unknown kind")
+        for name, value in (("msg", msg), ("ring", ring), ("stop", stop)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < -1:
+                errors.append(f"{where}: {name} must be an int >= -1")
+        if not isinstance(info, str):
+            errors.append(f"{where}: info must be a string")
+        elif isinstance(ring, int) and ring < 0 \
+                and kind in _KIND_SET and not _BRIDGE_INFO.search(info):
+            errors.append(
+                f"{where}: off-ring event needs a bridge=/link= identity "
+                "in info")
+        if isinstance(cycle, int) and not isinstance(cycle, bool):
+            if last_cycle is not None and cycle < last_cycle:
+                errors.append(
+                    f"{where}: cycle decreased ({last_cycle} -> {cycle}); "
+                    "stream is not in canonical order")
+            last_cycle = cycle
+    return errors
+
+
+def _track_of(event: TraceEvent) -> Optional[int]:
+    """Chrome thread id for an event: its ring, or its bridge's track."""
+    ring = event[3]
+    if isinstance(ring, int) and ring >= 0:
+        return ring
+    match = _BRIDGE_INFO.search(event[5])
+    if match:
+        return _BRIDGE_TID_BASE + int(match.group(1))
+    return None
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], fh: TextIO,
+                       process_name: str = "repro-noc fabric") -> int:
+    """Write a Chrome ``trace_event`` file; returns events written.
+
+    Instant events (phase ``i``, thread scope), one per trace event,
+    timestamped with the cycle number.  Thread-name metadata labels each
+    ring and bridge track.
+    """
+    trace_events: List[Dict] = [{
+        "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    tracks: Dict[int, str] = {}
+    body: List[Dict] = []
+    written = 0
+    for event in events:
+        tid = _track_of(event)
+        if tid is None:
+            continue
+        if tid not in tracks:
+            tracks[tid] = (f"ring {tid}" if tid < _BRIDGE_TID_BASE
+                           else f"bridge {tid - _BRIDGE_TID_BASE}")
+        cycle, kind, msg, ring, stop, info = event
+        body.append({
+            "ph": "i", "s": "t", "pid": 0, "tid": tid,
+            "ts": cycle, "name": kind,
+            "args": {"msg": msg, "ring": ring, "stop": stop, "info": info},
+        })
+        written += 1
+    for tid in sorted(tracks):
+        trace_events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": tracks[tid]},
+        })
+    trace_events.extend(body)
+    json.dump({"traceEvents": trace_events,
+               "displayTimeUnit": "ns",
+               "metadata": {"clock": "cycles"}}, fh)
+    fh.write("\n")
+    return written

@@ -1,0 +1,273 @@
+"""Metrics registry: per-station/ring/link counters and latency histograms.
+
+The registry is an offline consumer of the observability data: it
+ingests a :class:`~repro.obs.trace.TraceRecorder` event stream into
+per-station, per-ring, per-bridge, and per-link counters, and the
+fabric's latency samples into log-bucketed histograms whose
+p50/p95/p99 come from the shared percentile definition
+(:func:`repro.analysis.metrics.percentile`).
+
+:class:`SnapshotSampler` adds the time axis: hooked to the engine's
+``check_every`` cadence (``Simulator.run_until(..., on_check=sampler)``)
+it records periodic fabric-wide snapshots (delivered/injected/
+deflections/occupancy), giving counter *trajectories* instead of only
+end-of-run totals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import percentile
+from repro.obs.trace import TraceEvent
+
+#: Event kinds attributed to a (ring, stop) station.
+STATION_KINDS = ("accept", "inject", "eject", "deflect", "itag", "etag",
+                 "swap")
+
+#: Event kinds attributed to a bridge (via ``bridge=``/``link=`` info).
+BRIDGE_KINDS = ("bridge-enter", "bridge-exit")
+
+#: Event kinds attributed to a D2D link direction (``link=`` info).
+LINK_KINDS = ("link-retry", "drop", "bridge-exit")
+
+
+def _info_field(info: str, name: str) -> Optional[str]:
+    """Value of ``name=...`` inside a compact info string, else None."""
+    for part in info.split():
+        if part.startswith(name + "="):
+            return part[len(name) + 1:]
+    return None
+
+
+class LogHistogram:
+    """Power-of-two-bucketed histogram of non-negative integer latencies.
+
+    Bucket ``b`` holds values whose bit length is ``b`` (``0`` in bucket
+    0, ``[2^(b-1), 2^b)`` in bucket ``b >= 1``), so memory is
+    O(log(max latency)) no matter how many samples arrive.  The exact
+    count, sum, min, and max are kept alongside; :meth:`percentile`
+    applies the shared rank definition to the cumulative bucket counts
+    and interpolates inside the winning bucket.  The result stays inside
+    that bucket's value range, which also contains the floor-rank order
+    statistic — so the approximation is within one bucket width (a
+    factor of two) of that order statistic.  The *interpolated* exact
+    percentile may reach into the next bucket, so it carries no such
+    bound; use ``FabricStats.samples`` when exactness matters.
+    """
+
+    __slots__ = ("counts", "total", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def add(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError("latencies are non-negative")
+        bucket = value.bit_length()
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def extend(self, values: Sequence[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    def mean(self) -> Optional[float]:
+        if not self.total:
+            return None
+        return self.sum / self.total
+
+    @staticmethod
+    def bucket_bounds(bucket: int) -> Tuple[int, int]:
+        """Inclusive ``(low, high)`` value range of ``bucket``."""
+        if bucket <= 0:
+            return (0, 0)
+        return (1 << (bucket - 1), (1 << bucket) - 1)
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """Approximate percentile (shared rank rule; None when empty)."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be within [0, 100]")
+        if not self.total:
+            return None
+        # The endpoints are tracked exactly; no need to approximate them.
+        if pct == 0.0:
+            return float(self.min)
+        if pct == 100.0:
+            return float(self.max)
+        rank = pct / 100.0 * (self.total - 1)
+        seen = 0
+        for bucket in sorted(self.counts):
+            count = self.counts[bucket]
+            if rank < seen + count:
+                low, high = self.bucket_bounds(bucket)
+                low = max(low, self.min if self.min is not None else low)
+                high = min(high, self.max if self.max is not None else high)
+                if count == 1 or high == low:
+                    return float(low)
+                inside = (rank - seen) / (count - 1)
+                return low + (high - low) * inside
+            seen += count
+        return float(self.max if self.max is not None else 0)
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": float(self.total),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": float(self.max) if self.max is not None else None,
+        }
+
+
+def _zero_counts(kinds: Sequence[str]) -> Dict[str, int]:
+    return {kind: 0 for kind in kinds}
+
+
+class MetricsRegistry:
+    """Aggregated observability counters for one traced run."""
+
+    def __init__(self) -> None:
+        #: (ring, stop) -> {kind: count} over :data:`STATION_KINDS`.
+        self.stations: Dict[Tuple[int, int], Dict[str, int]] = {}
+        #: bridge id -> {kind: count} over :data:`BRIDGE_KINDS`.
+        self.bridges: Dict[int, Dict[str, int]] = {}
+        #: link label (e.g. ``bridge0:a->b``) -> retry/drop/exit counts.
+        self.links: Dict[str, Dict[str, int]] = {}
+        #: Network latency (inject -> delivery) histogram.
+        self.network_latency = LogHistogram()
+        #: Total latency (creation -> delivery) histogram.
+        self.total_latency = LogHistogram()
+        #: Periodic fabric snapshots (see :meth:`snapshot`).
+        self.snapshots: List[Dict[str, int]] = []
+        self.events_seen = 0
+
+    # -- event ingestion ---------------------------------------------------
+
+    def observe_event(self, event: TraceEvent) -> None:
+        cycle, kind, msg, ring, stop, info = event
+        self.events_seen += 1
+        if kind in STATION_KINDS and ring >= 0:
+            key = (ring, stop)
+            counters = self.stations.get(key)
+            if counters is None:
+                counters = self.stations[key] = _zero_counts(STATION_KINDS)
+            counters[kind] += 1
+            return
+        link = _info_field(info, "link")
+        if link is not None and kind in LINK_KINDS:
+            counters = self.links.get(link)
+            if counters is None:
+                counters = self.links[link] = _zero_counts(LINK_KINDS)
+            counters[kind] += 1
+        if kind in BRIDGE_KINDS:
+            bridge = _info_field(info, "bridge")
+            if bridge is None and link is not None:
+                # "link=bridge0:a->b" carries the bridge identity too.
+                head = link.split(":", 1)[0]
+                bridge = head[len("bridge"):] if head.startswith("bridge") \
+                    else None
+            if bridge is not None:
+                counters = self.bridges.get(int(bridge))
+                if counters is None:
+                    counters = self.bridges[int(bridge)] = _zero_counts(
+                        BRIDGE_KINDS)
+                counters[kind] += 1
+
+    def observe_events(self, events: Sequence[TraceEvent]) -> None:
+        for event in events:
+            self.observe_event(event)
+
+    def observe_samples(self, samples) -> None:
+        """Feed delivered-message latency samples
+        (:class:`repro.fabric.stats.LatencySample`) into the histograms."""
+        for sample in samples:
+            self.network_latency.add(sample.network_latency)
+            self.total_latency.add(sample.total_latency)
+
+    def ingest(self, events: Sequence[TraceEvent], stats=None) -> None:
+        """Convenience: events plus (optionally) ``stats.samples``."""
+        self.observe_events(events)
+        if stats is not None and getattr(stats, "samples", None):
+            self.observe_samples(stats.samples)
+
+    # -- aggregation -------------------------------------------------------
+
+    def ring_totals(self) -> Dict[int, Dict[str, int]]:
+        """Per-ring sums of the per-station counters."""
+        totals: Dict[int, Dict[str, int]] = {}
+        for (ring, _stop), counters in self.stations.items():
+            ring_counters = totals.get(ring)
+            if ring_counters is None:
+                ring_counters = totals[ring] = _zero_counts(STATION_KINDS)
+            for kind, count in counters.items():
+                ring_counters[kind] += count
+        return totals
+
+    def latency_summary(self) -> Dict[str, Dict[str, Optional[float]]]:
+        return {
+            "network": self.network_latency.summary(),
+            "total": self.total_latency.summary(),
+        }
+
+    # -- time axis ---------------------------------------------------------
+
+    def snapshot(self, cycle: int, fabric) -> Dict[str, int]:
+        """Record one fabric-wide sample (duck-typed over any fabric
+        exposing ``stats`` and, optionally, ``occupancy()``)."""
+        stats = fabric.stats
+        occupancy = fabric.occupancy() if hasattr(fabric, "occupancy") else 0
+        record = {
+            "cycle": cycle,
+            "accepted": stats.accepted,
+            "injected": stats.injected,
+            "delivered": stats.delivered,
+            "deflections": stats.deflections,
+            "dropped": stats.dropped,
+            "in_network": occupancy,
+        }
+        self.snapshots.append(record)
+        return record
+
+
+class SnapshotSampler:
+    """Callable hook pairing a fabric with a registry.
+
+    Pass as ``on_check`` to :meth:`repro.sim.engine.Simulator.run_until`
+    so sampling rides the engine's ``check_every`` cadence, or call it
+    directly from any loop.  Consecutive calls for the same cycle (the
+    final partial-window check) record once.
+    """
+
+    def __init__(self, fabric, registry: MetricsRegistry):
+        self.fabric = fabric
+        self.registry = registry
+        self._last_cycle: Optional[int] = None
+
+    def __call__(self, cycle: int) -> None:
+        if cycle == self._last_cycle:
+            return
+        self._last_cycle = cycle
+        self.registry.snapshot(cycle, self.fabric)
+
+
+# Re-exported for convenience: the shared percentile definition the
+# histograms approximate.
+__all__ = [
+    "BRIDGE_KINDS",
+    "LINK_KINDS",
+    "LogHistogram",
+    "MetricsRegistry",
+    "STATION_KINDS",
+    "SnapshotSampler",
+    "percentile",
+]

@@ -216,6 +216,11 @@ def run_case(case: BenchCase, fast: bool = True,
     n = len(plan)
     for _ in range(max(repeats, 1)):
         fabric = case.build(fast)
+        if fabric.stats.trace.enabled:
+            raise RuntimeError(
+                f"bench case {case.name}: tracing must stay disabled — "
+                "timings gate the tracing-off overhead of the nil-object "
+                "hooks, not the recorder itself")
         msgs = [Message(src=src, dst=dst, kind=kind, created_cycle=cycle,
                         msg_id=mid)
                 for mid, (cycle, src, dst, kind) in enumerate(plan)]

@@ -102,6 +102,7 @@ class Simulator:
         max_cycles: int,
         check_every: int = 1,
         watchdog=None,
+        on_check: Optional[Callable[[int], None]] = None,
     ) -> bool:
         """Run until ``predicate()`` is true or ``max_cycles`` elapse.
 
@@ -114,6 +115,13 @@ class Simulator:
         never misses a predicate that became true inside the last
         partial window.  The predicate is never evaluated twice for the
         same step and never before the first step.
+
+        ``on_check(cycle)`` is called immediately before each predicate
+        evaluation (same cadence, including the final partial window).
+        This is the sampling hook the observability layer's
+        :class:`repro.obs.metrics.SnapshotSampler` plugs into: periodic
+        measurement rides the existing check cadence instead of adding a
+        second bookkeeping interval.
 
         ``watchdog`` (a :class:`repro.faults.watchdog.ProgressWatchdog`)
         is observed after every step and turns a wedged system into a
@@ -128,10 +136,16 @@ class Simulator:
             steps += 1
             if watchdog is not None:
                 watchdog.observe(self._cycle)
-            if steps % check_every == 0 and predicate():
+            if steps % check_every == 0:
+                if on_check is not None:
+                    on_check(self._cycle)
+                if predicate():
+                    return True
+        if steps % check_every != 0:
+            if on_check is not None:
+                on_check(self._cycle)
+            if predicate():
                 return True
-        if steps % check_every != 0 and predicate():
-            return True
         return False
 
 

@@ -10,8 +10,8 @@ def test_summarize_latencies():
     summary = summarize_latencies(list(range(1, 101)))
     assert summary.count == 100
     assert summary.mean == pytest.approx(50.5)
-    assert summary.p50 == 51  # nearest-rank on 1..100
-    assert summary.p99 == 99
+    assert summary.p50 == pytest.approx(50.5)  # interpolated on 1..100
+    assert summary.p99 == pytest.approx(99.01)
     assert summary.maximum == 100
 
 

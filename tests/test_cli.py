@@ -105,3 +105,45 @@ def test_sweep_rw_workers_match_sequential(tmp_path, capsys):
     assert main(["sweep-rw", "--cycles", "60", "--workers", "2"]) == 0
     par = capsys.readouterr().out
     assert seq == par
+
+
+def test_ring_zero_messages_prints_na(capsys):
+    assert main(["ring", "--nodes", "6", "--messages", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered 0/0" in out
+    assert "n/a" in out
+    assert "network" in out and "total" in out  # labelled latencies
+
+
+def test_trace_command_smoke(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    chrome = tmp_path / "chrome.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(["trace", "--system", "pair", "--messages", "60",
+                 "--seed", "1", "--sample-every", "32",
+                 "--events", str(events), "--chrome", str(chrome),
+                 "--json", str(metrics), "--top-hotspots", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "drained" in out and "hotspots" in out and "score" in out
+    # The JSONL dump round-trips and validates against the schema.
+    from repro.obs import read_jsonl, validate_event_stream
+    with open(events) as fh:
+        parsed = read_jsonl(fh)
+    assert parsed and validate_event_stream(parsed) == []
+    # The Chrome trace is valid JSON with instant events.
+    import json as _json
+    with open(chrome) as fh:
+        doc = _json.load(fh)
+    assert any(e["ph"] == "i" for e in doc["traceEvents"])
+    with open(metrics) as fh:
+        record = _json.load(fh)
+    assert record["delivered"] == 60
+    assert record["schema_errors"] == []
+    assert record["latency"]["network"]["count"] == 60.0
+
+
+def test_trace_zero_messages_exits_cleanly(capsys):
+    assert main(["trace", "--system", "tiny", "--messages", "0",
+                 "--max-cycles", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered 0/0" in out and "n/a" in out

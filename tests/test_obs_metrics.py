@@ -1,0 +1,195 @@
+"""Metrics registry, log-bucketed histograms, snapshot sampling, hotspots."""
+
+import pytest
+
+from repro.analysis.metrics import percentile
+from repro.core import MultiRingFabric, chiplet_pair, single_ring_topology
+from repro.core.config import MultiRingConfig
+from repro.fabric import Message
+from repro.obs import (
+    LogHistogram,
+    MetricsRegistry,
+    SnapshotSampler,
+    format_hotspots,
+    hotspot_rows,
+)
+from repro.sim.engine import FunctionComponent, Simulator
+from repro.sim.rng import make_rng
+
+
+def _traced_ring_run(cycles=400, inject_until=200, seed=7):
+    topo, nodes = single_ring_topology(8, bidirectional=True)
+    fabric = MultiRingFabric(topo)
+    recorder = fabric.attach_trace_recorder()
+    rng = make_rng(seed)
+    mid = 0
+    for cycle in range(cycles):
+        if cycle < inject_until and rng.random() < 0.6:
+            src = nodes[rng.randrange(len(nodes))]
+            dst = nodes[rng.randrange(len(nodes))]
+            if src != dst:
+                fabric.try_inject(Message(src=src, dst=dst,
+                                          created_cycle=cycle, msg_id=mid))
+                mid += 1
+        fabric.step(cycle)
+    return fabric, recorder
+
+
+# -- LogHistogram ----------------------------------------------------------
+
+
+def test_histogram_exact_counters():
+    hist = LogHistogram()
+    hist.extend([0, 1, 2, 3, 100])
+    assert hist.total == 5
+    assert hist.sum == 106
+    assert hist.min == 0 and hist.max == 100
+    assert hist.mean() == pytest.approx(106 / 5)
+
+
+def test_histogram_empty_and_negative():
+    hist = LogHistogram()
+    assert hist.percentile(50) is None
+    assert hist.mean() is None
+    with pytest.raises(ValueError):
+        hist.add(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_histogram_percentile_within_bucket_factor():
+    values = [3, 5, 9, 17, 33, 64, 120, 250, 500, 1000]
+    ordered = sorted(values)
+    hist = LogHistogram()
+    hist.extend(values)
+    for pct in (0, 25, 50, 75, 95, 100):
+        # The documented bound: within one power-of-two bucket (a factor
+        # of two) of the floor-rank order statistic.
+        anchor = ordered[int(pct / 100 * (len(values) - 1))]
+        approx = hist.percentile(pct)
+        assert approx is not None
+        assert anchor / 2 <= approx <= anchor * 2
+    assert hist.percentile(0) == 3.0
+    assert hist.percentile(100) == 1000.0
+
+
+def test_histogram_single_sample():
+    hist = LogHistogram()
+    hist.add(42)
+    for pct in (0, 50, 99, 100):
+        assert hist.percentile(pct) == 42.0
+    summary = hist.summary()
+    assert summary["count"] == 1.0 and summary["max"] == 42.0
+
+
+# -- MetricsRegistry -------------------------------------------------------
+
+
+def test_registry_station_counters_match_fabric_stats():
+    fabric, recorder = _traced_ring_run()
+    stats = fabric.stats
+    assert stats.delivered > 0
+    registry = MetricsRegistry()
+    registry.ingest(recorder.sorted_events(), stats=stats)
+    totals = registry.ring_totals()[0]
+    # One ring: every accept/eject/deflect event lands on it, and the
+    # event stream must agree exactly with the fabric's own counters.
+    assert totals["accept"] == stats.accepted
+    assert totals["eject"] == stats.delivered
+    assert totals["deflect"] == stats.deflections
+    assert totals["itag"] == stats.itags_placed
+    assert totals["etag"] == stats.etags_placed
+    assert registry.network_latency.total == len(stats.samples)
+    assert registry.total_latency.total == len(stats.samples)
+
+
+def test_registry_bridge_counters_balance_after_drain():
+    topo, ring0, ring1 = chiplet_pair()
+    fabric = MultiRingFabric(topo)
+    recorder = fabric.attach_trace_recorder()
+    rng = make_rng(3)
+    mid = 0
+    for cycle in range(800):
+        if cycle < 300 and rng.random() < 0.4:
+            src = ring0[rng.randrange(len(ring0))]
+            dst = ring1[rng.randrange(len(ring1))]
+            fabric.try_inject(Message(src=src, dst=dst, created_cycle=cycle,
+                                      msg_id=mid))
+            mid += 1
+        fabric.step(cycle)
+    assert fabric.stats.in_flight == 0
+    registry = MetricsRegistry()
+    registry.observe_events(recorder.sorted_events())
+    assert registry.bridges, "cross-chiplet traffic must touch a bridge"
+    for counters in registry.bridges.values():
+        assert counters["bridge-enter"] == counters["bridge-exit"] > 0
+
+
+def test_registry_latency_summary_tracks_shared_percentile():
+    fabric, recorder = _traced_ring_run()
+    registry = MetricsRegistry()
+    registry.ingest(recorder.sorted_events(), stats=fabric.stats)
+    summary = registry.latency_summary()
+    exact = percentile([s.network_latency for s in fabric.stats.samples], 50)
+    approx = summary["network"]["p50"]
+    assert approx is not None and exact / 2 <= approx <= max(exact * 2, 1.0)
+    assert summary["total"]["count"] == len(fabric.stats.samples)
+
+
+# -- SnapshotSampler / engine cadence -------------------------------------
+
+
+def test_sampler_rides_run_until_cadence():
+    topo, nodes = single_ring_topology(6, bidirectional=True)
+    fabric = MultiRingFabric(topo)
+    registry = MetricsRegistry()
+    sampler = SnapshotSampler(fabric, registry)
+    sim = Simulator()
+    sim.register(fabric)
+    done = sim.run_until(lambda: False, max_cycles=100, check_every=32,
+                         on_check=sampler)
+    assert not done
+    cycles = [snap["cycle"] for snap in registry.snapshots]
+    # Checks at steps 32, 64, 96 plus the final partial window at 100,
+    # recorded once each (the sampler dedups same-cycle calls).
+    assert cycles == [32, 64, 96, 100]
+    assert all(snap["in_network"] == 0 for snap in registry.snapshots)
+
+
+def test_on_check_called_with_predicate_cadence():
+    seen = []
+    sim = Simulator()
+    sim.register(FunctionComponent(lambda cycle: None))
+    sim.run_until(lambda: False, max_cycles=10, check_every=4,
+                  on_check=seen.append)
+    assert seen == [4, 8, 10]
+    seen.clear()
+    # Multiple of check_every: no extra final check.
+    sim.run_until(lambda: False, max_cycles=8, check_every=4,
+                  on_check=seen.append)
+    assert seen == [sim.cycle - 4, sim.cycle]
+
+
+# -- hotspots --------------------------------------------------------------
+
+
+def test_hotspot_rows_rank_and_limit():
+    fabric, recorder = _traced_ring_run()
+    registry = MetricsRegistry()
+    registry.observe_events(recorder.sorted_events())
+    rows = hotspot_rows(registry, top=3)
+    assert 0 < len(rows) <= 3
+    scores = [score for _, _, _, score in rows]
+    assert scores == sorted(scores, reverse=True)
+    with pytest.raises(ValueError):
+        hotspot_rows(registry, top=0)
+
+
+def test_format_hotspots_renders_table():
+    fabric, recorder = _traced_ring_run()
+    registry = MetricsRegistry()
+    registry.observe_events(recorder.sorted_events())
+    table = format_hotspots(registry, top=5)
+    for header in ("ring", "stop", "deflect", "score"):
+        assert header in table
+    assert format_hotspots(MetricsRegistry()) == "no station events recorded"

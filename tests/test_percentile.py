@@ -1,0 +1,111 @@
+"""The shared percentile definition and its former divergent call sites.
+
+One interpolating implementation (repro.analysis.metrics.percentile) now
+backs FabricStats, CoreStats, and summarize_latencies; these tests pin
+the definition itself, its edge cases, and cross-call-site agreement —
+including the small-set cases the old ``int(round(...))`` nearest-rank
+variants got wrong (banker's rounding picked the lower of two samples as
+their median).
+"""
+
+import pytest
+
+from repro.analysis.metrics import percentile, summarize_latencies
+from repro.cpu.core import CoreStats
+from repro.fabric.message import Message
+from repro.fabric.stats import FabricStats
+
+
+def _fabric_stats(latencies):
+    stats = FabricStats()
+    for i, latency in enumerate(latencies):
+        msg = Message(src=0, dst=1, created_cycle=0, msg_id=i)
+        msg.injected_cycle = 0
+        msg.delivered_cycle = latency
+        stats.record_delivery(msg)
+    return stats
+
+
+# -- the shared definition -------------------------------------------------
+
+
+def test_interpolated_median_of_two():
+    # The old nearest-rank code returned 1 here (round-half-even on 1.5).
+    assert percentile([1, 2], 50) == 1.5
+
+
+def test_interpolated_quartiles():
+    assert percentile([1, 2, 3, 4], 50) == 2.5
+    assert percentile([1, 2, 3, 4], 25) == 1.75
+    assert percentile(list(range(1, 101)), 99) == pytest.approx(99.01)
+
+
+def test_single_sample_is_every_percentile():
+    for pct in (0, 1, 50, 99, 100):
+        assert percentile([7], pct) == 7.0
+
+
+def test_order_independence():
+    assert percentile([9, 1, 5, 3], 50) == percentile([1, 3, 5, 9], 50)
+
+
+def test_extremes_are_min_and_max():
+    samples = [4, 8, 15, 16, 23, 42]
+    assert percentile(samples, 0) == 4.0
+    assert percentile(samples, 100) == 42.0
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_out_of_range_pct_raises():
+    with pytest.raises(ValueError):
+        percentile([1], -0.1)
+    with pytest.raises(ValueError):
+        percentile([1], 100.1)
+
+
+# -- call-site agreement ---------------------------------------------------
+
+
+FIXTURE = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+
+
+@pytest.mark.parametrize("pct", [0, 25, 50, 75, 95, 99, 100])
+def test_all_call_sites_agree(pct):
+    expected = percentile(FIXTURE, pct)
+
+    fabric = _fabric_stats(FIXTURE)
+    assert fabric.latency_percentile(pct) == expected
+    assert fabric.network_latency_percentile(pct) == expected
+
+    core = CoreStats(latencies=list(FIXTURE))
+    assert core.percentile(pct) == expected
+
+    if pct in (50, 95, 99):
+        summary = summarize_latencies(FIXTURE)
+        assert getattr(summary, f"p{pct}") == expected
+
+
+def test_empty_stats_return_none():
+    stats = FabricStats()
+    assert stats.latency_percentile(99) is None
+    assert stats.network_latency_percentile(99) is None
+    assert stats.mean_network_latency() is None
+    assert stats.mean_total_latency() is None
+    core = CoreStats()
+    assert core.percentile(99) is None
+    assert core.mean_latency() is None
+
+
+def test_network_and_total_percentiles_diverge_under_queueing():
+    stats = FabricStats()
+    for i in range(4):
+        msg = Message(src=0, dst=1, created_cycle=0, msg_id=i)
+        msg.injected_cycle = 10          # 10 cycles queued at the source
+        msg.delivered_cycle = 10 + i + 1
+        stats.record_delivery(msg)
+    assert stats.network_latency_percentile(50) == 2.5
+    assert stats.latency_percentile(50) == 12.5
