@@ -32,17 +32,41 @@ Quickstart::
     print(msg.total_latency)
 """
 
-from repro.core import (
-    MultiRingFabric,
-    chiplet_pair,
-    grid_of_rings,
-    single_ring_topology,
-)
-from repro.fabric import Fabric, Message, MessageKind
 from repro.params import BANDWIDTH, LATENCY, QUEUES
-from repro.sim import Simulator
 
 __version__ = "1.0.0"
+
+# The convenience names below resolve lazily (PEP 562) so that purely
+# static consumers — repro.analyze, repro.lint, repro.phys — can import
+# the package without dragging in the simulator stack.
+_LAZY = {
+    "MultiRingFabric": "repro.core",
+    "chiplet_pair": "repro.core",
+    "grid_of_rings": "repro.core",
+    "single_ring_topology": "repro.core",
+    "Fabric": "repro.fabric",
+    "Message": "repro.fabric",
+    "MessageKind": "repro.fabric",
+    "Simulator": "repro.sim",
+}
+
+
+def __getattr__(name):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each name once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "MultiRingFabric",

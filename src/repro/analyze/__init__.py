@@ -1,0 +1,76 @@
+"""Static fabric analyzer: abstract bounds without simulation.
+
+``repro.analyze`` answers "is this configuration feasible, and roughly
+how will it perform?" purely from :class:`TopologySpec` +
+:class:`MultiRingConfig` — no simulator stepping:
+
+- :mod:`repro.analyze.bounds` — bandwidth ceilings (per ring, per
+  bridge link, bisection) and calibrated zero-load latency bounds;
+- :mod:`repro.analyze.workload` — injection-rate descriptors;
+- :mod:`repro.analyze.occupancy` — saturation estimates of workload
+  demand against those ceilings;
+- :mod:`repro.analyze.budget` — area/energy/wire checks against
+  :mod:`repro.phys` with user ceilings;
+- :mod:`repro.analyze.report` — the ``repro-noc analyze`` report
+  folding everything (plus CDG deadlock classification) together;
+- :mod:`repro.analyze.prefilter` — the sweep-pruning predicates built
+  on the same passes.
+
+Distinct from :mod:`repro.analysis` (post-hoc measurement analysis of
+simulation results): this package predicts, that one measures.
+"""
+
+from repro.analyze.bounds import (
+    FabricBounds,
+    LatencyBound,
+    LinkBound,
+    RingBound,
+    RouteShape,
+    compute_bounds,
+    route_shape,
+    zero_load_route_cycles,
+)
+from repro.analyze.budget import BudgetReport, BudgetSpec, evaluate_budget
+from repro.analyze.occupancy import OccupancyEstimate, estimate_occupancy
+from repro.analyze.prefilter import (
+    campaign_prefilter,
+    infeasible_reason,
+    uniform_rate_prefilter,
+)
+from repro.analyze.report import (
+    AnalysisReport,
+    SystemAnalysis,
+    analyze_system,
+    run_analyze,
+)
+from repro.analyze.workload import (
+    Flow,
+    WorkloadDescriptor,
+    uniform_for_topology,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "BudgetReport",
+    "BudgetSpec",
+    "FabricBounds",
+    "Flow",
+    "LatencyBound",
+    "LinkBound",
+    "OccupancyEstimate",
+    "RingBound",
+    "RouteShape",
+    "SystemAnalysis",
+    "WorkloadDescriptor",
+    "analyze_system",
+    "campaign_prefilter",
+    "compute_bounds",
+    "estimate_occupancy",
+    "evaluate_budget",
+    "infeasible_reason",
+    "route_shape",
+    "run_analyze",
+    "uniform_for_topology",
+    "uniform_rate_prefilter",
+    "zero_load_route_cycles",
+]

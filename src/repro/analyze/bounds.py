@@ -1,0 +1,386 @@
+"""Abstract bandwidth and latency bounds, computed purely from config.
+
+Everything here is derived from :class:`TopologySpec` +
+:class:`MultiRingConfig` structure — no simulator stepping.  Three bound
+families:
+
+- **transport ceilings** — a ring with ``nstops`` stops, ``lanes`` lanes
+  per direction and ``d`` directions moves at most ``nstops * lanes * d``
+  slot-hops per cycle (every slot advances one hop per cycle, Section
+  4.2's bufferless pipeline); a ring bridge forwards at most one flit
+  per cycle per direction (:mod:`repro.core.bridge` pops a single flit
+  from each Rx per step).  Multiplying by
+  ``BANDWIDTH.ring_lane_bytes_per_cycle`` converts slot counts to bytes.
+- **delivered ceiling** — end-to-end delivered bandwidth is capped by
+  the narrower of aggregate injection capacity (each station interface
+  can claim at most ``lanes * d`` passing slots per cycle) and aggregate
+  ejection drain (``eject_drain_per_cycle`` per interface).
+- **zero-load latency** — at zero load a flit's network latency is
+  exactly its in-ring hop distance plus a fixed per-bridge-crossing
+  pipeline cost, measured against the simulator: an RBRG-L1 crossing
+  costs ``LATENCY.bridge_l1 + 1`` cycles (pipeline plus re-injection)
+  and an RBRG-L2 crossing ``LATENCY.bridge_l2 + 1 + link_latency``.
+  Contention and deflection only add cycles, so the zero-load figure is
+  a sound lower bound on simulated latency (property-tested in
+  ``tests/test_analyze_properties.py``).
+
+Bisection bandwidth enumerates balanced ring bipartitions exactly up to
+:data:`_EXACT_BISECTION_RINGS` rings and falls back to a labelled
+greedy estimate above that — the report says which method ran (no
+silent caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.routing import Hop, Router, ring_distance
+from repro.params import BANDWIDTH, LATENCY, bytes_per_cycle_to_tbps
+
+#: Ring-count ceiling for exact (exhaustive) bisection enumeration.
+_EXACT_BISECTION_RINGS = 16
+
+#: One ring slot carries one flit payload (a cache line) per cycle.
+_SLOT_BYTES = BANDWIDTH.ring_lane_bytes_per_cycle
+
+
+def _ring_lanes(spec: TopologySpec, config: MultiRingConfig,
+                ring_id: int) -> int:
+    for ring in spec.rings:
+        if ring.ring_id == ring_id and ring.lanes is not None:
+            return ring.lanes
+    return config.lanes_per_direction
+
+
+@dataclass
+class RingBound:
+    """Transport ceiling of one ring."""
+
+    ring_id: int
+    nstops: int
+    bidirectional: bool
+    lanes: int
+
+    @property
+    def directions(self) -> int:
+        return 2 if self.bidirectional else 1
+
+    @property
+    def slot_hops_per_cycle(self) -> int:
+        """Slot advances per cycle: the ring's transport capacity."""
+        return self.nstops * self.lanes * self.directions
+
+    @property
+    def transport_bytes_per_cycle(self) -> int:
+        return self.slot_hops_per_cycle * _SLOT_BYTES
+
+    def to_dict(self) -> dict:
+        return {
+            "ring_id": self.ring_id,
+            "nstops": self.nstops,
+            "bidirectional": self.bidirectional,
+            "lanes": self.lanes,
+            "slot_hops_per_cycle": self.slot_hops_per_cycle,
+            "transport_bytes_per_cycle": self.transport_bytes_per_cycle,
+        }
+
+
+@dataclass
+class LinkBound:
+    """Forwarding ceiling of one ring bridge (per direction)."""
+
+    bridge_id: int
+    level: int
+    ring_a: int
+    ring_b: int
+    link_latency: int
+
+    #: repro.core.bridge moves one flit per cycle per direction.
+    flits_per_cycle_per_direction: int = 1
+
+    @property
+    def bytes_per_cycle_per_direction(self) -> int:
+        return self.flits_per_cycle_per_direction * _SLOT_BYTES
+
+    @property
+    def crossing_cycles(self) -> int:
+        """Zero-load cycles added by crossing this bridge (calibrated)."""
+        if self.level == 2:
+            return LATENCY.bridge_l2 + 1 + self.link_latency
+        return LATENCY.bridge_l1 + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "bridge_id": self.bridge_id,
+            "level": self.level,
+            "ring_a": self.ring_a,
+            "ring_b": self.ring_b,
+            "link_latency": self.link_latency,
+            "flits_per_cycle_per_direction":
+                self.flits_per_cycle_per_direction,
+            "bytes_per_cycle_per_direction":
+                self.bytes_per_cycle_per_direction,
+            "crossing_cycles": self.crossing_cycles,
+        }
+
+
+@dataclass
+class BisectionBound:
+    """Minimum balanced-cut bandwidth between ring halves."""
+
+    bytes_per_cycle: float
+    method: str  # "exact", "greedy", or "single-ring"
+    partition: Tuple[Tuple[int, ...], Tuple[int, ...]] = ((), ())
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes_per_cycle": self.bytes_per_cycle,
+            "tbps": bytes_per_cycle_to_tbps(self.bytes_per_cycle),
+            "method": self.method,
+            "partition": [list(self.partition[0]), list(self.partition[1])],
+        }
+
+
+@dataclass
+class LatencyBound:
+    """Zero-load latency statistics over analyzed station pairs.
+
+    Route-shape aggregates (in-ring hop counts, L2 crossings) ride
+    along so the energy model can price the same routes.
+    """
+
+    pairs: int
+    min_cycles: int
+    max_cycles: int
+    mean_cycles: float
+    worst_pair: Tuple[int, int]
+    worst_route_hops: int = 0
+    mean_route_hops: float = 0.0
+    worst_route_l2_crossings: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "pairs": self.pairs,
+            "min_cycles": self.min_cycles,
+            "max_cycles": self.max_cycles,
+            "mean_cycles": self.mean_cycles,
+            "worst_pair": list(self.worst_pair),
+            "worst_route_hops": self.worst_route_hops,
+            "mean_route_hops": self.mean_route_hops,
+            "worst_route_l2_crossings": self.worst_route_l2_crossings,
+        }
+
+
+@dataclass
+class FabricBounds:
+    """The complete abstract-bound set for one (spec, config) pair."""
+
+    rings: List[RingBound] = field(default_factory=list)
+    links: List[LinkBound] = field(default_factory=list)
+    inject_bytes_per_cycle: float = 0.0
+    eject_bytes_per_cycle: float = 0.0
+    bisection: Optional[BisectionBound] = None
+    latency: Optional[LatencyBound] = None
+
+    @property
+    def delivered_ceiling_bytes_per_cycle(self) -> float:
+        """End-to-end delivered-bandwidth ceiling (the headline bound)."""
+        return min(self.inject_bytes_per_cycle, self.eject_bytes_per_cycle)
+
+    def to_dict(self) -> dict:
+        ceiling = self.delivered_ceiling_bytes_per_cycle
+        return {
+            "rings": [r.to_dict() for r in self.rings],
+            "links": [l.to_dict() for l in self.links],
+            "inject_bytes_per_cycle": self.inject_bytes_per_cycle,
+            "eject_bytes_per_cycle": self.eject_bytes_per_cycle,
+            "delivered_ceiling_bytes_per_cycle": ceiling,
+            "delivered_ceiling_tbps": bytes_per_cycle_to_tbps(ceiling),
+            "bisection": self.bisection.to_dict() if self.bisection else None,
+            "zero_load_latency": (self.latency.to_dict()
+                                  if self.latency else None),
+        }
+
+
+@dataclass(frozen=True)
+class RouteShape:
+    """Zero-load decomposition of one route."""
+
+    cycles: int        # total zero-load network latency
+    ring_hops: int     # in-ring stop-to-stop hops
+    l1_crossings: int
+    l2_crossings: int
+
+
+def route_shape(router: Router, spec: TopologySpec,
+                src: int, dst: int) -> RouteShape:
+    """Zero-load latency and hop decomposition of the route src -> dst."""
+    rings = {r.ring_id: r for r in spec.rings}
+    bridges = {b.bridge_id: b for b in spec.bridges}
+    _, stop = router.placement(src)
+    cycles = 0
+    ring_hops = 0
+    l1 = l2 = 0
+    for hop in router.route(src, dst):
+        ring = rings[hop.ring]
+        dist = ring_distance(ring.nstops, stop, hop.exit_stop,
+                             ring.bidirectional)
+        ring_hops += dist
+        cycles += dist
+        if hop.port_key[0] == "bridge":
+            bridge = bridges[hop.port_key[1]]
+            side = hop.port_key[2]
+            cycles += LinkBound(
+                bridge_id=bridge.bridge_id, level=bridge.level,
+                ring_a=bridge.ring_a, ring_b=bridge.ring_b,
+                link_latency=bridge.link_latency).crossing_cycles
+            if bridge.level == 2:
+                l2 += 1
+            else:
+                l1 += 1
+            # Entry stop on the next ring is the far bridge endpoint.
+            stop = bridge.stop_b if side == 0 else bridge.stop_a
+    return RouteShape(cycles=cycles, ring_hops=ring_hops,
+                      l1_crossings=l1, l2_crossings=l2)
+
+
+def zero_load_route_cycles(router: Router, spec: TopologySpec,
+                           src: int, dst: int) -> int:
+    """Zero-load network latency (cycles) of the route src -> dst."""
+    return route_shape(router, spec, src, dst).cycles
+
+
+def route_hops(router: Router, src: int, dst: int) -> List[Hop]:
+    """The router's hop list for a pair (exposed for occupancy math)."""
+    return router.route(src, dst)
+
+
+def _latency_bound(spec: TopologySpec, router: Router) -> Optional[LatencyBound]:
+    nodes = sorted(p.node for p in spec.nodes)
+    total = 0
+    total_hops = 0
+    count = 0
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    worst = (0, 0)
+    worst_shape: Optional[RouteShape] = None
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            shape = route_shape(router, spec, src, dst)
+            total += shape.cycles
+            total_hops += shape.ring_hops
+            count += 1
+            if lo is None or shape.cycles < lo:
+                lo = shape.cycles
+            if hi is None or shape.cycles > hi:
+                hi = shape.cycles
+                worst = (src, dst)
+                worst_shape = shape
+    if count == 0 or lo is None or hi is None or worst_shape is None:
+        return None
+    return LatencyBound(
+        pairs=count, min_cycles=lo, max_cycles=hi,
+        mean_cycles=total / count, worst_pair=worst,
+        worst_route_hops=worst_shape.ring_hops,
+        mean_route_hops=total_hops / count,
+        worst_route_l2_crossings=worst_shape.l2_crossings)
+
+
+def _cut_bytes(links_by_ring_pair: Dict[Tuple[int, int], float],
+               side_a: frozenset) -> float:
+    cut = 0.0
+    for (ra, rb), bw in links_by_ring_pair.items():
+        if (ra in side_a) != (rb in side_a):
+            cut += bw
+    return cut
+
+
+def _bisection(spec: TopologySpec, config: MultiRingConfig,
+               links: List[LinkBound]) -> BisectionBound:
+    ring_ids = sorted(r.ring_id for r in spec.rings)
+    if len(ring_ids) == 1:
+        # A bisection of one ring cuts it in two places; each cut point
+        # severs every lane in every direction.
+        ring = spec.rings[0]
+        lanes = _ring_lanes(spec, config, ring.ring_id)
+        dirs = 2 if ring.bidirectional else 1
+        bw = 2 * lanes * dirs * _SLOT_BYTES
+        return BisectionBound(bytes_per_cycle=float(bw),
+                              method="single-ring",
+                              partition=((ring.ring_id,), ()))
+
+    # Bridge bandwidth between ring pairs: both directions of each link.
+    pair_bw: Dict[Tuple[int, int], float] = {}
+    for link in links:
+        key = (min(link.ring_a, link.ring_b), max(link.ring_a, link.ring_b))
+        pair_bw[key] = (pair_bw.get(key, 0.0)
+                        + 2 * link.bytes_per_cycle_per_direction)
+
+    half = len(ring_ids) // 2
+    if len(ring_ids) <= _EXACT_BISECTION_RINGS:
+        best: Optional[Tuple[float, frozenset]] = None
+        # Fix ring_ids[0] on side A to halve the symmetric search.
+        rest = ring_ids[1:]
+        for combo in combinations(rest, half - 1 if half else 0):
+            side_a = frozenset((ring_ids[0],) + combo)
+            cut = _cut_bytes(pair_bw, side_a)
+            if best is None or cut < best[0]:
+                best = (cut, side_a)
+        assert best is not None
+        side_a = best[1]
+        side_b = tuple(r for r in ring_ids if r not in side_a)
+        return BisectionBound(bytes_per_cycle=best[0], method="exact",
+                              partition=(tuple(sorted(side_a)), side_b))
+
+    # Greedy fallback for very large ring counts: alternate assignment
+    # in ring-id order.  Labelled so the report never passes an estimate
+    # off as exact.
+    side_a = frozenset(ring_ids[:half])
+    side_b = tuple(ring_ids[half:])
+    return BisectionBound(bytes_per_cycle=_cut_bytes(pair_bw, side_a),
+                          method="greedy",
+                          partition=(tuple(sorted(side_a)), side_b))
+
+
+def compute_bounds(spec: TopologySpec, config: MultiRingConfig,
+                   router: Optional[Router] = None,
+                   include_latency: bool = True) -> FabricBounds:
+    """All abstract bounds for one fabric configuration."""
+    bounds = FabricBounds()
+    for ring in sorted(spec.rings, key=lambda r: r.ring_id):
+        bounds.rings.append(RingBound(
+            ring_id=ring.ring_id, nstops=ring.nstops,
+            bidirectional=ring.bidirectional,
+            lanes=_ring_lanes(spec, config, ring.ring_id)))
+    for bridge in sorted(spec.bridges, key=lambda b: b.bridge_id):
+        bounds.links.append(LinkBound(
+            bridge_id=bridge.bridge_id, level=bridge.level,
+            ring_a=bridge.ring_a, ring_b=bridge.ring_b,
+            link_latency=bridge.link_latency))
+
+    ring_by_id = {r.ring_id: r for r in bounds.rings}
+    inject = 0.0
+    eject = 0.0
+    for placement in spec.nodes:
+        ring = ring_by_id[placement.ring]
+        inject += ring.lanes * ring.directions * _SLOT_BYTES
+        eject += config.eject_drain_per_cycle * _SLOT_BYTES
+    bounds.inject_bytes_per_cycle = inject
+    bounds.eject_bytes_per_cycle = eject
+
+    bounds.bisection = _bisection(spec, config, bounds.links)
+    if include_latency and spec.nodes:
+        if router is None:
+            router = Router(spec, bridge_penalty=config.bridge_route_penalty)
+        bounds.latency = _latency_bound(spec, router)
+    return bounds
+
+
+def link_rate_tbps(bytes_per_cycle: float) -> float:
+    """Convenience wrapper matching the params helper's defaults."""
+    return bytes_per_cycle_to_tbps(bytes_per_cycle)

@@ -1,0 +1,231 @@
+"""Area/energy/wire budget checks against the physical co-design model.
+
+Evaluates :mod:`repro.phys` for a fabric configuration and compares the
+results with user-supplied ceilings (:class:`BudgetSpec`).  Estimates
+are the paper's Section 3.3/Table 4 first-order models:
+
+- **area** — :func:`repro.phys.area.noc_area` on the chosen wire
+  fabric (station/bridge logic, queues, wire tracks);
+- **wire length** — total routed track length: ring circumference per
+  lane per direction, plus both directions of every RBRG-L2 die-to-die
+  link (its length approximated as ``link_latency`` jump distances,
+  the distance-per-cycle identity);
+- **energy per flit** — the worst-case route: max zero-load hop count
+  times the bufferless hop energy, plus one D2D crossing per L2 bridge
+  on the worst route's path;
+- **power** — offered load times mean route energy when a workload is
+  given, else the delivered-bandwidth ceiling times the worst route
+  energy (a deliberately conservative static peak).
+
+Each ceiling that an estimate exceeds becomes an error finding
+(``budget-area`` / ``budget-wire`` / ``budget-energy`` /
+``budget-power``), so ``repro-noc analyze --budget`` exits 1 exactly
+when the configuration cannot fit its physical envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.lint.findings import Finding, Severity
+from repro.params import NOC_FREQ_HZ
+from repro.phys.area import FLIT_BITS, AreaBreakdown, noc_area
+from repro.phys.energy import EnergyModel
+from repro.phys.repeaters import plan_repeaters
+from repro.phys.wires import HIGH_DENSITY, HIGH_SPEED, WireFabric
+
+_FABRICS = {f.name: f for f in (HIGH_DENSITY, HIGH_SPEED)}
+
+
+@dataclass
+class BudgetSpec:
+    """User-supplied physical ceilings (None = unconstrained)."""
+
+    max_area_mm2: Optional[float] = None
+    max_power_w: Optional[float] = None
+    max_wire_mm: Optional[float] = None
+    max_energy_pj_per_flit: Optional[float] = None
+    wire_fabric: str = HIGH_DENSITY.name
+
+    @property
+    def constrained(self) -> bool:
+        return any(v is not None for v in (
+            self.max_area_mm2, self.max_power_w, self.max_wire_mm,
+            self.max_energy_pj_per_flit))
+
+    def fabric(self) -> WireFabric:
+        try:
+            return _FABRICS[self.wire_fabric]
+        except KeyError:
+            raise ValueError(
+                f"unknown wire fabric '{self.wire_fabric}' "
+                f"(known: {', '.join(sorted(_FABRICS))})")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_area_mm2": self.max_area_mm2,
+            "max_power_w": self.max_power_w,
+            "max_wire_mm": self.max_wire_mm,
+            "max_energy_pj_per_flit": self.max_energy_pj_per_flit,
+            "wire_fabric": self.wire_fabric,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BudgetSpec":
+        known = {"max_area_mm2", "max_power_w", "max_wire_mm",
+                 "max_energy_pj_per_flit", "wire_fabric"}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown budget key(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})")
+        return cls(**raw)
+
+    @classmethod
+    def load(cls, path: str) -> "BudgetSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass
+class BudgetReport:
+    """Physical estimates plus any ceiling violations."""
+
+    fabric_name: str
+    area: AreaBreakdown
+    wire_mm: float
+    repeater_banks: int
+    worst_route_energy_pj: float
+    mean_route_energy_pj: float
+    power_w: float
+    power_basis: str  # "workload" or "peak-ceiling"
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def within_budget(self) -> bool:
+        return not any(f.is_error for f in self.findings)
+
+    def to_dict(self) -> dict:
+        return {
+            "wire_fabric": self.fabric_name,
+            "area_mm2": self.area.total_mm2,
+            "area_breakdown_um2": {
+                "stations": self.area.stations_um2,
+                "bridges": self.area.bridges_um2,
+                "queues": self.area.queues_um2,
+                "wires": self.area.wires_um2,
+            },
+            "wire_mm": self.wire_mm,
+            "repeater_banks": self.repeater_banks,
+            "worst_route_energy_pj": self.worst_route_energy_pj,
+            "mean_route_energy_pj": self.mean_route_energy_pj,
+            "power_w": self.power_w,
+            "power_basis": self.power_basis,
+            "within_budget": self.within_budget,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _budget_finding(rule: str, message: str) -> Finding:
+    return Finding(rule=rule, message=message, severity=Severity.ERROR,
+                   path=None)
+
+
+def _wire_length_mm(spec: TopologySpec, config: MultiRingConfig,
+                    fabric: WireFabric) -> float:
+    stop_um = fabric.jump_um_at_3ghz
+    total_um = 0.0
+    for ring in spec.rings:
+        lanes = (ring.lanes if ring.lanes is not None
+                 else config.lanes_per_direction)
+        directions = 2 if ring.bidirectional else 1
+        total_um += ring.nstops * stop_um * lanes * directions
+    for bridge in spec.bridges:
+        if bridge.level == 2:
+            total_um += 2 * bridge.link_latency * stop_um
+    return total_um / 1000.0
+
+
+def evaluate_budget(
+    spec: TopologySpec,
+    config: MultiRingConfig,
+    budget: BudgetSpec,
+    *,
+    worst_route_hops: int,
+    mean_route_hops: float,
+    worst_route_l2_crossings: int,
+    delivered_ceiling_bytes_per_cycle: float,
+    offered_flits_per_cycle: Optional[float] = None,
+    energy: Optional[EnergyModel] = None,
+) -> BudgetReport:
+    """Estimate physicals for (spec, config) and check the ceilings.
+
+    Route-shape inputs (hop counts, L2 crossings) come from the bounds
+    pass so the energy model prices the same routes the latency bound
+    measured.
+    """
+    fabric = budget.fabric()
+    energy = energy or EnergyModel()
+    area = noc_area(spec, fabric, config.queues,
+                    lanes_per_direction=config.lanes_per_direction)
+    wire_mm = _wire_length_mm(spec, config, fabric)
+    hop_mm = fabric.jump_um_at_3ghz / 1000.0
+    worst_pj = (worst_route_hops * energy.bufferless_hop_pj(hop_mm)
+                + worst_route_l2_crossings * energy.d2d_crossing_pj()
+                + energy.allocation_pj_per_flit)
+    mean_pj = (mean_route_hops * energy.bufferless_hop_pj(hop_mm)
+               + energy.allocation_pj_per_flit)
+
+    flit_bytes = FLIT_BITS / 8.0
+    if offered_flits_per_cycle is not None:
+        flits_per_cycle = offered_flits_per_cycle
+        route_pj = mean_pj
+        basis = "workload"
+    else:
+        flits_per_cycle = delivered_ceiling_bytes_per_cycle / flit_bytes
+        route_pj = worst_pj
+        basis = "peak-ceiling"
+    power_w = flits_per_cycle * NOC_FREQ_HZ * route_pj * 1e-12
+
+    # One repeater plan per ring lane-direction, for the bank count.
+    banks = 0
+    for ring in spec.rings:
+        lanes = (ring.lanes if ring.lanes is not None
+                 else config.lanes_per_direction)
+        directions = 2 if ring.bidirectional else 1
+        plan = plan_repeaters(fabric, ring.nstops * fabric.jump_um_at_3ghz,
+                              FLIT_BITS)
+        banks += plan.repeater_banks * lanes * directions
+
+    report = BudgetReport(
+        fabric_name=fabric.name, area=area, wire_mm=wire_mm,
+        repeater_banks=banks, worst_route_energy_pj=worst_pj,
+        mean_route_energy_pj=mean_pj, power_w=power_w, power_basis=basis)
+
+    if (budget.max_area_mm2 is not None
+            and area.total_mm2 > budget.max_area_mm2):
+        report.findings.append(_budget_finding(
+            "budget-area",
+            f"estimated NoC area {area.total_mm2:.3f} mm^2 exceeds the "
+            f"{budget.max_area_mm2:.3f} mm^2 ceiling on the "
+            f"{fabric.name} fabric"))
+    if budget.max_wire_mm is not None and wire_mm > budget.max_wire_mm:
+        report.findings.append(_budget_finding(
+            "budget-wire",
+            f"estimated wire length {wire_mm:.2f} mm exceeds the "
+            f"{budget.max_wire_mm:.2f} mm ceiling"))
+    if (budget.max_energy_pj_per_flit is not None
+            and worst_pj > budget.max_energy_pj_per_flit):
+        report.findings.append(_budget_finding(
+            "budget-energy",
+            f"worst-case route energy {worst_pj:.1f} pJ/flit exceeds "
+            f"the {budget.max_energy_pj_per_flit:.1f} pJ/flit ceiling"))
+    if budget.max_power_w is not None and power_w > budget.max_power_w:
+        report.findings.append(_budget_finding(
+            "budget-power",
+            f"estimated power {power_w:.3f} W ({basis}) exceeds the "
+            f"{budget.max_power_w:.3f} W ceiling"))
+    return report

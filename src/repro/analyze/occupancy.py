@@ -1,0 +1,221 @@
+"""Static ring-occupancy and saturation estimates from a workload.
+
+Maps a :class:`~repro.analyze.workload.WorkloadDescriptor` onto the
+router's hop graph and compares the resulting steady-state demand
+against the transport ceilings of :mod:`repro.analyze.bounds`:
+
+- each flow of ``rate`` flits/cycle riding ``d`` stops on a ring demands
+  ``rate * d`` slot-hops/cycle of that ring's ``nstops * lanes * dirs``
+  capacity;
+- each bridge crossing demands ``rate`` flits/cycle of the bridge's
+  one-flit-per-cycle direction;
+- each source demands ``rate`` passing slots of its station's
+  ``lanes * dirs`` injection opportunities; each destination demands
+  drain capacity of ``eject_drain_per_cycle``.
+
+Utilization >= 1.0 is statically infeasible (demand exceeds a hard
+ceiling — the fabric *cannot* deliver the offered load) and is an error
+finding; >= :data:`WARN_UTILIZATION` is a warning, since deflection
+fabrics degrade well before nominal capacity.  This is the static
+complement to the runtime ``ProgressWatchdog``: the watchdog catches a
+wedged run after the fact, these findings predict the wedge from the
+config alone.
+
+The replay-buffer check models the reliable-link ack window: with
+``replay_depth`` slots and a ``round_trip(link_latency)`` cycle ack
+loop, an RBRG-L2 link sustains at most ``depth / round_trip``
+flits/cycle regardless of raw link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.routing import Router, ring_distance
+from repro.analyze.bounds import FabricBounds
+from repro.analyze.workload import WorkloadDescriptor
+from repro.lint.findings import Finding, Severity
+
+#: Utilization at which a warning finding is emitted.
+WARN_UTILIZATION = 0.75
+
+
+def _finding(rule: str, message: str, severity: Severity) -> Finding:
+    return Finding(rule=rule, message=message, severity=severity,
+                   path=None)
+
+
+@dataclass
+class OccupancyEstimate:
+    """Steady-state utilization estimates for one workload."""
+
+    workload_name: str = "workload"
+    total_rate: float = 0.0
+    #: ring_id -> demanded slot-hops per cycle / capacity.
+    ring_utilization: Dict[int, float] = field(default_factory=dict)
+    #: (bridge_id, direction 0=a->b) -> demanded flits per cycle / 1.
+    link_utilization: Dict[Tuple[int, int], float] = field(
+        default_factory=dict)
+    #: node -> injection demand / injection opportunity.
+    inject_utilization: Dict[int, float] = field(default_factory=dict)
+    #: node -> ejection demand / drain capacity.
+    eject_utilization: Dict[int, float] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """False iff demand statically exceeds a hard ceiling."""
+        return not any(f.is_error for f in self.findings)
+
+    @property
+    def max_ring_utilization(self) -> float:
+        return max(self.ring_utilization.values(), default=0.0)
+
+    @property
+    def max_link_utilization(self) -> float:
+        return max(self.link_utilization.values(), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload_name,
+            "total_rate_flits_per_cycle": self.total_rate,
+            "feasible": self.feasible,
+            "ring_utilization": {str(k): v for k, v in
+                                 sorted(self.ring_utilization.items())},
+            "link_utilization": {
+                f"{bid}:{'ab' if d == 0 else 'ba'}": v
+                for (bid, d), v in sorted(self.link_utilization.items())},
+            "inject_utilization": {str(k): v for k, v in
+                                   sorted(self.inject_utilization.items())},
+            "eject_utilization": {str(k): v for k, v in
+                                  sorted(self.eject_utilization.items())},
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _severity_for(utilization: float) -> Optional[Severity]:
+    if utilization >= 1.0:
+        return Severity.ERROR
+    if utilization >= WARN_UTILIZATION:
+        return Severity.WARNING
+    return None
+
+
+def estimate_occupancy(
+    spec: TopologySpec,
+    config: MultiRingConfig,
+    workload: WorkloadDescriptor,
+    bounds: FabricBounds,
+    router: Optional[Router] = None,
+) -> OccupancyEstimate:
+    """Project ``workload`` onto routes and rate every ceiling."""
+    if router is None:
+        router = Router(spec, bridge_penalty=config.bridge_route_penalty)
+    rings = {r.ring_id: r for r in spec.rings}
+    bridges = {b.bridge_id: b for b in spec.bridges}
+    ring_caps = {r.ring_id: r.slot_hops_per_cycle for r in bounds.rings}
+    link_caps = {l.bridge_id: l.flits_per_cycle_per_direction
+                 for l in bounds.links}
+    ring_lanes = {r.ring_id: r.lanes * r.directions for r in bounds.rings}
+
+    est = OccupancyEstimate(workload_name=workload.name,
+                            total_rate=workload.total_rate)
+    ring_demand: Dict[int, float] = {}
+    link_demand: Dict[Tuple[int, int], float] = {}
+    # Demand over each L2 link in flits/cycle, both directions summed,
+    # for the replay-window check.
+    l2_demand: Dict[int, float] = {}
+
+    for flow in workload.flows:
+        if flow.rate <= 0:
+            continue
+        _, stop = router.placement(flow.src)
+        for hop in router.route(flow.src, flow.dst):
+            ring = rings[hop.ring]
+            dist = ring_distance(ring.nstops, stop, hop.exit_stop,
+                                 ring.bidirectional)
+            ring_demand[hop.ring] = (ring_demand.get(hop.ring, 0.0)
+                                     + flow.rate * dist)
+            if hop.port_key[0] == "bridge":
+                bid, side = hop.port_key[1], hop.port_key[2]
+                key = (bid, side)
+                link_demand[key] = link_demand.get(key, 0.0) + flow.rate
+                bridge = bridges[bid]
+                if bridge.level == 2:
+                    l2_demand[bid] = l2_demand.get(bid, 0.0) + flow.rate
+                stop = bridge.stop_b if side == 0 else bridge.stop_a
+
+    for ring_id in sorted(ring_caps):
+        demand = ring_demand.get(ring_id, 0.0)
+        util = demand / ring_caps[ring_id] if ring_caps[ring_id] else 0.0
+        est.ring_utilization[ring_id] = util
+        severity = _severity_for(util)
+        if severity is not None:
+            est.findings.append(_finding(
+                "ring-saturated",
+                f"ring {ring_id} demand {demand:.2f} slot-hops/cycle is "
+                f"{util:.0%} of its {ring_caps[ring_id]} slot-hop/cycle "
+                "transport ceiling", severity))
+
+    for (bid, side) in sorted(link_demand):
+        demand = link_demand[(bid, side)]
+        cap = link_caps.get(bid, 1)
+        util = demand / cap if cap else 0.0
+        est.link_utilization[(bid, side)] = util
+        severity = _severity_for(util)
+        if severity is not None:
+            direction = "a->b" if side == 0 else "b->a"
+            est.findings.append(_finding(
+                "link-saturated",
+                f"bridge {bid} direction {direction} demand "
+                f"{demand:.2f} flits/cycle is {util:.0%} of its "
+                f"{cap} flit/cycle forwarding ceiling", severity))
+
+    placements = {p.node: p.ring for p in spec.nodes}
+    for node, rate in workload.per_node_injection.items():
+        cap = ring_lanes.get(placements.get(node, -1), 0)
+        util = rate / cap if cap else float("inf")
+        est.inject_utilization[node] = util
+        severity = _severity_for(util)
+        if severity is not None:
+            est.findings.append(_finding(
+                "inject-overload",
+                f"node {node} injects {rate:.2f} flits/cycle against "
+                f"{cap} passing-slot opportunities per cycle "
+                f"({util:.0%}); its inject queue "
+                f"(depth {config.queues.inject_queue_depth}) backs up",
+                severity))
+    for node, rate in workload.per_node_ejection.items():
+        cap = config.eject_drain_per_cycle
+        util = rate / cap if cap else float("inf")
+        est.eject_utilization[node] = util
+        severity = _severity_for(util)
+        if severity is not None:
+            est.findings.append(_finding(
+                "eject-overload",
+                f"node {node} receives {rate:.2f} flits/cycle against an "
+                f"eject drain of {cap}/cycle ({util:.0%}); flits deflect "
+                "past a full eject queue "
+                f"(depth {config.queues.eject_queue_depth})", severity))
+
+    reliability = config.reliability
+    if reliability is not None and getattr(reliability, "enable_retry", False):
+        for bid in sorted(l2_demand):
+            bridge = bridges[bid]
+            depth = reliability.replay_depth
+            if depth <= 0:
+                continue  # auto-sized buffers never throttle
+            round_trip = reliability.round_trip(bridge.link_latency)
+            sustainable = min(1.0, depth / round_trip) if round_trip else 1.0
+            demand = l2_demand[bid]
+            if demand > sustainable:
+                est.findings.append(_finding(
+                    "replay-buffer-throttles",
+                    f"bridge {bid} carries {demand:.2f} flits/cycle but "
+                    f"replay_depth {depth} over a {round_trip}-cycle ack "
+                    f"round trip sustains only {sustainable:.2f} "
+                    "flits/cycle; the replay window throttles the link",
+                    Severity.ERROR))
+    return est

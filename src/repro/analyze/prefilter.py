@@ -1,0 +1,98 @@
+"""Sweep prefilters: static feasibility as a pruning predicate.
+
+Adapters between the analyzer and the sweep runner's ``prefilter=``
+hook (:mod:`repro.perf.sweep`): a prefilter maps ``(SweepPoint, seed)``
+to ``None`` (run the point) or a human-readable skip reason.  They run
+in the parent process before dispatch, so they may be closures; only
+the worker function itself must be picklable.
+
+This is the pruning predicate the design-space autotuner (ROADMAP)
+needs: a statically-infeasible point — offered load above a hard
+transport ceiling, a deadlock-capable channel cycle, a replay buffer
+that throttles its own link, a budget the floorplan cannot fit — wastes
+a full simulation timeout to learn what the config already says.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.analyze.budget import BudgetSpec
+from repro.analyze.report import analyze_system
+from repro.analyze.workload import WorkloadDescriptor, uniform_for_topology
+
+if TYPE_CHECKING:
+    # Type-only: importing repro.perf.sweep at runtime would pull the
+    # simulation stack into the otherwise-static analyzer package.
+    from repro.perf.sweep import SweepPoint
+
+
+def infeasible_reason(
+    spec: TopologySpec,
+    config: MultiRingConfig,
+    workload: Optional[WorkloadDescriptor] = None,
+    budget: Optional[BudgetSpec] = None,
+) -> Optional[str]:
+    """First static-infeasibility reason for a fabric, or None.
+
+    Runs the full analyzer passes (bounds, occupancy, budget, CDG) and
+    reports the first error finding's message.
+    """
+    system = analyze_system("prefilter", spec, config,
+                            workload=workload, budget=budget)
+    for finding in system.findings:
+        if finding.is_error:
+            return f"[{finding.rule}] {finding.message}"
+    return None
+
+
+def uniform_rate_prefilter(
+    spec: TopologySpec,
+    config: MultiRingConfig,
+    rate_param: str = "rate",
+    budget: Optional[BudgetSpec] = None,
+) -> Callable[[SweepPoint, int], Optional[str]]:
+    """Prefilter for sweeps whose points carry a per-node injection rate.
+
+    Each point's ``rate_param`` (flits/cycle/node) becomes a uniform
+    workload over the fabric's nodes; the point is skipped when that
+    load statically exceeds a transport ceiling (or the budget fails).
+    """
+    def check(point: SweepPoint, seed: int) -> Optional[str]:
+        params = point.as_dict()
+        rate = params.get(rate_param)
+        workload = (uniform_for_topology(spec, float(rate))
+                    if rate is not None else None)
+        return infeasible_reason(spec, config, workload=workload,
+                                 budget=budget)
+    return check
+
+
+def campaign_prefilter(point: SweepPoint, seed: int) -> Optional[str]:
+    """Static feasibility of a fault-campaign point.
+
+    Rebuilds the point's reliability config exactly as
+    :func:`repro.faults.campaign.fault_campaign_point` will and runs the
+    static reliability checks against the campaign's chiplet-pair
+    topology — a replay buffer smaller than the link round trip
+    backpressures the link before the first ack returns, so the point
+    can only end in a watchdog wedge.
+    """
+    from repro.core.topology import chiplet_pair
+    from repro.faults.link import LinkReliabilityConfig
+    from repro.lint.validator import validate_reliability
+
+    params = point.as_dict()
+    try:
+        reliability = LinkReliabilityConfig(
+            retry_limit=params.get("retry_limit", 8),
+            replay_depth=params.get("replay_depth", 0))
+    except ValueError as exc:
+        return f"[bad-reliability-config] {exc}"
+    topology, _, _ = chiplet_pair(nodes_per_ring=4)
+    latencies = [b.link_latency for b in topology.bridges if b.level == 2]
+    for finding in validate_reliability(reliability, latencies):
+        if finding.is_error:
+            return f"[{finding.rule}] {finding.message}"
+    return None

@@ -1,0 +1,216 @@
+"""`repro-noc analyze` orchestration: one structured AnalysisReport.
+
+Folds the four static passes over each analyzed system into one report:
+
+1. abstract bandwidth/latency bounds (:mod:`repro.analyze.bounds`);
+2. workload occupancy/saturation estimates
+   (:mod:`repro.analyze.occupancy`), when an injection-rate descriptor
+   is given;
+3. physical budget checks (:mod:`repro.analyze.budget`), when budget
+   ceilings are given;
+4. deadlock classification, reusing the channel-dependency analyzer
+   from :mod:`repro.verify.cdg`.
+
+No pass steps the simulator: everything is a function of
+``TopologySpec`` + ``MultiRingConfig`` (+ the workload/budget inputs).
+Findings, exit codes, and ordering follow the shared
+:mod:`repro.reporting` conventions, so ``analyze`` composes with
+``check`` and ``verify`` in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.routing import Router
+from repro.analyze.bounds import FabricBounds, compute_bounds
+from repro.analyze.budget import BudgetReport, BudgetSpec, evaluate_budget
+from repro.analyze.occupancy import OccupancyEstimate, estimate_occupancy
+from repro.analyze.workload import WorkloadDescriptor, uniform_for_topology
+from repro.lint.findings import Finding, Severity
+from repro.reporting import FindingsReport, sort_findings
+
+
+@dataclass
+class SystemAnalysis:
+    """Everything the analyzer derived about one system."""
+
+    name: str
+    bounds: FabricBounds
+    cdg: dict = field(default_factory=dict)
+    occupancy: Optional[OccupancyEstimate] = None
+    budget: Optional[BudgetReport] = None
+    findings: List[Finding] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bounds": self.bounds.to_dict(),
+            "cdg": self.cdg,
+            "occupancy": (self.occupancy.to_dict()
+                          if self.occupancy else None),
+            "budget": self.budget.to_dict() if self.budget else None,
+            "findings": [f.to_dict()
+                         for f in sort_findings(self.findings)],
+        }
+
+
+@dataclass
+class AnalysisReport(FindingsReport):
+    """All analyzed systems plus the aggregated findings list.
+
+    The findings list (inherited) aggregates every per-system finding,
+    so the shared exit-code/ordering conventions apply unchanged.
+    """
+
+    systems: List[SystemAnalysis] = field(default_factory=list)
+
+    def add_system(self, system: SystemAnalysis) -> None:
+        self.systems.append(system)
+        self.findings.extend(system.findings)
+
+    def to_dict(self) -> dict:
+        out = self.findings_to_dict()
+        out["systems"] = [s.to_dict() for s in self.systems]
+        return out
+
+    def format(self) -> str:
+        lines: List[str] = []
+        for system in self.systems:
+            lines.append(f"== {system.name} ==")
+            b = system.bounds
+            ceiling = b.delivered_ceiling_bytes_per_cycle
+            lines.append(
+                f"  bandwidth: delivered ceiling {ceiling:.0f} B/cycle "
+                f"(inject {b.inject_bytes_per_cycle:.0f}, eject "
+                f"{b.eject_bytes_per_cycle:.0f})")
+            for ring in b.rings:
+                lines.append(
+                    f"    ring {ring.ring_id}: "
+                    f"{ring.slot_hops_per_cycle} slot-hops/cycle "
+                    f"({ring.transport_bytes_per_cycle} B/cycle)")
+            for link in b.links:
+                lines.append(
+                    f"    bridge {link.bridge_id} (L{link.level}): "
+                    f"{link.bytes_per_cycle_per_direction} B/cycle per "
+                    f"direction, crossing {link.crossing_cycles} cycles")
+            if b.bisection is not None:
+                lines.append(
+                    f"  bisection: {b.bisection.bytes_per_cycle:.0f} "
+                    f"B/cycle ({b.bisection.method})")
+            if b.latency is not None:
+                lat = b.latency
+                lines.append(
+                    f"  zero-load latency: {lat.min_cycles}.."
+                    f"{lat.max_cycles} cycles (mean {lat.mean_cycles:.1f} "
+                    f"over {lat.pairs} pairs; worst {lat.worst_pair})")
+            if system.occupancy is not None:
+                occ = system.occupancy
+                verdict = "feasible" if occ.feasible else "INFEASIBLE"
+                lines.append(
+                    f"  occupancy[{occ.workload_name}]: {verdict} — max "
+                    f"ring {occ.max_ring_utilization:.0%}, max link "
+                    f"{occ.max_link_utilization:.0%}")
+            if system.budget is not None:
+                bud = system.budget
+                verdict = ("within budget" if bud.within_budget
+                           else "OVER BUDGET")
+                lines.append(
+                    f"  budget[{bud.fabric_name}]: {verdict} — area "
+                    f"{bud.area.total_mm2:.3f} mm^2, wire "
+                    f"{bud.wire_mm:.1f} mm, worst route "
+                    f"{bud.worst_route_energy_pj:.0f} pJ/flit, power "
+                    f"{bud.power_w:.2f} W ({bud.power_basis})")
+            classes = sorted(
+                {cyc["classification"]
+                 for cyc in system.cdg.get("cycles", [])})
+            ncycles = len(system.cdg.get("cycles", []))
+            lines.append(
+                f"  cdg: {ncycles} cyclic component(s)"
+                + (f" [{', '.join(classes)}]" if classes else ""))
+            for finding in sort_findings(system.findings):
+                lines.append("  " + finding.format())
+        # Findings not attached to a system (e.g. a scenario file too
+        # broken to analyze) still render — errors are never invisible.
+        attached = {id(f) for s in self.systems for f in s.findings}
+        for finding in sort_findings(
+                [f for f in self.findings if id(f) not in attached]):
+            lines.append(finding.format())
+        lines.append(
+            f"analyze: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) across "
+            f"{len(self.systems)} system(s)")
+        return "\n".join(lines)
+
+
+def analyze_system(
+    name: str,
+    spec: TopologySpec,
+    config: MultiRingConfig,
+    workload: Optional[WorkloadDescriptor] = None,
+    budget: Optional[BudgetSpec] = None,
+) -> SystemAnalysis:
+    """Run every static pass over one (spec, config) pair."""
+    # Deferred import mirrors the validator: repro.verify builds on the
+    # lint findings types, so circularity is avoided at module load.
+    from repro.verify.cdg import analyze_cdg
+
+    router = Router(spec, bridge_penalty=config.bridge_route_penalty)
+    bounds = compute_bounds(spec, config, router=router)
+    cdg = analyze_cdg(spec, config)
+    system = SystemAnalysis(name=name, bounds=bounds, cdg=cdg.to_dict())
+    for cyc in cdg.deadlock_capable:
+        system.findings.append(Finding(
+            rule="deadlock-capable",
+            message=(f"CDG cycle across rings {sorted(cyc.rings)} / "
+                     f"bridges {sorted(cyc.bridges)} has no SWAP or "
+                     "escape-slot break"),
+            severity=Severity.ERROR, path=None))
+    if workload is not None:
+        system.occupancy = estimate_occupancy(
+            spec, config, workload, bounds, router=router)
+        system.findings.extend(system.occupancy.findings)
+    if budget is not None and budget.constrained:
+        lat = bounds.latency
+        system.budget = evaluate_budget(
+            spec, config, budget,
+            worst_route_hops=lat.worst_route_hops if lat else 0,
+            mean_route_hops=lat.mean_route_hops if lat else 0.0,
+            worst_route_l2_crossings=(lat.worst_route_l2_crossings
+                                      if lat else 0),
+            delivered_ceiling_bytes_per_cycle=(
+                bounds.delivered_ceiling_bytes_per_cycle),
+            offered_flits_per_cycle=(workload.total_rate
+                                     if workload else None))
+        system.findings.extend(system.budget.findings)
+    return system
+
+
+def run_analyze(
+    system_names: Optional[List[str]] = None,
+    *,
+    no_swap: bool = False,
+    injection_rate: Optional[float] = None,
+    workload: Optional[WorkloadDescriptor] = None,
+    budget: Optional[BudgetSpec] = None,
+) -> AnalysisReport:
+    """Analyze the named built-in systems (the CLI entry point).
+
+    ``injection_rate`` is the uniform-random shorthand: each system gets
+    a per-node-rate uniform workload over its own nodes.  An explicit
+    ``workload`` descriptor wins over the shorthand.
+    """
+    from repro.verify.report import resolve_systems
+
+    report = AnalysisReport()
+    for name, (spec, config, _) in resolve_systems(
+            system_names or [], no_swap).items():
+        system_workload = workload
+        if system_workload is None and injection_rate is not None:
+            system_workload = uniform_for_topology(spec, injection_rate)
+        report.add_system(analyze_system(
+            name, spec, config,
+            workload=system_workload, budget=budget))
+    return report

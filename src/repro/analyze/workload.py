@@ -1,0 +1,104 @@
+"""Workload injection-rate descriptors for the static analyzer.
+
+A :class:`WorkloadDescriptor` is the analyzer's stand-in for a traffic
+generator: a list of :class:`Flow` entries, each an average injection
+rate (flits per cycle) from one station to another.  Rates are long-run
+averages, so fractional values are meaningful (0.1 = one flit every ten
+cycles); the occupancy model in :mod:`repro.analyze.occupancy` turns
+them into per-ring and per-link utilization estimates without stepping
+the simulator.
+
+Descriptors are plain data: they serialize to/from JSON dicts so the
+CLI can take ``--injection-rate`` (uniform random shorthand) or a full
+per-flow JSON file, and sweep prefilters can build them from sweep
+point parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.config import TopologySpec
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One average traffic flow: ``rate`` flits/cycle from src to dst."""
+
+    src: int
+    dst: int
+    rate: float
+
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "rate": self.rate}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Flow":
+        return cls(src=int(raw["src"]), dst=int(raw["dst"]),
+                   rate=float(raw["rate"]))
+
+
+@dataclass
+class WorkloadDescriptor:
+    """A set of average flows describing offered load on a fabric."""
+
+    flows: List[Flow] = field(default_factory=list)
+    name: str = "workload"
+
+    @classmethod
+    def uniform(cls, nodes: Sequence[int], per_node_rate: float,
+                name: str = "uniform") -> "WorkloadDescriptor":
+        """Uniform-random traffic: each node injects ``per_node_rate``
+        flits/cycle, spread evenly over every other node.
+
+        This mirrors :func:`repro.testing.uniform_messages` in the
+        average — a uniform destination draw is 1/(n-1) of the node's
+        rate per destination.
+        """
+        nodes = list(nodes)
+        flows: List[Flow] = []
+        if len(nodes) < 2 or per_node_rate <= 0:
+            return cls(flows=flows, name=name)
+        share = per_node_rate / (len(nodes) - 1)
+        for src in nodes:
+            for dst in nodes:
+                if src != dst:
+                    flows.append(Flow(src=src, dst=dst, rate=share))
+        return cls(flows=flows, name=name)
+
+    @property
+    def per_node_injection(self) -> Dict[int, float]:
+        """Total injection rate per source node, in node-id order."""
+        totals: Dict[int, float] = {}
+        for flow in self.flows:
+            totals[flow.src] = totals.get(flow.src, 0.0) + flow.rate
+        return {node: totals[node] for node in sorted(totals)}
+
+    @property
+    def per_node_ejection(self) -> Dict[int, float]:
+        """Total delivery rate per destination node, in node-id order."""
+        totals: Dict[int, float] = {}
+        for flow in self.flows:
+            totals[flow.dst] = totals.get(flow.dst, 0.0) + flow.rate
+        return {node: totals[node] for node in sorted(totals)}
+
+    @property
+    def total_rate(self) -> float:
+        return sum(f.rate for f in self.flows)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "flows": [f.to_dict() for f in self.flows]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "WorkloadDescriptor":
+        return cls(name=str(raw.get("name", "workload")),
+                   flows=[Flow.from_dict(f) for f in raw.get("flows", [])])
+
+
+def uniform_for_topology(spec: TopologySpec,
+                         per_node_rate: float) -> WorkloadDescriptor:
+    """Uniform-random workload over every placed node of ``spec``."""
+    return WorkloadDescriptor.uniform(
+        sorted(p.node for p in spec.nodes), per_node_rate)

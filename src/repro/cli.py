@@ -230,11 +230,24 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     rates = [float(x) for x in args.rates.split(",") if x.strip()]
     retry_limits = [int(x) for x in args.retry_limits.split(",") if x.strip()]
+    replay_depths = [int(x) for x in args.replay_depths.split(",")
+                     if x.strip()]
+    prefilter = None
+    if args.prefilter:
+        from repro.analyze.prefilter import campaign_prefilter
+        prefilter = campaign_prefilter
     cache = ResultCache(args.cache) if args.cache else None
     results = run_campaign(rates=rates, retry_limits=retry_limits,
                            messages=args.messages, base_seed=args.seed,
-                           workers=args.workers, cache=cache)
+                           workers=args.workers, cache=cache,
+                           replay_depths=replay_depths,
+                           prefilter=prefilter)
     print(format_campaign(results))
+    if prefilter is not None:
+        from repro.perf.sweep import skipped_points
+        skipped = skipped_points(results)
+        print(f"prefilter: statically skipped {len(skipped)}/"
+              f"{len(results)} point(s)")
     if args.json:
         with open(args.json, "w") as fh:
             _json.dump(results, fh, indent=2)
@@ -243,7 +256,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"under {cache.root}")
     if args.require_zero_drops:
-        bad = [r for r in results if r["dropped"] or r["wedged"]]
+        bad = [r for r in results
+               if not r.get("skipped") and (r["dropped"] or r["wedged"])]
         if bad:
             for r in bad:
                 print(f"FAIL {r['point']}: dropped {r['dropped']}, "
@@ -428,12 +442,101 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analyze import (
+        AnalysisReport,
+        BudgetSpec,
+        WorkloadDescriptor,
+        analyze_system,
+        run_analyze,
+        uniform_for_topology,
+    )
+
+    budget = None
+    if args.budget:
+        try:
+            budget = BudgetSpec.load(args.budget)
+        except (OSError, ValueError, _json.JSONDecodeError) as exc:
+            print(f"cannot load budget {args.budget}: {exc}",
+                  file=sys.stderr)
+            return 2
+    overrides = {
+        "max_area_mm2": args.max_area_mm2,
+        "max_power_w": args.max_power_w,
+        "max_wire_mm": args.max_wire_mm,
+        "max_energy_pj_per_flit": args.max_energy_pj_per_flit,
+    }
+    if any(v is not None for v in overrides.values()):
+        budget = budget or BudgetSpec()
+        for key in sorted(overrides):
+            if overrides[key] is not None:
+                setattr(budget, key, overrides[key])
+    if budget is not None and args.wire_fabric:
+        budget.wire_fabric = args.wire_fabric
+
+    workload = None
+    if args.workload:
+        try:
+            with open(args.workload, "r", encoding="utf-8") as fh:
+                workload = WorkloadDescriptor.from_dict(_json.load(fh))
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            print(f"cannot load workload {args.workload}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    report = AnalysisReport()
+    if args.system or not args.scenario:
+        base = run_analyze(
+            args.system or None,
+            no_swap=args.no_swap,
+            injection_rate=args.injection_rate,
+            workload=workload,
+            budget=budget,
+        )
+        for system in base.systems:
+            report.add_system(system)
+
+    for path in args.scenario:
+        from repro.core.serialize import topology_from_dict
+        from repro.lint.validator import (
+            _config_from_dict,
+            validate_scenario_file,
+        )
+
+        findings = validate_scenario_file(path)
+        if any(f.is_error for f in findings):
+            # Structurally broken: report the validator findings instead
+            # of crashing in deserialization.
+            report.findings.extend(findings)
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = _json.load(fh)
+        topo_raw = raw.get("topology", raw)
+        spec = topology_from_dict(topo_raw)
+        config = _config_from_dict(raw.get("config", {}), path, findings)
+        scenario_workload = workload
+        if scenario_workload is None and args.injection_rate is not None:
+            scenario_workload = uniform_for_topology(
+                spec, args.injection_rate)
+        report.add_system(analyze_system(
+            path, spec, config,
+            workload=scenario_workload, budget=budget))
+
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-noc",
         description="Bufferless multi-ring NoC reproduction (HPCA 2022)",
-        epilog="exit codes: 0 success, 1 findings (check/verify) or a "
-               "failed gate, 2 usage errors or an escaped invariant "
+        epilog="exit codes: 0 success, 1 findings (check/verify/analyze) "
+               "or a failed gate, 2 usage errors or an escaped invariant "
                "violation",
     )
     parser.add_argument("--version", action="version",
@@ -491,6 +594,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="report wall-clock time per verification stage")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static fabric analysis: abstract bandwidth/latency "
+             "bounds, occupancy estimates, physical budget checks, and "
+             "deadlock classification — no simulation")
+    p.add_argument("--system", action="append",
+                   choices=["pair", "chiplet-pair", "server", "ai", "all"],
+                   help="built-in system(s) to analyze (repeatable; "
+                        "default: pair and chiplet-pair)")
+    p.add_argument("--scenario", action="append", default=[],
+                   metavar="FILE",
+                   help="topology/scenario JSON file(s) to analyze "
+                        "(validated first; structural errors become "
+                        "findings)")
+    p.add_argument("--no-swap", action="store_true",
+                   help="analyze with SWAP disabled (flags the "
+                        "inter-chiplet cycle as deadlock-capable)")
+    p.add_argument("--injection-rate", type=float, default=None,
+                   metavar="RATE",
+                   help="uniform workload shorthand: every node injects "
+                        "RATE flits/cycle to random destinations")
+    p.add_argument("--workload", metavar="FILE",
+                   help="per-flow workload descriptor JSON "
+                        "({'flows': [{'src', 'dst', 'rate'}, ...]})")
+    p.add_argument("--budget", metavar="FILE",
+                   help="budget ceilings JSON (max_area_mm2, "
+                        "max_power_w, max_wire_mm, "
+                        "max_energy_pj_per_flit, wire_fabric)")
+    p.add_argument("--max-area-mm2", type=float, default=None,
+                   help="area ceiling override (mm^2)")
+    p.add_argument("--max-power-w", type=float, default=None,
+                   help="power ceiling override (W)")
+    p.add_argument("--max-wire-mm", type=float, default=None,
+                   help="total wire length ceiling override (mm)")
+    p.add_argument("--max-energy-pj-per-flit", type=float, default=None,
+                   help="worst-route energy ceiling override (pJ/flit)")
+    p.add_argument("--wire-fabric", default=None,
+                   choices=["high-density", "high-speed"],
+                   help="Table 4 wire fabric for the physical model "
+                        "(default: high-density)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
         "trace",
@@ -566,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated per-flit error rates")
     p.add_argument("--retry-limits", default="8",
                    help="comma-separated link retry budgets")
+    p.add_argument("--replay-depths", default="0",
+                   help="comma-separated replay buffer depths "
+                        "(0 = auto-size to the link round trip)")
+    p.add_argument("--prefilter", action="store_true",
+                   help="skip statically-infeasible points (e.g. a "
+                        "replay buffer smaller than the link round "
+                        "trip) before dispatch, via repro.analyze")
     p.add_argument("--seed", type=int, default=0,
                    help="base seed; per-point seeds derive from it")
     p.add_argument("--workers", type=int, default=1,

@@ -25,12 +25,29 @@ from repro.core.config import (
     RingSpec,
     TopologySpec,
 )
-from repro.core.network import MultiRingFabric
 from repro.core.topology import (
     chiplet_pair,
     grid_of_rings,
     single_ring_topology,
 )
+
+
+def __getattr__(name):
+    # MultiRingFabric resolves lazily (PEP 562): importing the config /
+    # topology / routing side of the package — all the static analyzer
+    # needs — must not drag in the simulator stack.
+    if name == "MultiRingFabric":
+        from repro.core.network import MultiRingFabric
+
+        globals()[name] = MultiRingFabric
+        return MultiRingFabric
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | {"MultiRingFabric"})
+
 
 __all__ = [
     "RingSpec",

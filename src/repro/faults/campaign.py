@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.perf.cache import ResultCache
-from repro.perf.sweep import SweepPoint, run_sweep
+from repro.perf.sweep import Prefilter, SweepPoint, is_skipped, run_sweep
 
 #: Campaign defaults, kept small enough for a CI smoke job.
 DEFAULT_RATES = (0.0, 1e-4, 1e-3)
@@ -45,9 +45,11 @@ def fault_campaign_point(point: SweepPoint, seed: int) -> Dict[str, Any]:
     rate = params["rate"]
     retry_limit = params["retry_limit"]
     messages = params["messages"]
+    replay_depth = params.get("replay_depth", 0)
 
     topology, ring0, ring1 = chiplet_pair(nodes_per_ring=4)
-    reliability = LinkReliabilityConfig(retry_limit=retry_limit)
+    reliability = LinkReliabilityConfig(retry_limit=retry_limit,
+                                        replay_depth=replay_depth)
     fabric = MultiRingFabric(
         topology, MultiRingConfig(reliability=reliability))
     injector = FaultInjector(seed=seed)
@@ -97,15 +99,24 @@ def campaign_points(
     rates: Sequence[float] = DEFAULT_RATES,
     retry_limits: Sequence[int] = DEFAULT_RETRY_LIMITS,
     messages: int = 200,
+    replay_depths: Sequence[int] = (0,),
 ) -> List[SweepPoint]:
-    """The rate × retry-limit cross product as sweep points."""
+    """The rate × retry-limit (× replay-depth) cross product as points.
+
+    ``replay_depths`` defaults to ``(0,)`` — auto-sized buffers — in
+    which case point names keep their historical ``berX-retryY`` form so
+    existing caches and baselines stay valid.
+    """
     points = []
-    for retry_limit in retry_limits:
-        for rate in rates:
-            points.append(SweepPoint.make(
-                f"ber{rate:g}-retry{retry_limit}",
-                rate=rate, retry_limit=retry_limit, messages=messages,
-            ))
+    for replay_depth in replay_depths:
+        suffix = f"-replay{replay_depth}" if replay_depth else ""
+        for retry_limit in retry_limits:
+            for rate in rates:
+                points.append(SweepPoint.make(
+                    f"ber{rate:g}-retry{retry_limit}{suffix}",
+                    rate=rate, retry_limit=retry_limit, messages=messages,
+                    replay_depth=replay_depth,
+                ))
     return points
 
 
@@ -116,9 +127,18 @@ def run_campaign(
     base_seed: int = 0,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    replay_depths: Sequence[int] = (0,),
+    prefilter: Optional[Prefilter] = None,
 ) -> List[Dict[str, Any]]:
-    """Run the campaign; one result record per (retry_limit, rate) point."""
-    points = campaign_points(rates, retry_limits, messages)
+    """Run the campaign; one result record per (retry_limit, rate) point.
+
+    With a ``prefilter`` (see
+    :func:`repro.analyze.prefilter.campaign_prefilter`),
+    statically-infeasible points — e.g. a replay buffer smaller than the
+    link round trip, which throttles the link into the watchdog — are
+    skipped before dispatch and recorded as skip records.
+    """
+    points = campaign_points(rates, retry_limits, messages, replay_depths)
     return run_sweep(
         fault_campaign_point,
         points,
@@ -127,6 +147,7 @@ def run_campaign(
         cache=cache,
         cache_name="faults-campaign",
         cache_context={"messages": messages},
+        prefilter=prefilter,
     )
 
 
@@ -137,6 +158,9 @@ def format_campaign(results: Sequence[Dict[str, Any]]) -> str:
               f"{'lat':>7}  state")
     lines = [header, "-" * len(header)]
     for r in results:
+        if is_skipped(r):
+            lines.append(f"{r['point']:>18}  SKIPPED: {r['skip_reason']}")
+            continue
         lat = r.get("mean_latency")
         lat_text = "-" if lat is None else f"{lat:.1f}"
         lines.append(

@@ -21,6 +21,16 @@ Generic linters do not know what breaks a simulator.  These rules do:
   worker count, different results" bugs are born; parallel sweeps must
   go through :func:`repro.perf.sweep.run_sweep`, which derives every
   point's seed from ``(base_seed, point index)`` before dispatch.
+- ``unordered-iteration`` — iterating a ``set`` (a literal, a
+  ``set()``/``frozenset()`` call, a set-algebra method result, or a
+  local bound to one) inside the order-sensitive simulation packages
+  (:data:`ORDER_SENSITIVE_DIRS`: ``repro/{core,fabric,sim,analyze}``).
+  Set iteration order depends on insertion history and hash seeding, so
+  any simulation state touched in that order diverges between otherwise
+  identical runs; iterate ``sorted(...)`` instead.  Plain ``dict``
+  iteration is deliberately *not* flagged: dicts preserve insertion
+  order (guaranteed since Python 3.7), which is deterministic as long
+  as insertions are.
 
 A line can opt out of one rule with a trailing ``# lint: allow[rule]``
 comment; :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
@@ -46,6 +56,7 @@ DEFAULT_RULES: Tuple[str, ...] = (
     "float-cycle",
     "bare-except",
     "parallel-seeding",
+    "unordered-iteration",
 )
 
 #: Files (posix-path suffixes) where the determinism rule does not apply:
@@ -57,9 +68,24 @@ DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/sim/rng.py",)
 #: pools by design — it is harness, not simulation.
 PERF_EXEMPT_DIRS: Tuple[str, ...] = ("repro/perf/",)
 
+#: Directory fragments where iteration order feeds simulation state, so
+#: the unordered-iteration rule is active.  Reporting/CLI layers may
+#: iterate sets freely (their output is sorted at render time).
+ORDER_SENSITIVE_DIRS: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/fabric/",
+    "repro/sim/",
+    "repro/analyze/",
+)
+
 #: Modules whose import outside repro/perf/ the parallel-seeding rule
 #: flags.
 _PARALLEL_MODULES = {"multiprocessing", "concurrent.futures"}
+
+#: Method names whose call result is a set (set algebra).  ``copy`` is
+#: excluded: it is too generic to attribute to sets from syntax alone.
+_SET_METHODS = {"union", "intersection", "difference",
+                "symmetric_difference"}
 
 #: Modules whose import anywhere in a sim path is nondeterminism.
 _BANNED_MODULES = {"random", "secrets", "numpy.random"}
@@ -137,6 +163,22 @@ def _contains_float_math(node: ast.AST) -> Optional[ast.AST]:
     return None
 
 
+def _set_expr_desc(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it syntactically produces a set, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func) or ""
+        last = name.split(".")[-1]
+        if last in {"set", "frozenset"}:
+            return f"a {last}() call"
+        if isinstance(node.func, ast.Attribute) and last in _SET_METHODS:
+            return f"a .{last}() set-algebra result"
+    return None
+
+
 class _RuleVisitor(ast.NodeVisitor):
     """Single-pass visitor applying every enabled rule."""
 
@@ -147,6 +189,7 @@ class _RuleVisitor(ast.NodeVisitor):
         suppressed: Dict[int, Set[str]],
         determinism_exempt: bool,
         parallel_exempt: bool = False,
+        order_sensitive: bool = False,
     ):
         self.path = path
         self.rules = set(rules)
@@ -154,8 +197,13 @@ class _RuleVisitor(ast.NodeVisitor):
             self.rules.discard("determinism")
         if parallel_exempt:
             self.rules.discard("parallel-seeding")
+        if not order_sensitive:
+            self.rules.discard("unordered-iteration")
         self.suppressed = suppressed
         self.findings: List[Finding] = []
+        # Per-scope map of local names currently bound to set values,
+        # for the unordered-iteration rule's flow-insensitive inference.
+        self._set_locals: List[Set[str]] = [set()]
 
     # -- plumbing ---------------------------------------------------------
 
@@ -260,11 +308,15 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._set_locals.append(set())
         self.generic_visit(node)
+        self._set_locals.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._set_locals.append(set())
         self.generic_visit(node)
+        self._set_locals.pop()
 
     # -- float arithmetic on cycle counters -------------------------------
 
@@ -283,6 +335,13 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_cycle_assign(node, node.targets, node.value)
+        is_set = _set_expr_desc(node.value) is not None
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_locals[-1].add(target.id)
+                else:
+                    self._set_locals[-1].discard(target.id)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -313,11 +372,53 @@ class _RuleVisitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- unordered iteration ----------------------------------------------
+
+    def _set_iter_desc(self, iterable: ast.AST) -> Optional[str]:
+        desc = _set_expr_desc(iterable)
+        if desc is not None:
+            return desc
+        if isinstance(iterable, ast.Name):
+            for scope in reversed(self._set_locals):
+                if iterable.id in scope:
+                    return f"'{iterable.id}' (bound to a set above)"
+        return None
+
+    def _check_iteration(self, node: ast.AST, iterable: ast.AST) -> None:
+        desc = self._set_iter_desc(iterable)
+        if desc is not None:
+            self._emit(
+                node, "unordered-iteration",
+                f"iteration over {desc} in an order-sensitive sim path; "
+                "set order depends on insertion history and hashing, so "
+                "state touched in that order diverges between runs — "
+                "iterate sorted(...) instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
 
 def _perf_exempt(posix_path: str) -> bool:
     """True for files inside the measurement-harness directories."""
     return any(frag in posix_path or posix_path.startswith(frag.rstrip("/"))
                for frag in PERF_EXEMPT_DIRS)
+
+
+def _order_sensitive(posix_path: str) -> bool:
+    """True for files inside the order-sensitive simulation packages."""
+    return any(frag in posix_path for frag in ORDER_SENSITIVE_DIRS)
 
 
 def lint_source(
@@ -326,6 +427,7 @@ def lint_source(
     rules: Sequence[str] = DEFAULT_RULES,
     determinism_exempt: Optional[bool] = None,
     parallel_exempt: Optional[bool] = None,
+    order_sensitive: Optional[bool] = None,
 ) -> List[Finding]:
     """Lint one module's source text; returns findings (empty = clean)."""
     posix = path.replace(os.sep, "/")
@@ -335,6 +437,8 @@ def lint_source(
                               or _perf_exempt(posix))
     if parallel_exempt is None:
         parallel_exempt = _perf_exempt(posix)
+    if order_sensitive is None:
+        order_sensitive = _order_sensitive(posix)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -342,7 +446,8 @@ def lint_source(
                         message=f"cannot parse: {exc.msg}", path=path,
                         line=exc.lineno or 0, col=exc.offset or 0)]
     visitor = _RuleVisitor(path, rules, _suppressions(source),
-                           determinism_exempt, parallel_exempt)
+                           determinism_exempt, parallel_exempt,
+                           order_sensitive)
     visitor.visit(tree)
     return visitor.findings
 

@@ -10,41 +10,30 @@ error, so CI can gate on it directly.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import lint_paths
 from repro.lint.validator import validate_scenario_file, validate_spec
+from repro.reporting import FindingsReport
 
 
 @dataclass
-class CheckReport:
-    """Aggregated findings from every checker layer."""
+class CheckReport(FindingsReport):
+    """Aggregated findings from every checker layer.
 
-    findings: List[Finding] = field(default_factory=list)
+    Ordering, error/warning split, per-rule counts, and the exit-code
+    convention come from the shared :class:`repro.reporting.FindingsReport`
+    base, which ``verify`` and ``analyze`` reports also build on.
+    """
+
     files_linted: int = 0
     topologies_validated: int = 0
     scenarios_validated: int = 0
 
-    @property
-    def errors(self) -> List[Finding]:
-        return [f for f in self.findings if f.is_error]
-
-    @property
-    def warnings(self) -> List[Finding]:
-        return [f for f in self.findings if not f.is_error]
-
-    @property
-    def exit_code(self) -> int:
-        return 1 if self.errors else 0
-
     def format(self) -> str:
-        # Stable (path, line, rule) order keeps reports diffable across
-        # runs regardless of which checker layer emitted what first.
-        ordered = sorted(self.findings,
-                         key=lambda f: (f.path or "", f.line or 0, f.rule))
-        lines = [f.format() for f in ordered]
+        lines = self.format_findings()
         lines.append(
             f"checked {self.files_linted} source files, "
             f"{self.topologies_validated} built-in topologies, "
@@ -54,14 +43,13 @@ class CheckReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
-            "findings": [f.to_dict() for f in self.findings],
-            "files_linted": self.files_linted,
-            "topologies_validated": self.topologies_validated,
-            "scenarios_validated": self.scenarios_validated,
-            "errors": len(self.errors),
-            "warnings": len(self.warnings),
-        }
+        out = self.findings_to_dict()
+        out.update(
+            files_linted=self.files_linted,
+            topologies_validated=self.topologies_validated,
+            scenarios_validated=self.scenarios_validated,
+        )
+        return out
 
 
 def default_source_root() -> str:

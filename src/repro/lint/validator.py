@@ -79,13 +79,49 @@ def _warn(rule: str, message: str, path: Optional[str] = None) -> Finding:
                    path=path)
 
 
+#: Keys a topology dict may carry (the repro.core.serialize format).
+_TOPOLOGY_KEYS = {"version", "rings", "nodes", "bridges"}
+
+
+def _section_entries(raw: dict, section: str, path: Optional[str],
+                     findings: List[Finding]) -> List[dict]:
+    """The dict entries of one topology section, with type guards.
+
+    A section that is not a list, or a list entry that is not an object,
+    becomes a structured ``malformed-topology`` finding instead of an
+    ``AttributeError`` traceback further down the collector.
+    """
+    value = raw.get(section, [])
+    if not isinstance(value, list):
+        findings.append(_err(
+            "malformed-topology",
+            f"the '{section}' section must be a list of objects "
+            f"(got {type(value).__name__})", path))
+        return []
+    entries = []
+    for i, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            findings.append(_err(
+                "malformed-topology",
+                f"{section}[{i}] must be an object "
+                f"(got {type(entry).__name__})", path))
+            continue
+        entries.append(entry)
+    return entries
+
+
 def validate_topology_dict(raw: dict, path: Optional[str] = None) -> List[Finding]:
     """Structural checks on a raw topology dict; collects every problem."""
     findings: List[Finding] = []
-    rings = raw.get("rings", [])
-    nodes = raw.get("nodes", [])
-    bridges = raw.get("bridges", [])
-    if not isinstance(rings, list) or not rings:
+    for key in sorted(set(raw) - _TOPOLOGY_KEYS):
+        findings.append(_err(
+            "unknown-topology-key",
+            f"unknown topology key '{key}' (known: "
+            f"{', '.join(sorted(_TOPOLOGY_KEYS))})", path))
+    rings = _section_entries(raw, "rings", path, findings)
+    nodes = _section_entries(raw, "nodes", path, findings)
+    bridges = _section_entries(raw, "bridges", path, findings)
+    if not rings:
         findings.append(_err("empty-topology", "topology has no rings", path))
         return findings
 
@@ -424,8 +460,20 @@ def _config_from_dict(raw: dict, path: Optional[str],
                       findings: List[Finding]) -> MultiRingConfig:
     kwargs = {}
     queue_kwargs = {}
+    if not isinstance(raw, dict):
+        findings.append(_err(
+            "unknown-config-key",
+            "the 'config' section must be an object "
+            f"(got {type(raw).__name__})", path))
+        return MultiRingConfig()
     for key, value in raw.items():
         if key == "queues":
+            if not isinstance(value, dict):
+                findings.append(_err(
+                    "unknown-config-key",
+                    "the 'queues' config section must be an object "
+                    f"(got {type(value).__name__})", path))
+                continue
             for qkey, qvalue in value.items():
                 if qkey not in _QUEUE_KEYS:
                     findings.append(_err(
@@ -506,9 +554,16 @@ def validate_scenario(raw: dict, path: Optional[str] = None) -> List[Finding]:
     else:
         topo_raw = raw
         config_raw = {}
+    if not isinstance(topo_raw, dict):
+        return [_err(
+            "malformed-topology",
+            "the 'topology' section must be an object "
+            f"(got {type(topo_raw).__name__})", path)]
     findings = validate_topology_dict(topo_raw, path)
     config = _config_from_dict(config_raw, path, findings)
-    bridges = topo_raw.get("bridges", []) if isinstance(topo_raw, dict) else []
+    bridges = [b for b in topo_raw.get("bridges", [])
+               if isinstance(b, dict)] if isinstance(
+                   topo_raw.get("bridges", []), list) else []
     # Best-effort spec for exact CDG cycle detail; a dict too broken to
     # deserialize still gets the boolean fallback via has_l2_bridges.
     spec: Optional[TopologySpec] = None

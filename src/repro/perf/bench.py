@@ -264,10 +264,30 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
     With ``reference=True`` every case is also timed under the reference
     (slow) step and the two stats fingerprints are required to match —
     the bench doubles as an end-to-end fast-path equivalence check.
+
+    Every case is statically screened first (:mod:`repro.analyze`); a
+    case whose fabric is statically infeasible is skipped with a
+    recorded reason, and the report's ``prefilter`` metadata carries the
+    evaluated/skipped counts so the committed ``BENCH_fabric.json``
+    always says how many points were pruned (no silent caps).
     """
+    from repro.analyze.prefilter import infeasible_reason
+
     score = calibration_score(repeats)
     results: List[Dict[str, Any]] = []
+    prefilter: Dict[str, Any] = {"evaluated": 0, "skipped": 0,
+                                 "skipped_cases": []}
     for case in smoke_cases(cycles):
+        probe = case.build(True)
+        reason = infeasible_reason(probe.topology, probe.config)
+        prefilter["evaluated"] += 1
+        if reason is not None:
+            prefilter["skipped"] += 1
+            prefilter["skipped_cases"].append(
+                {"name": case.name, "reason": reason})
+            results.append({"name": case.name, "skipped": True,
+                            "skip_reason": reason})
+            continue
         fast_run = run_case(case, fast=True, repeats=repeats)
         entry: Dict[str, Any] = {
             "name": case.name,
@@ -299,6 +319,7 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
         "repeats": repeats,
         "generated_unix": int(time.time()),
         "calibration_score": round(score, 1),
+        "prefilter": prefilter,
         "results": results,
     }
 
@@ -318,6 +339,10 @@ def compare_to_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
     for entry in report.get("results", []):
         base = base_by_name.get(entry["name"])
         if base is None:
+            continue
+        if entry.get("skipped") or base.get("skipped"):
+            # A statically-skipped case has no timing to compare; the
+            # skip itself is visible in the prefilter metadata.
             continue
         if base.get("stats") != entry.get("stats"):
             failures.append(
@@ -342,8 +367,17 @@ def format_report(report: Dict[str, Any]) -> str:
         f"{report['repeats']}, calibration="
         f"{report['calibration_score']:,.0f} it/s)",
     ]
+    prefilter = report.get("prefilter")
+    if prefilter and prefilter.get("skipped"):
+        lines.append(
+            f"  prefilter: {prefilter['skipped']}/"
+            f"{prefilter['evaluated']} case(s) statically skipped")
     width = max(len(r["name"]) for r in report["results"])
     for r in report["results"]:
+        if r.get("skipped"):
+            lines.append(f"  {r['name']:<{width}}  SKIPPED: "
+                         f"{r['skip_reason']}")
+            continue
         extra = ""
         if "speedup_vs_reference" in r:
             extra = (f"  ({r['speedup_vs_reference']:.2f}x vs reference "

@@ -15,16 +15,33 @@ make the parallelism invisible to the results:
 - **``workers <= 1`` degrades to a plain in-process loop** with the same
   seeds, which is both the no-multiprocessing fallback and the oracle
   that the determinism tests compare the parallel path against.
+
+A sweep can take a ``prefilter`` — a predicate run in the parent
+process *before* dispatch (typically built on
+:mod:`repro.analyze.prefilter`) that returns a skip reason for
+statically-infeasible points.  Skipped points get a structured skip
+record (:func:`skip_record`) in the results instead of a worker run;
+because every point's seed is derived from its original index before
+filtering, pruning some points cannot perturb the RNG stream of any
+point that still runs.  Skip counts are logged and queryable via
+:func:`skipped_points` — pruning is always visible, never a silent cap.
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.perf.cache import ResultCache
 from repro.sim.rng import make_rng, split_rng
+
+logger = logging.getLogger(__name__)
+
+#: Signature of a sweep prefilter: None = run the point, a string =
+#: skip it with that reason.
+Prefilter = Callable[["SweepPoint", int], Optional[str]]
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,21 @@ def _invoke(task: Tuple[Callable[[SweepPoint, int], Any], SweepPoint, int]) -> A
     return fn(point, seed)
 
 
+def skip_record(point: SweepPoint, reason: str) -> Dict[str, Any]:
+    """The structured result a prefiltered point gets instead of a run."""
+    return {"point": point.name, "skipped": True, "skip_reason": reason}
+
+
+def is_skipped(result: Any) -> bool:
+    """True for a :func:`skip_record` result."""
+    return isinstance(result, dict) and bool(result.get("skipped"))
+
+
+def skipped_points(results: Sequence[Any]) -> List[Dict[str, Any]]:
+    """The skip records in a sweep's results, in point order."""
+    return [r for r in results if is_skipped(r)]
+
+
 def run_sweep(
     fn: Callable[[SweepPoint, int], Any],
     points: Sequence[SweepPoint],
@@ -70,6 +102,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     cache_name: Optional[str] = None,
     cache_context: Optional[Dict[str, Any]] = None,
+    prefilter: Optional[Prefilter] = None,
 ) -> List[Any]:
     """Evaluate ``fn(point, seed)`` for every point; results in order.
 
@@ -78,13 +111,28 @@ def run_sweep(
     JSON-serializable.  ``cache_context`` folds extra identity (config
     fingerprints, cycle counts) into every cache key so entries from a
     differently-configured sweep never alias.
+
+    ``prefilter`` runs in the parent process before dispatch; a point it
+    rejects gets a :func:`skip_record` result and never reaches a
+    worker or the cache.  Every point's seed is still derived from its
+    original index, so filtered and unfiltered sweeps produce identical
+    results for every non-skipped point.
     """
     seeds = [point_seed(base_seed, i) for i in range(len(points))]
     results: List[Any] = [None] * len(points)
     keys: List[Optional[str]] = [None] * len(points)
 
+    skipped = 0
     pending: List[int] = []
     for i, point in enumerate(points):
+        if prefilter is not None:
+            reason = prefilter(point, seeds[i])
+            if reason is not None:
+                results[i] = skip_record(point, reason)
+                skipped += 1
+                logger.info("sweep: skipping point %s: %s",
+                            point.name, reason)
+                continue
         if cache is not None:
             key = cache.make_key(
                 cache_name or getattr(fn, "__qualname__", "sweep"),
@@ -111,4 +159,7 @@ def run_sweep(
             results[i] = value
             if cache is not None and keys[i] is not None:
                 cache.put(keys[i], value)
+    if skipped:
+        logger.info("sweep: statically skipped %d/%d point(s)",
+                    skipped, len(points))
     return results

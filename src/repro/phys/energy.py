@@ -9,9 +9,12 @@ accesses is the energy argument of Section 3.4.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.fabric.stats import FabricStats
 from repro.params import FLIT_DATA_BITS, FLIT_HEADER_BITS
+
+if TYPE_CHECKING:
+    from repro.fabric.stats import FabricStats
 
 FLIT_BITS = FLIT_HEADER_BITS + FLIT_DATA_BITS
 

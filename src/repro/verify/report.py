@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import MultiRingConfig, TopologySpec
 from repro.core.topology import chiplet_pair, grid_of_rings, tiny_pair
 from repro.params import QueueParams
+from repro.reporting import EXIT_FINDINGS, EXIT_OK
 from repro.verify.cdg import CdgAnalysis, analyze_cdg, format_channel
 from repro.verify.model import ModelChecker, ModelCheckResult
 from repro.verify.replay import (
@@ -184,7 +185,8 @@ class VerifyReport:
         return sum(s.finding_count for s in self.systems)
 
     def exit_code(self) -> int:
-        return 1 if self.finding_count else 0
+        # The shared check/verify/analyze convention (repro.reporting).
+        return EXIT_FINDINGS if self.finding_count else EXIT_OK
 
     def to_dict(self) -> dict:
         return {

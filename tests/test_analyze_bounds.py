@@ -1,0 +1,285 @@
+"""Unit tests for the static fabric analyzer (``repro.analyze``).
+
+Pin the calibrated latency model, the transport/bisection ceilings, the
+occupancy verdicts, the budget checks, and the sweep prefilters against
+hand-computed values on small topologies.
+"""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    BudgetSpec,
+    WorkloadDescriptor,
+    analyze_system,
+    compute_bounds,
+    estimate_occupancy,
+    evaluate_budget,
+    infeasible_reason,
+    route_shape,
+    uniform_for_topology,
+    uniform_rate_prefilter,
+    zero_load_route_cycles,
+)
+from repro.analyze.workload import Flow
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.routing import Router, ring_distance
+from repro.core.topology import (
+    chiplet_pair,
+    single_ring_topology,
+    tiny_pair,
+)
+from repro.params import LATENCY
+from repro.perf.sweep import SweepPoint
+
+
+def _router(spec, config=None):
+    config = config or MultiRingConfig()
+    return Router(spec, bridge_penalty=config.bridge_route_penalty)
+
+
+# -- bandwidth ceilings ----------------------------------------------------
+
+
+def test_ring_transport_ceiling_counts_every_slot_hop():
+    topo, _ = single_ring_topology(8, bidirectional=True)
+    bounds = compute_bounds(topo, MultiRingConfig())
+    (ring,) = bounds.rings
+    assert ring.slot_hops_per_cycle == topo.rings[0].nstops * 2
+    assert ring.transport_bytes_per_cycle == ring.slot_hops_per_cycle * 64
+
+
+def test_half_ring_has_one_direction():
+    topo, _ = single_ring_topology(8, bidirectional=False)
+    (ring,) = compute_bounds(topo, MultiRingConfig()).rings
+    assert ring.directions == 1
+    assert ring.slot_hops_per_cycle == topo.rings[0].nstops
+
+
+def test_bridge_forwards_one_flit_per_cycle_per_direction():
+    topo, _, _ = chiplet_pair()
+    (link,) = compute_bounds(topo, MultiRingConfig()).links
+    assert link.flits_per_cycle_per_direction == 1
+    assert link.bytes_per_cycle_per_direction == 64
+
+
+def test_delivered_ceiling_is_min_of_inject_and_eject():
+    topo, _ = single_ring_topology(8, bidirectional=True)
+    config = MultiRingConfig(eject_drain_per_cycle=1)
+    bounds = compute_bounds(topo, config)
+    n_nodes = len(topo.nodes)
+    assert bounds.inject_bytes_per_cycle == n_nodes * 2 * 64
+    assert bounds.eject_bytes_per_cycle == n_nodes * 1 * 64
+    assert (bounds.delivered_ceiling_bytes_per_cycle
+            == bounds.eject_bytes_per_cycle)
+
+
+# -- bisection -------------------------------------------------------------
+
+
+def test_single_ring_bisection_cuts_two_points():
+    topo, _ = single_ring_topology(8, bidirectional=True)
+    bisection = compute_bounds(topo, MultiRingConfig()).bisection
+    assert bisection.method == "single-ring"
+    assert bisection.bytes_per_cycle == 2 * 1 * 2 * 64
+
+
+def test_chiplet_pair_bisection_is_the_one_l2_link():
+    topo, _, _ = chiplet_pair()
+    bisection = compute_bounds(topo, MultiRingConfig()).bisection
+    assert bisection.method == "exact"
+    # One bridge, both directions: 2 * 64 B/cycle.
+    assert bisection.bytes_per_cycle == 2 * 64
+    assert sorted(bisection.partition[0] + bisection.partition[1]) == [0, 1]
+
+
+# -- zero-load latency calibration -----------------------------------------
+
+
+def test_same_ring_latency_is_exact_hop_distance():
+    topo, nodes = single_ring_topology(8, bidirectional=True)
+    router = _router(topo)
+    spec_ring = topo.rings[0]
+    placements = {p.node: p.stop for p in topo.nodes}
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            expected = ring_distance(spec_ring.nstops, placements[src],
+                                     placements[dst], True)
+            assert zero_load_route_cycles(router, topo, src, dst) == expected
+
+
+def test_l2_crossing_cost_is_calibrated():
+    topo, ring0, ring1 = chiplet_pair()
+    router = _router(topo)
+    shape = route_shape(router, topo, ring0[0], ring1[0])
+    assert shape.l2_crossings == 1 and shape.l1_crossings == 0
+    crossing = LATENCY.bridge_l2 + 1 + LATENCY.d2d_link
+    assert shape.cycles == shape.ring_hops + crossing
+
+
+def test_chiplet_pair_worst_pair_latency():
+    topo, _, _ = chiplet_pair()
+    bounds = compute_bounds(topo, MultiRingConfig())
+    lat = bounds.latency
+    # The worst pair crosses the one L2 bridge: its latency decomposes
+    # into in-ring hops plus the calibrated crossing cost.
+    crossing = LATENCY.bridge_l2 + 1 + LATENCY.d2d_link
+    assert lat.worst_route_l2_crossings == 1
+    assert lat.max_cycles == lat.worst_route_hops + crossing
+    assert lat.pairs == 8 * 7
+
+
+def test_latency_bound_none_without_nodes():
+    topo, _ = single_ring_topology(4)
+    empty = TopologySpec(rings=topo.rings, nodes=[], bridges=[])
+    assert compute_bounds(empty, MultiRingConfig()).latency is None
+
+
+# -- workload descriptors --------------------------------------------------
+
+
+def test_uniform_workload_conserves_rate():
+    workload = WorkloadDescriptor.uniform([0, 1, 2, 3], 0.1)
+    assert workload.total_rate == pytest.approx(0.4)
+    for node, rate in workload.per_node_injection.items():
+        assert rate == pytest.approx(0.1)
+    for node, rate in workload.per_node_ejection.items():
+        assert rate == pytest.approx(0.1)
+
+
+def test_workload_roundtrips_through_json():
+    workload = WorkloadDescriptor(
+        flows=[Flow(src=0, dst=1, rate=0.25)], name="probe")
+    raw = json.loads(json.dumps(workload.to_dict()))
+    again = WorkloadDescriptor.from_dict(raw)
+    assert again == workload
+
+
+# -- occupancy -------------------------------------------------------------
+
+
+def test_light_load_is_feasible():
+    topo, _, _ = chiplet_pair()
+    config = MultiRingConfig()
+    bounds = compute_bounds(topo, config)
+    occupancy = estimate_occupancy(
+        topo, config, uniform_for_topology(topo, 0.01), bounds)
+    assert occupancy.feasible
+    assert occupancy.max_ring_utilization < 0.25
+
+
+def test_saturating_load_is_an_error_finding():
+    topo, _, _ = chiplet_pair()
+    config = MultiRingConfig()
+    bounds = compute_bounds(topo, config)
+    occupancy = estimate_occupancy(
+        topo, config, uniform_for_topology(topo, 4.0), bounds)
+    assert not occupancy.feasible
+    rules = {f.rule for f in occupancy.findings if f.is_error}
+    assert "link-saturated" in rules
+
+
+def test_near_ceiling_load_warns_but_stays_feasible():
+    topo, nodes = single_ring_topology(4, bidirectional=False)
+    config = MultiRingConfig(eject_drain_per_cycle=1)
+    bounds = compute_bounds(topo, config)
+    # One flow at 80% of a single node's inject opportunity (1 lane,
+    # 1 direction): warning territory, not an error.
+    workload = WorkloadDescriptor(
+        flows=[Flow(src=nodes[0], dst=nodes[1], rate=0.8)])
+    occupancy = estimate_occupancy(topo, config, workload, bounds)
+    assert occupancy.feasible
+    assert any(not f.is_error for f in occupancy.findings)
+
+
+# -- budget ----------------------------------------------------------------
+
+
+def _budget_report(topo, config, budget):
+    bounds = compute_bounds(topo, config)
+    lat = bounds.latency
+    return evaluate_budget(
+        topo, config, budget,
+        worst_route_hops=lat.worst_route_hops,
+        mean_route_hops=lat.mean_route_hops,
+        worst_route_l2_crossings=lat.worst_route_l2_crossings,
+        delivered_ceiling_bytes_per_cycle=(
+            bounds.delivered_ceiling_bytes_per_cycle))
+
+
+def test_unconstrained_budget_is_not_evaluated():
+    assert not BudgetSpec().constrained
+    assert BudgetSpec(max_area_mm2=1.0).constrained
+
+
+def test_impossible_area_ceiling_is_a_budget_finding():
+    topo, _, _ = chiplet_pair()
+    report = _budget_report(topo, MultiRingConfig(),
+                            BudgetSpec(max_area_mm2=1e-4))
+    assert not report.within_budget
+    assert {f.rule for f in report.findings} == {"budget-area"}
+
+
+def test_generous_ceilings_pass():
+    topo, _, _ = chiplet_pair()
+    report = _budget_report(
+        topo, MultiRingConfig(),
+        BudgetSpec(max_area_mm2=1e6, max_power_w=1e6,
+                   max_wire_mm=1e9, max_energy_pj_per_flit=1e9))
+    assert report.within_budget
+    assert report.power_basis == "peak-ceiling"
+    assert report.wire_mm > 0 and report.area.total_mm2 > 0
+
+
+def test_budget_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown budget key"):
+        BudgetSpec.from_dict({"max_area_m2": 1.0})
+
+
+def test_budget_spec_rejects_unknown_fabric():
+    with pytest.raises(ValueError, match="unknown wire fabric"):
+        BudgetSpec(wire_fabric="fantasy").fabric()
+
+
+# -- analyze_system / prefilter --------------------------------------------
+
+
+def test_analyze_system_flags_no_swap_deadlock():
+    topo, _, _ = chiplet_pair()
+    system = analyze_system("pair", topo,
+                            MultiRingConfig(enable_swap=False))
+    assert any(f.rule == "deadlock-capable" for f in system.findings)
+
+
+def test_infeasible_reason_is_none_for_defaults():
+    topo, _, _ = chiplet_pair()
+    assert infeasible_reason(topo, MultiRingConfig()) is None
+
+
+def test_uniform_rate_prefilter_skips_saturating_points():
+    topo, _, _ = chiplet_pair()
+    check = uniform_rate_prefilter(topo, MultiRingConfig())
+    assert check(SweepPoint.make("light", rate=0.01), 0) is None
+    reason = check(SweepPoint.make("flood", rate=4.0), 0)
+    assert reason is not None and "saturated" in reason
+
+
+def test_campaign_prefilter_rejects_short_replay_windows():
+    from repro.analyze import campaign_prefilter
+
+    ok = campaign_prefilter(
+        SweepPoint.make("auto", rate=0.0, retry_limit=8, replay_depth=0), 0)
+    assert ok is None
+    reason = campaign_prefilter(
+        SweepPoint.make("tiny", rate=0.0, retry_limit=8, replay_depth=4), 0)
+    assert reason is not None and "replay" in reason
+
+
+def test_tiny_pair_analysis_is_clean():
+    topo, _, _ = tiny_pair()
+    system = analyze_system("tiny", topo, MultiRingConfig())
+    assert not any(f.is_error for f in system.findings)
+    assert system.cdg["cycles"]

@@ -1,0 +1,159 @@
+"""End-to-end acceptance for ``repro-noc analyze``.
+
+Exit codes, the JSON report shape, the budget/occupancy gates, and the
+malformed-scenario regressions (structured findings, never tracebacks)
+are the contract the ``analyze-smoke`` CI job relies on.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.lint
+
+
+def test_analyze_pair_json_has_all_bound_families(capsys):
+    assert main(["analyze", "--system", "pair", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["errors"] == 0 and report["findings"] == []
+    (system,) = report["systems"]
+    assert system["name"] == "pair"
+    bounds = system["bounds"]
+    assert bounds["rings"] and bounds["links"]
+    assert bounds["delivered_ceiling_bytes_per_cycle"] > 0
+    assert bounds["bisection"]["method"] in ("exact", "single-ring")
+    assert bounds["zero_load_latency"]["pairs"] > 0
+    assert system["cdg"]["cycles"]
+
+
+def test_analyze_never_imports_the_simulator():
+    """Static analysis must stay static: no simulator modules load."""
+    code = (
+        "import sys; import repro.analyze; import repro.analyze.report; "
+        "bad = [m for m in sys.modules "
+        "if m.startswith(('repro.core.network', 'repro.sim', "
+        "'repro.fabric'))]; "
+        "assert not bad, bad"
+    )
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_analyze_human_report_mentions_every_pass(capsys):
+    assert main(["analyze", "--system", "chiplet-pair",
+                 "--injection-rate", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "bandwidth: delivered ceiling" in out
+    assert "bisection:" in out
+    assert "zero-load latency:" in out
+    assert "occupancy[" in out and "feasible" in out
+    assert "cdg:" in out
+
+
+def test_analyze_saturating_rate_exits_one(capsys):
+    assert main(["analyze", "--system", "pair",
+                 "--injection-rate", "4.0"]) == 1
+    out = capsys.readouterr().out
+    assert "INFEASIBLE" in out
+    assert "link-saturated" in out or "ring-saturated" in out
+
+
+def test_analyze_budget_violation_exits_one(capsys):
+    assert main(["analyze", "--system", "pair",
+                 "--max-area-mm2", "0.0001"]) == 1
+    out = capsys.readouterr().out
+    assert "OVER BUDGET" in out and "budget-area" in out
+
+
+def test_analyze_no_swap_flags_deadlock(capsys):
+    assert main(["analyze", "--system", "chiplet-pair", "--no-swap"]) == 1
+    assert "deadlock-capable" in capsys.readouterr().out
+
+
+def test_analyze_budget_file_and_workload_file(tmp_path, capsys):
+    budget = tmp_path / "budget.json"
+    budget.write_text(json.dumps({"max_area_mm2": 1e6,
+                                  "wire_fabric": "high-speed"}))
+    workload = tmp_path / "workload.json"
+    workload.write_text(json.dumps(
+        {"name": "probe", "flows": [{"src": 1, "dst": 2, "rate": 0.05}]}))
+    assert main(["analyze", "--system", "pair",
+                 "--budget", str(budget),
+                 "--workload", str(workload), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    (system,) = report["systems"]
+    assert system["budget"]["wire_fabric"] == "high-speed"
+    assert system["occupancy"]["workload"] == "probe"
+
+
+def test_analyze_bad_budget_file_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps({"max_area_m2": 1.0}))
+    assert main(["analyze", "--system", "pair",
+                 "--budget", str(path)]) == 2
+    assert "budget" in capsys.readouterr().err
+
+
+# -- malformed scenario regressions ----------------------------------------
+#
+# Each of these used to escape as a traceback (AttributeError in the
+# validator) or a misleading bare ``empty-topology``; they must all be
+# structured findings with exit 1, for both ``check`` and ``analyze``.
+
+BAD_SCENARIOS = [
+    pytest.param({"topology": {"rings": [42], "nodes": [], "bridges": []}},
+                 "malformed-topology", id="non-dict-ring-entry"),
+    pytest.param({"topology": {"rings": [], "nodes": "oops",
+                               "bridges": [{}]}},
+                 "malformed-topology", id="non-list-nodes"),
+    pytest.param({"topology": {"ringz": [], "nodes": [], "bridges": []}},
+                 "unknown-topology-key", id="typo-section-name"),
+    pytest.param({"topology": "oops"},
+                 "malformed-topology", id="non-dict-topology"),
+]
+
+
+@pytest.mark.parametrize("scenario,rule", BAD_SCENARIOS)
+def test_check_reports_malformed_scenarios(tmp_path, capsys,
+                                           scenario, rule):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(scenario))
+    assert main(["check", "--scenario", str(path), "--no-builtin",
+                 "--no-lint"]) == 1
+    assert rule in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("scenario,rule", BAD_SCENARIOS)
+def test_analyze_reports_malformed_scenarios(tmp_path, capsys,
+                                             scenario, rule):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(scenario))
+    assert main(["analyze", "--scenario", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert rule in out
+    assert "0 system(s)" in out  # nothing analyzable, but never a crash
+
+
+def test_analyze_valid_scenario_file(tmp_path, capsys):
+    scenario = {
+        "topology": {
+            "version": 1,
+            "rings": [{"ring_id": 0, "nstops": 6,
+                       "bidirectional": True}],
+            "nodes": [{"node": 0, "ring": 0, "stop": 0},
+                      {"node": 1, "ring": 0, "stop": 3}],
+            "bridges": [],
+        },
+        "config": {"enable_swap": True},
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(scenario))
+    assert main(["analyze", "--scenario", str(path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    (system,) = report["systems"]
+    assert system["bounds"]["zero_load_latency"]["pairs"] == 2

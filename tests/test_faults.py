@@ -462,3 +462,47 @@ def test_faults_cli_detects_drops(capsys):
                  "--retry-limits", "0", "--require-zero-drops"])
     assert code == 1
     assert "FAIL" in capsys.readouterr().err
+
+
+def test_faults_cli_prefilter_skips_doomed_replay_depths(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "campaign.json"
+    code = main(["faults", "--messages", "20", "--rates", "0",
+                 "--retry-limits", "8", "--replay-depths", "0,4",
+                 "--prefilter", "--json", str(out),
+                 "--require-zero-drops"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "prefilter: statically skipped 1/2" in captured
+    assert "SKIPPED" in captured
+    import json
+    records = json.loads(out.read_text())
+    skipped = [r for r in records if r.get("skipped")]
+    assert len(skipped) == 1
+    assert "replay" in skipped[0]["skip_reason"]
+    # The surviving auto-sized point actually ran and delivered.
+    survivors = [r for r in records if not r.get("skipped")]
+    assert survivors and all(r["dropped"] == 0 for r in survivors)
+
+
+def test_format_campaign_renders_skip_rows():
+    from repro.faults.campaign import format_campaign
+
+    rows = format_campaign([
+        {"point": "ber1e-4-retry8-replay4", "skipped": True,
+         "skip_reason": "[replay-buffer-too-small] depth 4 < 18"},
+    ])
+    assert "SKIPPED" in rows and "replay-buffer-too-small" in rows
+
+
+def test_campaign_points_carry_replay_depth_and_stable_names():
+    from repro.faults.campaign import campaign_points
+
+    points = campaign_points([0.0], [8], 10, replay_depths=(0, 4))
+    names = [p.name for p in points]
+    # Historical names (replay_depth 0) are unchanged; nonzero depths
+    # get a suffix so baselines stay comparable.
+    assert not names[0].endswith("-replay0")
+    assert names[1].endswith("-replay4")
+    assert all(p.as_dict()["replay_depth"] in (0, 4) for p in points)

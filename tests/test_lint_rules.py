@@ -196,3 +196,108 @@ def test_perf_package_is_exempt():
 def test_parallel_seeding_inline_optout():
     assert "parallel-seeding" not in rules_hit(
         "import multiprocessing  # lint: allow[parallel-seeding]\n")
+
+
+# -- unordered-iteration --------------------------------------------------
+
+
+def test_set_literal_iteration_flagged():
+    assert "unordered-iteration" in rules_hit(
+        """
+        def drain(stations):
+            for s in {1, 2, 3}:
+                stations[s].step()
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_set_call_local_iteration_flagged():
+    assert "unordered-iteration" in rules_hit(
+        """
+        def drain(items):
+            pending = set(items)
+            for s in pending:
+                s.step()
+        """,
+        path="pkg/repro/fabric/interface.py",
+    )
+
+
+def test_set_method_result_iteration_flagged():
+    assert "unordered-iteration" in rules_hit(
+        """
+        def merge(a, b):
+            return [x for x in a.union(b)]
+        """,
+        path="pkg/repro/sim/model.py",
+    )
+
+
+def test_frozenset_comprehension_flagged():
+    assert "unordered-iteration" in rules_hit(
+        """
+        def pick(flits):
+            return {f.dst for f in frozenset(flits)}
+        """,
+        path="pkg/repro/analyze/occupancy.py",
+    )
+
+
+def test_sorted_set_iteration_clean():
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def drain(items):
+            pending = set(items)
+            for s in sorted(pending):
+                s.step()
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_reassigned_to_list_iteration_clean():
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def drain(items):
+            pending = set(items)
+            pending = sorted(pending)
+            for s in pending:
+                s.step()
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_dict_iteration_clean():
+    # Dicts preserve insertion order; only sets are nondeterministic.
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def drain(stations):
+            for s in stations:
+                stations[s].step()
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_unordered_iteration_inactive_outside_sim_paths():
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def summarize(rules):
+            for r in {1, 2}:
+                print(r)
+        """,
+        path="pkg/repro/lint/rules.py",
+    )
+
+
+def test_unordered_iteration_inline_optout():
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def drain(items):
+            for s in {1, 2}:  # lint: allow[unordered-iteration]
+                s.step()
+        """,
+        path="pkg/repro/core/station.py",
+    )

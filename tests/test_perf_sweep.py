@@ -185,3 +185,66 @@ def test_memo_persists_across_processes(tmp_path, monkeypatch):
     out2 = subprocess.run([sys.executable, "-c", script], env=env,
                           capture_output=True, text=True)
     assert out2.stdout.strip() == "42", out2.stderr
+
+
+# -- static prefilter ------------------------------------------------------
+
+
+def reject_odd(point, seed):
+    """Module-level prefilter: skip points with odd scale."""
+    if point.as_dict()["scale"] % 2:
+        return "odd scale is statically infeasible"
+    return None
+
+
+def test_prefilter_skips_points_in_place():
+    from repro.perf.sweep import is_skipped, skipped_points
+
+    results = run_sweep(echo_worker, POINTS, base_seed=5, workers=1,
+                        prefilter=reject_odd)
+    assert [r.get("name", r.get("point")) for r in results] == \
+        [p.name for p in POINTS]
+    skipped = skipped_points(results)
+    assert [r["point"] for r in skipped] == ["p1", "p3", "p5"]
+    assert all("odd scale" in r["skip_reason"] for r in skipped)
+    assert [is_skipped(r) for r in results] == [False, True] * 3
+
+
+def test_prefilter_preserves_surviving_results_exactly():
+    """Pruning must not perturb the RNG of points that still run."""
+    from repro.perf.sweep import is_skipped
+
+    unpruned = run_sweep(echo_worker, POINTS, base_seed=5, workers=2)
+    pruned = run_sweep(echo_worker, POINTS, base_seed=5, workers=2,
+                       prefilter=reject_odd)
+    for before, after in zip(unpruned, pruned):
+        if not is_skipped(after):
+            assert after == before
+
+
+def test_prefilter_runs_before_the_cache(tmp_path):
+    """A skipped point must not consume or create a cache entry."""
+    cache = ResultCache(str(tmp_path))
+    run_sweep(echo_worker, POINTS, base_seed=5, workers=1, cache=cache,
+              cache_name="echo", prefilter=reject_odd)
+    assert cache.misses == 3  # only the surviving even-scale points
+    warm = ResultCache(str(tmp_path))
+    run_sweep(echo_worker, POINTS, base_seed=5, workers=1, cache=warm,
+              cache_name="echo")
+    assert warm.misses == 3 and warm.hits == 3
+
+
+def test_prefilter_skip_counts_are_logged(caplog):
+    import logging
+
+    with caplog.at_level(logging.INFO, logger="repro.perf.sweep"):
+        run_sweep(echo_worker, POINTS, base_seed=5, workers=1,
+                  prefilter=reject_odd)
+    assert "statically skipped 3/6" in caplog.text
+
+
+def test_baseline_comparison_ignores_skipped_entries():
+    skipped = {"results": [{"name": "case", "skipped": True,
+                            "skip_reason": "statically infeasible"}]}
+    assert compare_to_baseline(skipped, _report(1.0)) == []
+    assert compare_to_baseline(_report(1.0), skipped) == []
