@@ -204,11 +204,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     cycles = args.cycles if args.cycles else bench.SMOKE_CYCLES
     report = bench.run_smoke_suite(repeats=args.repeats,
                                    reference=args.reference,
-                                   cycles=cycles)
+                                   cycles=cycles,
+                                   engine=args.engine)
     print(bench.format_report(report))
     if args.json:
         bench.write_report(report, args.json)
         print(f"wrote {args.json}")
+    if args.reference:
+        # The saturated-case floor is calibrated against the committed
+        # measurement budget; short --cycles overrides amortize the
+        # dense tier's materialize cost too poorly to judge it.
+        if cycles >= bench.SMOKE_CYCLES:
+            gate_failures = bench.saturated_speedup_failures(report)
+            if gate_failures:
+                for failure in gate_failures:
+                    print(f"SATURATED-CASE GATE: {failure}",
+                          file=sys.stderr)
+                return 1
+        else:
+            print(f"saturated-case gate skipped: cycles={cycles} below "
+                  f"the committed budget ({bench.SMOKE_CYCLES})",
+                  file=sys.stderr)
     if args.baseline:
         baseline = bench.load_report(args.baseline)
         failures = bench.compare_to_baseline(report, baseline,
@@ -766,8 +782,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "trajectory value; override for quick local "
                         "runs only)")
     p.add_argument("--reference", action="store_true",
-                   help="also time the reference step and verify the "
-                        "fast path's stats match it")
+                   help="also time the reference step, verify the "
+                        "engine under test matches its stats, and gate "
+                        "saturated cases on speedup >= 1.0")
+    p.add_argument("--engine", choices=["auto", "ref", "skip", "dense"],
+                   default="auto",
+                   help="stepping-engine mode to time (default: auto, "
+                        "the shipping selector; use ref/skip/dense for "
+                        "A/B runs)")
     p.add_argument("--json", metavar="FILE",
                    help="write the machine-readable report to FILE")
     p.add_argument("--baseline", metavar="FILE",

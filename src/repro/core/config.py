@@ -160,7 +160,32 @@ class MultiRingConfig:
     #: Use the fast ring stepping (skips provably no-op station visits).
     #: False forces the reference walk — cycle-for-cycle identical, kept
     #: as the semantic spec for the equivalence tests and for debugging.
+    #: Subsumed by :attr:`engine`; ``fast_path=False`` is kept as a
+    #: back-compatible alias for ``engine="ref"``.
     fast_path: bool = True
+    #: Stepping-engine tier (see docs/PERFORMANCE.md):
+    #:
+    #: - ``"ref"``   — reference walk, the semantic spec;
+    #: - ``"skip"``  — exact-skip ``step_fast`` (wins on sparse traffic);
+    #: - ``"dense"`` — struct-of-arrays vectorized tier
+    #:   (:mod:`repro.perf.dense`; wins on saturated traffic, falls back
+    #:   to ``skip`` when a ring is ineligible — bridges, escape slots,
+    #:   two-port stations, multi-lane directions — or pinned scalar by
+    #:   an attached trace recorder / invariant checker);
+    #: - ``"auto"``  — start on ``skip`` and switch between ``skip`` and
+    #:   ``dense`` per ring from measured slot occupancy, with
+    #:   hysteresis.  All four tiers are cycle-for-cycle identical.
+    engine: str = "auto"
+    #: Cycles between occupancy samples of the ``"auto"`` engine
+    #: selector (per ring; rides :class:`repro.perf.dense.EngineSelector`
+    #: on the ``run_until`` check cadence where one is installed).
+    engine_check_every: int = 64
+    #: ``"auto"`` promotes a ring to the dense tier when its slot
+    #: occupancy fraction reaches this level ...
+    dense_enter_occupancy: float = 0.25
+    #: ... and demotes it back to ``skip`` below this level (hysteresis
+    #: band so occupancy noise does not thrash materialization).
+    dense_exit_occupancy: float = 0.10
     #: Enable the reliable die-to-die link layer (CRC/ack-nak/replay) on
     #: every RBRG-L2 (:class:`repro.faults.link.LinkReliabilityConfig`).
     #: None keeps the baseline perfect-pipe link; installing a

@@ -89,11 +89,18 @@ class MultiRingFabric(Fabric):
             raise KeyError(f"message source {msg.src} is not a fabric node")
         if msg.dst not in node_ports:
             raise KeyError(f"message destination {msg.dst} is not a fabric node")
-        if len(port.inject_queue) >= port.inject_depth:
+        queue = port.inject_queue
+        if len(queue) >= port.inject_depth:
             self.stats.rejected += 1
             return False
         route = self.router.route(msg.src, msg.dst)
-        port.enqueue_inject(Flit(msg, route))
+        # Port.enqueue_inject, inlined: this call sits inside every
+        # driver's per-cycle injection loop, alongside the timed fabric
+        # step (see repro/perf/bench.py), so the extra call frame is
+        # measurable on saturated workloads.
+        queue.append(Flit(msg, route))
+        station = port.station
+        station.pending_registry[station] = None
         self.stats.accepted += 1
         trace = self.stats.trace
         if trace.enabled:
@@ -169,6 +176,10 @@ class MultiRingFabric(Fabric):
             from repro.lint.invariants import FabricInvariantChecker
             checker = FabricInvariantChecker(self, **kwargs)
         self.invariant_checker = checker
+        # Probes read per-slot object state after every cycle; keep the
+        # rings on the scalar tiers so that state stays live.
+        for ring in self._ring_list:
+            ring.pin_scalar("invariant checker attached")
         return checker
 
     def attach_trace_recorder(self, recorder=None, kinds=None,
@@ -186,6 +197,12 @@ class MultiRingFabric(Fabric):
             from repro.obs.trace import TraceRecorder
             recorder = TraceRecorder(kinds=kinds, limit=limit)
         self.stats.trace = recorder
+        # Trace events are emitted by the scalar paths; pin the rings so
+        # the byte-identical fast/reference stream guarantee holds from
+        # the first traced cycle.  (Rings also self-demote on a
+        # recorder assigned directly to ``stats.trace``.)
+        for ring in self._ring_list:
+            ring.pin_scalar("trace recorder attached")
         return recorder
 
     def attach_fault_injector(self, injector):
@@ -232,6 +249,26 @@ class MultiRingFabric(Fabric):
     # -- stepping mode -----------------------------------------------------
 
     def set_fast_path(self, enabled: bool) -> None:
-        """Switch every ring between the fast and reference step."""
+        """Switch every ring between the fast and reference step.
+
+        Back-compat alias: ``True`` selects the exact-skip tier,
+        ``False`` the reference walk.  Use :meth:`set_engine` for the
+        full tier policy (including ``"auto"``/``"dense"``).
+        """
+        self.set_engine("skip" if enabled else "ref")
+
+    def set_engine(self, mode: str) -> None:
+        """Set the stepping-engine tier policy on every ring.
+
+        ``mode`` is one of ``"auto"``, ``"ref"``, ``"skip"``,
+        ``"dense"`` — see ``MultiRingConfig.engine``.  Takes effect at
+        the next cycle boundary; an active dense engine dematerializes
+        first, so switching mid-run is always exact.
+        """
         for ring in self._ring_list:
-            ring.fast_path = enabled
+            ring.set_engine(mode)
+
+    def engine_tiers(self) -> Dict[int, str]:
+        """Per-ring active tier (``ring_id -> "ref"|"skip"|"dense"``)."""
+        return {ring.spec.ring_id: ring.active_tier()
+                for ring in self._ring_list}

@@ -218,10 +218,33 @@ class Ring:
         #: This makes per-cycle active-station discovery O(pending), not
         #: O(stations).
         self.pending_stations: dict = {}
-        #: Use the fast step (identical semantics, skips no-op station
-        #: visits).  Cleared via ``MultiRingConfig(fast_path=False)`` so
+        mode = config.engine
+        if mode not in ("auto", "ref", "skip", "dense"):
+            raise ValueError(
+                f"unknown engine {mode!r}; pick auto, ref, skip, or dense")
+        if not config.fast_path:
+            # Back-compat: the legacy knob forces the reference walk.
+            mode = "ref"
+        #: Stepping tier policy ("auto"|"ref"|"skip"|"dense"); see
+        #: ``MultiRingConfig.engine`` and docs/PERFORMANCE.md.
+        self.engine_mode = mode
+        #: Use a fast step when not running dense (identical semantics,
+        #: skips no-op station visits).  Cleared via
+        #: ``MultiRingConfig(fast_path=False)`` / ``engine="ref"`` so
         #: equivalence tests can drive the reference step.
-        self.fast_path = config.fast_path
+        self.fast_path = mode != "ref"
+        #: Active :class:`repro.perf.dense.DenseRingEngine`, or None
+        #: while a scalar step runs.
+        self._dense = None
+        #: Set while instrumentation that reads per-slot object state
+        #: every cycle (trace recorder, invariant checker) is attached;
+        #: keeps the dense tier off so scalar-path guarantees (byte-
+        #: identical trace streams, probe visibility) stay intact.
+        self._scalar_pin: Optional[str] = None
+        #: Last reason the dense tier was refused (diagnostics).
+        self._dense_blocked: Optional[str] = None
+        self._next_engine_check = (
+            0 if mode in ("auto", "dense") else float("inf"))
 
     @property
     def stations(self) -> List[CrossStation]:
@@ -240,11 +263,98 @@ class Ring:
         return station
 
     def step(self, cycle: int) -> None:
-        """One clock: every station ejects/injects on every lane."""
+        """One clock: every station ejects/injects on every lane.
+
+        Dispatches to the active tier — the dense struct-of-arrays
+        engine when one is materialized, else the exact-skip fast step,
+        else the reference walk.  All tiers are cycle-for-cycle
+        identical (``tests/test_engine_tiers.py``), so tier choice is
+        pure policy: ``engine_mode`` plus, in auto mode, the periodic
+        occupancy check.
+        """
+        if cycle >= self._next_engine_check:
+            self._engine_check(cycle)
+        dense = self._dense
+        if dense is not None:
+            if self.stats.trace.enabled:
+                # A recorder attached mid-run: demote before stepping so
+                # every traced cycle runs a scalar (event-emitting) path.
+                self._exit_dense()
+            else:
+                dense.step(cycle)
+                return
         if self.fast_path:
             self.step_fast(cycle)
         else:
             self.step_reference(cycle)
+
+    # -- engine-tier policy ------------------------------------------------
+
+    def set_engine(self, mode: str) -> None:
+        """Switch this ring's stepping tier policy at a cycle boundary."""
+        if mode not in ("auto", "ref", "skip", "dense"):
+            raise ValueError(
+                f"unknown engine {mode!r}; pick auto, ref, skip, or dense")
+        if self._dense is not None:
+            self._exit_dense()
+        self.engine_mode = mode
+        self.fast_path = mode != "ref"
+        self._next_engine_check = (
+            0 if mode in ("auto", "dense") else float("inf"))
+
+    def pin_scalar(self, reason: str) -> None:
+        """Keep this ring off the dense tier (instrumentation attached)."""
+        self._scalar_pin = reason
+        if self._dense is not None:
+            self._exit_dense()
+
+    def active_tier(self) -> str:
+        """The tier the next cycle will run ("ref", "skip", or "dense")."""
+        if self._dense is not None:
+            return "dense"
+        return "skip" if self.fast_path else "ref"
+
+    def _engine_check(self, cycle: int) -> None:
+        """Periodic tier decision (auto/dense modes only)."""
+        mode = self.engine_mode
+        if mode not in ("auto", "dense"):
+            self._next_engine_check = float("inf")
+            return
+        self._next_engine_check = cycle + self.config.engine_check_every
+        if self._scalar_pin is not None or self.stats.trace.enabled:
+            if self._dense is not None:
+                self._exit_dense()
+            return
+        if mode == "dense":
+            if self._dense is None:
+                self._enter_dense(cycle)
+            return
+        config = self.config
+        slots = self.spec.nstops * len(self.lanes)
+        occupancy = self.occupancy() / slots if slots else 0.0
+        if self._dense is None:
+            if occupancy >= config.dense_enter_occupancy:
+                self._enter_dense(cycle)
+        elif occupancy <= config.dense_exit_occupancy:
+            self._exit_dense()
+
+    def _enter_dense(self, cycle: int) -> None:
+        from repro.perf.dense import DenseRingEngine, dense_ineligible_reason
+        reason = dense_ineligible_reason(self)
+        if reason is not None:
+            self._dense_blocked = reason
+            if self.engine_mode == "dense":
+                # Forced onto an ineligible ring: fall back to the skip
+                # tier permanently instead of re-checking forever.
+                self._next_engine_check = float("inf")
+            return
+        self._dense_blocked = None
+        self._dense = DenseRingEngine(self, cycle)
+
+    def _exit_dense(self) -> None:
+        dense = self._dense
+        self._dense = None
+        dense.dematerialize()
 
     def step_reference(self, cycle: int) -> None:
         """Reference semantics: walk every lane × station each cycle.
@@ -548,6 +658,10 @@ class Ring:
         anchored, so the stop-frame view alone is not shift-invariant)
         and 0 otherwise.
         """
+        if self._dense is not None:
+            # Snapshots read per-slot object state; fold the array world
+            # back first (auto mode re-promotes at its next check).
+            self._exit_dense()
         nstops = self.spec.nstops
         phase = cycle % nstops if self.config.escape_slot_period > 0 else 0
         return (
@@ -560,12 +674,17 @@ class Ring:
 
     def occupancy(self) -> int:
         """Flits on this ring's lanes — O(lanes) via maintained counters."""
+        dense = self._dense
+        if dense is not None:
+            return dense.occupancy()
         total = 0
         for lane in self.lanes:
             total += len(lane.flits.occupied)
         return total
 
     def flits_in_flight(self) -> List[Flit]:
+        if self._dense is not None:
+            self._exit_dense()
         out: List[Flit] = []
         for lane in self.lanes:
             out.extend(lane.flits_in_flight())

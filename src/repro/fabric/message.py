@@ -66,19 +66,30 @@ class Message:
     delivered_cycle: Optional[int] = None
     data_bytes: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: lazily-computed on-wire size; ``kind`` and ``data_bytes`` are
+    #: fixed once the message enters the fabric, and the delivery path
+    #: reads the size once per delivered message.
+    _size_bits: Optional[int] = field(default=None, init=False, repr=False,
+                                      compare=False)
 
     @property
     def size_bits(self) -> int:
         """On-wire size: header always, data payload only for DATA flits."""
-        if self.kind is MessageKind.DATA:
-            payload_bits = (self.data_bytes * 8 if self.data_bytes is not None
-                            else FLIT_DATA_BITS)
-            return FLIT_HEADER_BITS + payload_bits
-        return FLIT_HEADER_BITS
+        bits = self._size_bits
+        if bits is None:
+            if self.kind is MessageKind.DATA:
+                payload_bits = (self.data_bytes * 8
+                                if self.data_bytes is not None
+                                else FLIT_DATA_BITS)
+                bits = FLIT_HEADER_BITS + payload_bits
+            else:
+                bits = FLIT_HEADER_BITS
+            self._size_bits = bits
+        return bits
 
     @property
     def size_bytes(self) -> float:
-        return self.size_bits / 8.0
+        return self.size_bits * 0.125
 
     @property
     def network_latency(self) -> Optional[int]:

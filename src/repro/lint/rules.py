@@ -6,6 +6,12 @@ Generic linters do not know what breaks a simulator.  These rules do:
   paths.  Every random stream must come from
   :func:`repro.sim.rng.make_rng` so a run is a pure function of its
   seed; ``time.time()`` in a model silently couples results to the host.
+  ``numpy`` itself is permitted (the dense stepping tier is built on
+  it) but ``numpy.random`` is banned in every spelling — ``import
+  numpy.random``, ``from numpy import random``, and attribute use like
+  ``np.random.default_rng()`` through any numpy alias — because a
+  numpy-seeded stream bypasses ``repro.sim.rng`` exactly like the
+  stdlib ``random`` module would.
 - ``mutable-default`` — a mutable default argument is shared across all
   calls, which in a simulator aliases state across components.
 - ``float-cycle`` — cycle counters are integers.  Assigning a float (or
@@ -78,6 +84,13 @@ ORDER_SENSITIVE_DIRS: Tuple[str, ...] = (
     "repro/analyze/",
 )
 
+#: Individual files outside those packages that still feed simulation
+#: state.  The dense stepping tier lives under the perf harness but
+#: mirrors ring state bit-for-bit; one set-ordered loop there breaks
+#: cycle-identical equivalence with the reference walk, so it is held
+#: to the unordered-iteration rule like the core packages.
+ORDER_SENSITIVE_FILES: Tuple[str, ...] = ("repro/perf/dense.py",)
+
 #: Modules whose import outside repro/perf/ the parallel-seeding rule
 #: flags.
 _PARALLEL_MODULES = {"multiprocessing", "concurrent.futures"}
@@ -88,6 +101,9 @@ _SET_METHODS = {"union", "intersection", "difference",
                 "symmetric_difference"}
 
 #: Modules whose import anywhere in a sim path is nondeterminism.
+#: ``numpy`` itself is deliberately absent — deterministic array math is
+#: how the dense stepping tier earns its keep — but ``numpy.random``
+#: (in any spelling; see the visitor) stays banned.
 _BANNED_MODULES = {"random", "secrets", "numpy.random"}
 
 #: Dotted call suffixes that read the wall clock or entropy pool.
@@ -204,6 +220,10 @@ class _RuleVisitor(ast.NodeVisitor):
         # Per-scope map of local names currently bound to set values,
         # for the unordered-iteration rule's flow-insensitive inference.
         self._set_locals: List[Set[str]] = [set()]
+        # Names the module binds to the numpy package (``import numpy``,
+        # ``import numpy as np``), so ``np.random.*`` attribute use can
+        # be attributed back to the banned ``numpy.random``.
+        self._numpy_aliases: Set[str] = set()
 
     # -- plumbing ---------------------------------------------------------
 
@@ -228,6 +248,8 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
+            if alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
             if alias.name in _BANNED_MODULES:
                 self._emit(
                     node, "determinism",
@@ -252,6 +274,15 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"import from '{module}' in a sim path; use "
                 "repro.sim.rng.make_rng/split_rng instead",
             )
+        elif module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._emit(
+                        node, "determinism",
+                        "'from numpy import random' is numpy.random in "
+                        "disguise; all randomness goes through "
+                        "repro.sim.rng.make_rng/split_rng",
+                    )
         if self._parallel_module(module):
             self._emit(
                 node, "parallel-seeding",
@@ -281,6 +312,18 @@ class _RuleVisitor(ast.NodeVisitor):
                     "worker ran the point; derive per-point seeds with "
                     "repro.perf.sweep.point_seed",
                 )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr == "random" and isinstance(node.value, ast.Name)
+                and node.value.id in self._numpy_aliases):
+            self._emit(
+                node, "determinism",
+                f"'{node.value.id}.random' in a sim path: numpy array "
+                "math is fine, numpy randomness is not — a "
+                "numpy-seeded stream bypasses repro.sim.rng and breaks "
+                "run-for-run determinism",
+            )
         self.generic_visit(node)
 
     # -- mutable defaults -------------------------------------------------
@@ -418,7 +461,9 @@ def _perf_exempt(posix_path: str) -> bool:
 
 def _order_sensitive(posix_path: str) -> bool:
     """True for files inside the order-sensitive simulation packages."""
-    return any(frag in posix_path for frag in ORDER_SENSITIVE_DIRS)
+    return (any(frag in posix_path for frag in ORDER_SENSITIVE_DIRS)
+            or any(posix_path.endswith(suffix)
+                   for suffix in ORDER_SENSITIVE_FILES))
 
 
 def lint_source(

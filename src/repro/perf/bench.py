@@ -11,6 +11,17 @@ Methodology — the rules that keep the numbers comparable:
 - **Traffic plans are pre-generated** and ``Message`` objects are built
   *outside* the timed region; the timer sees only ``try_inject`` +
   ``step`` (+ drain), i.e. the fabric, not the harness.
+- **The route cache is warmed** before the timer starts: every
+  (src, dst) pair in the plan is routed once up front.  Route table
+  construction is one-time control-plane work (a real fabric computes
+  it at configuration time), and leaving the first-touch Dijkstra +
+  ``Hop`` allocations inside the timed region charged a large,
+  plan-shape-dependent constant to *both* engines — noise that diluted
+  every speedup ratio.
+- **GC is disabled inside the timed region** (collected just before,
+  re-enabled just after).  Generational collections triggered by
+  harness allocations landed at arbitrary points of the timed loop;
+  a deterministic workload deserves a deterministic timer.
 - **Best-of-N timing** (default N=3): wall-clock minimum is the robust
   estimator for a deterministic workload on a noisy machine.
 - **Fixed seeds, explicit msg ids**: every run of a case simulates the
@@ -21,18 +32,27 @@ Methodology — the rules that keep the numbers comparable:
 - **Calibration**: a fixed arithmetic loop is timed alongside the suite
   and throughput is also reported normalized by that score, so CI can
   compare runs across differently-provisioned machines.
+- **Engine attribution**: every result records which stepping-engine
+  tier actually ran (``engine`` — resolved from the rings after the
+  run, so ``"auto"`` reports the tier the selector settled on) next to
+  the requested mode (``engine_mode``).  The committed trajectory
+  therefore shows *which* engine produced each number.
 
-The headline case, ``ring_full_saturated``, is streaming saturation on
-a 128-stop full ring: 8 producer stations (DMA/HBM-style agents, cf.
-the paper's AI-processor memory rings) saturate their inject queues
-toward 120 consumers, holding the ring near capacity while most
-stations have no local work — exactly the regime the fast-path stepping
-(``MultiRingConfig.fast_path``) is built for.
+The streaming headline, ``ring_full_saturated``, holds a 128-stop full
+ring at capacity from 8 producer stations while most stations have no
+local work — the regime the exact-skip tier is built for.  The dense
+headlines, ``ring_uniform_saturated`` / ``ring_half_saturated``, are
+uniform all-to-all oversubscription on 320-stop rings where every
+station has work every cycle — the regime the SoA dense tier
+(:mod:`repro.perf.dense`) is built for, and where exact-skip used to
+*lose* to the reference walk.
 """
 
 from __future__ import annotations
 
+import gc
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -62,13 +82,22 @@ REPORT_SCHEMA = 1
 
 @dataclass
 class BenchCase:
-    """One timed workload: a fabric factory plus a pre-generated plan."""
+    """One timed workload: a fabric factory plus a pre-generated plan.
+
+    ``build`` takes the stepping-engine mode (``"auto"``/``"ref"``/
+    ``"skip"``/``"dense"``, see ``MultiRingConfig.engine``) so one case
+    definition serves A/B runs across tiers.  ``saturated`` marks cases
+    whose plan oversubscribes the fabric; the bench gate
+    (:func:`saturated_speedup_failures`) requires every saturated case
+    to at least break even against the reference walk.
+    """
 
     name: str
     description: str
     cycles: int
-    build: Callable[[bool], MultiRingFabric]
+    build: Callable[[str], MultiRingFabric]
     plan: List[PlanEntry] = field(default_factory=list)
+    saturated: bool = False
 
 
 def _streaming_plan(nstops: int, producers: List[int], cycles: int,
@@ -101,9 +130,9 @@ def _uniform_plan(nodes: List[int], cycles: int, per_cycle: int,
 
 
 def _single_ring(nstops: int, bidirectional: bool,
-                 fast: bool) -> MultiRingFabric:
+                 engine: str) -> MultiRingFabric:
     topo, _ = single_ring_topology(nstops, bidirectional=bidirectional)
-    return MultiRingFabric(topo, MultiRingConfig(fast_path=fast))
+    return MultiRingFabric(topo, MultiRingConfig(engine=engine))
 
 
 def smoke_cases(cycles: int = SMOKE_CYCLES) -> List[BenchCase]:
@@ -116,36 +145,68 @@ def smoke_cases(cycles: int = SMOKE_CYCLES) -> List[BenchCase]:
         description="streaming saturation: 8 producers hold a 128-stop "
                     "full ring at capacity (DMA/HBM -> many cores)",
         cycles=cycles,
-        build=lambda fast: _single_ring(128, True, fast),
+        build=lambda engine: _single_ring(128, True, engine),
         plan=_streaming_plan(128, producers, cycles, per_producer=2,
                              seed=42),
+        saturated=True,
     ))
 
-    nodes16 = list(range(16))
+    # Dense-regime headlines: every station has work essentially every
+    # cycle, so exact-skip bookkeeping buys nothing and the SoA dense
+    # tier carries the load.  320 stops is deep enough into the dense
+    # regime that the reference walk's per-station cost dominates.
+    nodes320 = list(range(320))
     cases.append(BenchCase(
         name="ring_uniform_saturated",
-        description="uniform all-to-all oversubscription, 16-stop full "
+        description="uniform all-to-all oversubscription, 320-stop full "
                     "ring (every station active every cycle)",
         cycles=cycles,
-        build=lambda fast: _single_ring(16, True, fast),
-        plan=_uniform_plan(nodes16, cycles, per_cycle=8, seed=43),
+        build=lambda engine: _single_ring(320, True, engine),
+        plan=_uniform_plan(nodes320, cycles, per_cycle=8, seed=43),
+        saturated=True,
     ))
 
     cases.append(BenchCase(
         name="ring_half_saturated",
-        description="uniform all-to-all oversubscription, 16-stop half "
+        description="uniform all-to-all oversubscription, 320-stop half "
                     "ring (unidirectional)",
         cycles=cycles,
-        build=lambda fast: _single_ring(16, False, fast),
-        plan=_uniform_plan(nodes16, cycles, per_cycle=8, seed=44),
+        build=lambda engine: _single_ring(320, False, engine),
+        plan=_uniform_plan(nodes320, cycles, per_cycle=8, seed=44),
+        saturated=True,
     ))
 
+    # Small dense-regime points: oversubscribed 32-stop rings sit near
+    # the skip/dense crossover, keeping the selector's switch decision
+    # (not just its asymptotic win) on the committed trajectory.
+    nodes32 = list(range(32))
+    cases.append(BenchCase(
+        name="ring_dense32_full",
+        description="uniform all-to-all oversubscription, 32-stop full "
+                    "ring (dense regime near the tier crossover)",
+        cycles=cycles,
+        build=lambda engine: _single_ring(32, True, engine),
+        plan=_uniform_plan(nodes32, cycles, per_cycle=8, seed=47),
+        saturated=True,
+    ))
+
+    cases.append(BenchCase(
+        name="ring_dense32_half",
+        description="uniform all-to-all oversubscription, 32-stop half "
+                    "ring (unidirectional, near the tier crossover)",
+        cycles=cycles,
+        build=lambda engine: _single_ring(32, False, engine),
+        plan=_uniform_plan(nodes32, cycles, per_cycle=8, seed=48),
+        saturated=True,
+    ))
+
+    nodes16 = list(range(16))
     cases.append(BenchCase(
         name="ring_light",
         description="light load: one message per cycle on a 16-stop "
                     "full ring",
         cycles=cycles,
-        build=lambda fast: _single_ring(16, True, fast),
+        build=lambda engine: _single_ring(16, True, engine),
         plan=_uniform_plan(nodes16, cycles, per_cycle=1, seed=45),
     ))
 
@@ -154,17 +215,17 @@ def smoke_cases(cycles: int = SMOKE_CYCLES) -> List[BenchCase]:
         description="no traffic: pure per-cycle stepping overhead, "
                     "16-stop full ring",
         cycles=cycles,
-        build=lambda fast: _single_ring(16, True, fast),
+        build=lambda engine: _single_ring(16, True, engine),
         plan=[],
     ))
 
-    def build_pair(fast: bool) -> MultiRingFabric:
+    def build_pair(engine: str) -> MultiRingFabric:
         topo, _, _ = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
         queues = QueueParams(inject_queue_depth=2, eject_queue_depth=2,
                              bridge_rx_depth=2, bridge_tx_depth=2,
                              bridge_reserved_tx=2, swap_detect_threshold=32)
         return MultiRingFabric(topo, MultiRingConfig(
-            queues=queues, eject_drain_per_cycle=1, fast_path=fast))
+            queues=queues, eject_drain_per_cycle=1, engine=engine))
 
     pair_topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
     rng = make_rng(46)
@@ -184,6 +245,10 @@ def smoke_cases(cycles: int = SMOKE_CYCLES) -> List[BenchCase]:
         cycles=pair_cycles,
         build=build_pair,
         plan=pair_plan,
+        # Saturated traffic, but bridge ports pin the rings ineligible
+        # for the dense tier, so this case tracks the scalar paths and
+        # is gated by the normalized trajectory, not the speedup floor.
+        saturated=False,
     ))
     return cases
 
@@ -202,20 +267,28 @@ def _stats_fingerprint(fabric: MultiRingFabric) -> Dict[str, int]:
     }
 
 
-def run_case(case: BenchCase, fast: bool = True,
+def _resolved_engine(fabric: MultiRingFabric) -> str:
+    """The tier(s) actually active on the fabric's rings, post-run."""
+    tiers = sorted(set(fabric.engine_tiers().values()))
+    return "+".join(tiers) if tiers else "ref"
+
+
+def run_case(case: BenchCase, engine: str = "auto",
              repeats: int = 3) -> Dict[str, Any]:
     """Best-of-``repeats`` timing of one case; returns a result record.
 
     Messages are freshly constructed before each repeat (the fabric
     mutates them) with explicit ``msg_id``\\ s so the simulated execution
     — and therefore the stats fingerprint — is identical every repeat.
+    The route cache is warmed and GC parked per the module methodology;
+    both apply identically to every engine tier.
     """
     best: Optional[float] = None
     fabric: Optional[MultiRingFabric] = None
     plan = case.plan
     n = len(plan)
     for _ in range(max(repeats, 1)):
-        fabric = case.build(fast)
+        fabric = case.build(engine)
         if fabric.stats.trace.enabled:
             raise RuntimeError(
                 f"bench case {case.name}: tracing must stay disabled — "
@@ -224,21 +297,32 @@ def run_case(case: BenchCase, fast: bool = True,
         msgs = [Message(src=src, dst=dst, kind=kind, created_cycle=cycle,
                         msg_id=mid)
                 for mid, (cycle, src, dst, kind) in enumerate(plan)]
+        route = fabric.router.route
+        for src, dst in {(entry[1], entry[2]) for entry in plan}:
+            route(src, dst)
         try_inject = fabric.try_inject
         step = fabric.step
         i = 0
-        start = time.perf_counter()
-        for cycle in range(case.cycles):
-            while i < n and plan[i][0] == cycle:
-                try_inject(msgs[i])
-                i += 1
-            step(cycle)
-        elapsed = time.perf_counter() - start
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for cycle in range(case.cycles):
+                while i < n and plan[i][0] == cycle:
+                    try_inject(msgs[i])
+                    i += 1
+                step(cycle)
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         best = elapsed if best is None else min(best, elapsed)
     assert fabric is not None and best is not None
     return {
         "cycles_per_sec": case.cycles / best if best > 0 else float("inf"),
         "seconds": best,
+        "engine": _resolved_engine(fabric),
         "stats": _stats_fingerprint(fabric),
     }
 
@@ -257,13 +341,38 @@ def calibration_score(repeats: int = 3) -> float:
     return _CALIBRATION_ITERS / best if best > 0 else float("inf")
 
 
+def aggregate_normalized(results: List[Dict[str, Any]]) -> Optional[float]:
+    """Geometric mean of normalized throughput over *real-work* cases.
+
+    Zero-plan cases (``ring_idle``) are excluded: pure stepping overhead
+    on an empty fabric is legitimately 20×+ faster than any loaded case
+    and its outlier normalized score used to dominate an arithmetic
+    headline.  The cases stay in the report as individual results; they
+    are only kept out of the aggregate the trajectory gate tracks.
+    """
+    values = [r["normalized"] for r in results
+              if not r.get("skipped") and r.get("plan_size", 0) > 0]
+    if not values:
+        return None
+    log_sum = 0.0
+    for value in values:
+        if value <= 0:
+            return None
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
 def run_smoke_suite(repeats: int = 3, reference: bool = False,
-                    cycles: int = SMOKE_CYCLES) -> Dict[str, Any]:
+                    cycles: int = SMOKE_CYCLES,
+                    engine: str = "auto") -> Dict[str, Any]:
     """Run the whole suite; returns the ``BENCH_fabric.json`` payload.
 
-    With ``reference=True`` every case is also timed under the reference
-    (slow) step and the two stats fingerprints are required to match —
-    the bench doubles as an end-to-end fast-path equivalence check.
+    ``engine`` selects the stepping-engine mode under test (the
+    committed trajectory uses the shipping default, ``"auto"``; the CLI
+    exposes ``--engine`` for A/B runs).  With ``reference=True`` every
+    case is also timed under the reference walk and the two stats
+    fingerprints are required to match — the bench doubles as an
+    end-to-end engine-equivalence check.
 
     Every case is statically screened first (:mod:`repro.analyze`); a
     case whose fabric is statically infeasible is skipped with a
@@ -278,7 +387,7 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
     prefilter: Dict[str, Any] = {"evaluated": 0, "skipped": 0,
                                  "skipped_cases": []}
     for case in smoke_cases(cycles):
-        probe = case.build(True)
+        probe = case.build(engine)
         reason = infeasible_reason(probe.topology, probe.config)
         prefilter["evaluated"] += 1
         if reason is not None:
@@ -288,40 +397,78 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
             results.append({"name": case.name, "skipped": True,
                             "skip_reason": reason})
             continue
-        fast_run = run_case(case, fast=True, repeats=repeats)
+        main_run = run_case(case, engine=engine, repeats=repeats)
         entry: Dict[str, Any] = {
             "name": case.name,
             "description": case.description,
             "cycles": case.cycles,
             "plan_size": len(case.plan),
-            "cycles_per_sec": round(fast_run["cycles_per_sec"], 1),
-            "normalized": round(fast_run["cycles_per_sec"] / score, 6),
-            "stats": fast_run["stats"],
+            "saturated": case.saturated,
+            "engine_mode": engine,
+            "engine": main_run["engine"],
+            "cycles_per_sec": round(main_run["cycles_per_sec"], 1),
+            "normalized": round(main_run["cycles_per_sec"] / score, 6),
+            "stats": main_run["stats"],
         }
         if reference:
-            ref_run = run_case(case, fast=False, repeats=repeats)
+            ref_run = run_case(case, engine="ref", repeats=repeats)
             entry["reference_cycles_per_sec"] = round(
                 ref_run["cycles_per_sec"], 1)
             entry["speedup_vs_reference"] = round(
-                fast_run["cycles_per_sec"] / ref_run["cycles_per_sec"], 2)
+                main_run["cycles_per_sec"] / ref_run["cycles_per_sec"], 2)
             entry["stats_match_reference"] = (
-                ref_run["stats"] == fast_run["stats"])
+                ref_run["stats"] == main_run["stats"])
             if not entry["stats_match_reference"]:
                 raise RuntimeError(
-                    f"bench case '{case.name}': fast-path stats diverge "
-                    f"from the reference step\nfast={fast_run['stats']}\n"
+                    f"bench case '{case.name}': engine={engine} stats "
+                    f"diverge from the reference step\n"
+                    f"{engine}={main_run['stats']}\n"
                     f"ref ={ref_run['stats']}")
         results.append(entry)
+    aggregate = aggregate_normalized(results)
     return {
         "schema": REPORT_SCHEMA,
         "suite": "smoke",
         "repro_version": __version__,
         "repeats": repeats,
+        "engine_mode": engine,
         "generated_unix": int(time.time()),
         "calibration_score": round(score, 1),
+        "aggregate_normalized": (round(aggregate, 6)
+                                 if aggregate is not None else None),
         "prefilter": prefilter,
         "results": results,
     }
+
+
+def saturated_speedup_failures(report: Dict[str, Any],
+                               floor: float = 1.0) -> List[str]:
+    """The dense-regime bench gate: saturated cases must not lose.
+
+    Returns a failure string for every saturated, reference-timed case
+    whose ``speedup_vs_reference`` is below ``floor``.  This closes the
+    blind spot the normalized-regression gate had: a fast path that was
+    *consistently* slower than the reference walk on dense traffic
+    regressed nothing release-over-release and shipped silently.
+    Requires a report produced with ``reference=True``; cases without a
+    reference timing are skipped (the normalized gate still covers
+    them).
+    """
+    failures: List[str] = []
+    for entry in report.get("results", []):
+        if entry.get("skipped") or not entry.get("saturated"):
+            continue
+        speedup = entry.get("speedup_vs_reference")
+        if speedup is None:
+            continue
+        if speedup < floor:
+            failures.append(
+                f"{entry['name']}: saturated case ran at "
+                f"{speedup:.2f}x the reference walk "
+                f"(engine={entry.get('engine', '?')}, floor "
+                f"{floor:.2f}x) — the fast path is losing on the dense "
+                "regime")
+    return failures
 
 
 def compare_to_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
@@ -333,8 +480,22 @@ def compare_to_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
     only one report are skipped — renames must not hard-fail CI — but a
     fingerprint mismatch fails, because it means the two numbers timed
     different simulations.
+
+    When both reports carry an ``aggregate_normalized`` headline (the
+    zero-plan-excluded geometric mean), that is gated under the same
+    budget, so the trajectory's real-work summary cannot erode through
+    a sequence of individually-allowed per-case drops.
     """
     failures: List[str] = []
+    agg = report.get("aggregate_normalized")
+    base_agg = baseline.get("aggregate_normalized")
+    if agg is not None and base_agg is not None:
+        floor = base_agg * (1.0 - max_regression)
+        if agg < floor:
+            failures.append(
+                f"aggregate: normalized geomean {agg:.4f} fell below "
+                f"{floor:.4f} ({max_regression:.0%} regression budget "
+                f"from baseline {base_agg:.4f})")
     base_by_name = {r["name"]: r for r in baseline.get("results", [])}
     for entry in report.get("results", []):
         base = base_by_name.get(entry["name"])
@@ -363,10 +524,15 @@ def compare_to_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
 def format_report(report: Dict[str, Any]) -> str:
     """Terminal-friendly rendering of a bench report."""
     lines = [
-        f"fabric bench (suite={report['suite']}, repeats="
+        f"fabric bench (suite={report['suite']}, engine="
+        f"{report.get('engine_mode', 'auto')}, repeats="
         f"{report['repeats']}, calibration="
         f"{report['calibration_score']:,.0f} it/s)",
     ]
+    aggregate = report.get("aggregate_normalized")
+    if aggregate is not None:
+        lines.append(f"  aggregate normalized (zero-plan excluded): "
+                     f"{aggregate:.4f}")
     prefilter = report.get("prefilter")
     if prefilter and prefilter.get("skipped"):
         lines.append(
@@ -382,9 +548,11 @@ def format_report(report: Dict[str, Any]) -> str:
         if "speedup_vs_reference" in r:
             extra = (f"  ({r['speedup_vs_reference']:.2f}x vs reference "
                      f"{r['reference_cycles_per_sec']:,.0f})")
+        engine = r.get("engine")
+        tier = f"  [{engine}]" if engine else ""
         lines.append(
             f"  {r['name']:<{width}}  {r['cycles_per_sec']:>12,.0f} cyc/s"
-            f"  norm {r['normalized']:.4f}{extra}")
+            f"  norm {r['normalized']:.4f}{tier}{extra}")
     return "\n".join(lines)
 
 

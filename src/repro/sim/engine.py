@@ -121,7 +121,10 @@ class Simulator:
         This is the sampling hook the observability layer's
         :class:`repro.obs.metrics.SnapshotSampler` plugs into: periodic
         measurement rides the existing check cadence instead of adding a
-        second bookkeeping interval.
+        second bookkeeping interval.  A list/tuple of callables is also
+        accepted and invoked in order, so several riders (a snapshot
+        sampler, a :class:`repro.perf.dense.EngineSelector`) can share
+        the one cadence.
 
         ``watchdog`` (a :class:`repro.faults.watchdog.ProgressWatchdog`)
         is observed after every step and turns a wedged system into a
@@ -130,6 +133,13 @@ class Simulator:
         """
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
+        if on_check is not None and not callable(on_check):
+            hooks = list(on_check)
+
+            def on_check(cycle, _hooks=hooks):
+                for hook in _hooks:
+                    hook(cycle)
+
         steps = 0
         for _ in range(max_cycles):
             self.step()

@@ -113,6 +113,22 @@ def test_zero_depth_queues_detected():
     assert "zero-depth-queue" in rules(validate_config(config))
 
 
+def test_bad_engine_mode_detected():
+    config = MultiRingConfig(engine="vectorized")
+    assert "bad-engine" in rules(validate_config(config))
+    for mode in ("auto", "ref", "skip", "dense"):
+        assert "bad-engine" not in rules(
+            validate_config(MultiRingConfig(engine=mode)))
+
+
+def test_inverted_dense_hysteresis_band_detected():
+    config = MultiRingConfig(dense_enter_occupancy=0.1,
+                             dense_exit_occupancy=0.5)
+    assert "bad-threshold" in rules(validate_config(config))
+    config = MultiRingConfig(engine_check_every=0)
+    assert "bad-threshold" in rules(validate_config(config))
+
+
 def test_swap_disabled_interchiplet_cycle_detected():
     spec, _, _ = chiplet_pair()
     config = MultiRingConfig(enable_swap=False)

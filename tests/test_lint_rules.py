@@ -31,6 +31,67 @@ def test_numpy_random_flagged():
     assert "determinism" in rules_hit("import numpy.random\n")
 
 
+def test_from_numpy_import_random_flagged():
+    assert "determinism" in rules_hit("from numpy import random\n")
+    assert "determinism" in rules_hit("from numpy import random as npr\n")
+
+
+def test_numpy_random_attribute_flagged():
+    assert "determinism" in rules_hit(
+        """
+        import numpy as np
+
+        def jitter(n):
+            return np.random.default_rng(0).integers(0, n)
+        """
+    )
+    assert "determinism" in rules_hit(
+        """
+        import numpy
+
+        def jitter(n):
+            return numpy.random.rand(n)
+        """
+    )
+
+
+def test_plain_numpy_is_permitted():
+    assert rules_hit(
+        """
+        import numpy as np
+
+        def advance(occupied):
+            return np.roll(occupied, 1)
+        """
+    ) == set()
+    assert rules_hit("from numpy import int64, zeros\n") == set()
+
+
+def test_non_numpy_random_attribute_not_flagged():
+    # Only names bound to the numpy package are attributed; an unrelated
+    # object with a .random attribute is not numpy.random.
+    assert rules_hit(
+        """
+        def pick(rng):
+            return rng.random()
+        """
+    ) == set()
+
+
+def test_dense_engine_file_is_order_sensitive():
+    source = """
+        def release(tags):
+            for idx in {1, 2, 3}:
+                tags.pop(idx)
+    """
+    assert "unordered-iteration" in {
+        f.rule for f in lint_source(
+            textwrap.dedent(source), "pkg/repro/perf/dense.py")}
+    # ...while the rest of the perf harness may iterate sets freely.
+    assert {f.rule for f in lint_source(
+        textwrap.dedent(source), "pkg/repro/perf/bench.py")} == set()
+
+
 def test_wall_clock_calls_flagged():
     assert "determinism" in rules_hit(
         """

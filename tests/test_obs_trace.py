@@ -178,8 +178,8 @@ def test_bench_refuses_traced_fabrics():
     case = bench.smoke_cases(cycles=20)[0]
     traced = bench.BenchCase(
         name=case.name, description=case.description, cycles=case.cycles,
-        build=lambda fast: (lambda f: (f.attach_trace_recorder(), f)[1])(
-            case.build(fast)),
+        build=lambda engine: (lambda f: (f.attach_trace_recorder(), f)[1])(
+            case.build(engine)),
         plan=case.plan)
     with pytest.raises(RuntimeError, match="tracing must stay disabled"):
         bench.run_case(traced, repeats=1)

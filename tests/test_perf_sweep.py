@@ -248,3 +248,68 @@ def test_baseline_comparison_ignores_skipped_entries():
                             "skip_reason": "statically infeasible"}]}
     assert compare_to_baseline(skipped, _report(1.0)) == []
     assert compare_to_baseline(_report(1.0), skipped) == []
+
+
+def test_aggregate_regression_is_gated():
+    current = dict(_report(1.0), aggregate_normalized=0.5)
+    baseline = dict(_report(1.0), aggregate_normalized=1.0)
+    failures = compare_to_baseline(current, baseline, max_regression=0.25)
+    assert len(failures) == 1 and "aggregate" in failures[0]
+    # Reports without the headline (older baselines) skip the check.
+    assert compare_to_baseline(_report(1.0), baseline) == []
+
+
+# -- dense-regime bench gates ---------------------------------------------
+
+
+def _saturated_entry(name, speedup, saturated=True, **extra):
+    entry = {"name": name, "saturated": saturated, "normalized": 1.0,
+             "plan_size": 100, "stats": {}, "engine": "dense"}
+    if speedup is not None:
+        entry["speedup_vs_reference"] = speedup
+    entry.update(extra)
+    return entry
+
+
+def test_saturated_gate_fails_losing_case():
+    from repro.perf.bench import saturated_speedup_failures
+    report = {"results": [_saturated_entry("ring_a", 0.83),
+                          _saturated_entry("ring_b", 5.2)]}
+    failures = saturated_speedup_failures(report)
+    assert len(failures) == 1
+    assert "ring_a" in failures[0] and "0.83" in failures[0]
+
+
+def test_saturated_gate_ignores_unsaturated_and_unreferenced():
+    from repro.perf.bench import saturated_speedup_failures
+    report = {"results": [
+        _saturated_entry("bridge_case", 0.5, saturated=False),
+        _saturated_entry("no_ref_timing", None),
+        _saturated_entry("skipped_case", 0.1, skipped=True),
+    ]}
+    assert saturated_speedup_failures(report) == []
+
+
+def test_smoke_suite_marks_dense_headlines_saturated():
+    from repro.perf.bench import smoke_cases
+    by_name = {c.name: c for c in smoke_cases(cycles=10)}
+    for name in ("ring_full_saturated", "ring_uniform_saturated",
+                 "ring_half_saturated", "ring_dense32_full",
+                 "ring_dense32_half"):
+        assert by_name[name].saturated, name
+    # Bridge ports pin the dense tier; the pair case is trajectory-gated.
+    assert not by_name["chiplet_pair_swap"].saturated
+    assert not by_name["ring_idle"].saturated
+
+
+def test_aggregate_normalized_excludes_zero_plan_cases():
+    from repro.perf.bench import aggregate_normalized
+    results = [
+        {"name": "work_a", "normalized": 0.004, "plan_size": 100},
+        {"name": "work_b", "normalized": 0.001, "plan_size": 100},
+        {"name": "idle", "normalized": 0.9, "plan_size": 0},
+        {"name": "skipped", "skipped": True},
+    ]
+    agg = aggregate_normalized(results)
+    assert agg == pytest.approx((0.004 * 0.001) ** 0.5)
+    assert aggregate_normalized([results[2]]) is None
