@@ -16,6 +16,11 @@ from repro import __version__
 from repro.analysis.plot import line_chart, sparkline
 from repro.sim.rng import make_rng
 
+#: Exit code for a sweep that exceeded ``--max-failures``: distinct
+#: from 1 (gate/finding failures) so CI can tell "the experiment says
+#: no" from "the experiment infrastructure fell over".
+EXIT_MAX_FAILURES = 3
+
 
 def _fmt_or_na(value, fmt: str = "{:.1f}") -> str:
     """Format a metric, or ``n/a`` when the run produced none.
@@ -174,7 +179,7 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.perf.cache import ResultCache
-    from repro.perf.sweep import SweepPoint, run_sweep
+    from repro.perf.sweep import SweepPoint, is_failed, run_sweep
     from repro.perf.workers import ai_rw_point
 
     ratios = [1.0, 0.8, 2 / 3, 0.6, 0.5, 0.0]
@@ -185,16 +190,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = run_sweep(ai_rw_point, points, base_seed=args.seed,
                         workers=args.workers, cache=cache,
                         cache_name="sweep-rw")
-    totals = []
+    totals, axis = [], []
+    failed = 0
     for rf, record in zip(ratios, results):
+        if is_failed(record):
+            failed += 1
+            print(f"  read fraction {rf:.2f}: FAILED "
+                  f"({record['error_kind']} after {record['attempts']} "
+                  "attempt(s))")
+            continue
         totals.append(record["total_tbps"])
+        axis.append(rf)
         print(f"  read fraction {rf:.2f}: total "
               f"{record['total_tbps']:5.2f} TB/s")
-    print(line_chart({"total TB/s": totals}, xs=ratios, height=8, width=40,
-                     title="total bandwidth vs read fraction"))
+    if totals:
+        print(line_chart({"total TB/s": totals}, xs=axis, height=8,
+                         width=40,
+                         title="total bandwidth vs read fraction"))
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"under {cache.root}")
+    if failed:
+        print(f"{failed} point(s) FAILED", file=sys.stderr)
+        return EXIT_MAX_FAILURES
     return 0
 
 
@@ -205,11 +223,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = bench.run_smoke_suite(repeats=args.repeats,
                                    reference=args.reference,
                                    cycles=cycles,
-                                   engine=args.engine)
+                                   engine=args.engine,
+                                   journal=args.journal,
+                                   resume=args.resume)
     print(bench.format_report(report))
     if args.json:
         bench.write_report(report, args.json)
         print(f"wrote {args.json}")
+    if report.get("failed_cases", 0) > args.max_failures:
+        print(f"FAILED cases: {report['failed_cases']} exceed "
+              f"--max-failures {args.max_failures}", file=sys.stderr)
+        return EXIT_MAX_FAILURES
     if args.reference:
         # The saturated-case floor is calibrated against the committed
         # measurement budget; short --cycles overrides amortize the
@@ -243,6 +267,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     from repro.faults.campaign import format_campaign, run_campaign
     from repro.perf.cache import ResultCache
+    from repro.perf.resilient import RetryPolicy, SweepHealth, format_health
+    from repro.perf.sweep import failed_points
 
     rates = [float(x) for x in args.rates.split(",") if x.strip()]
     retry_limits = [int(x) for x in args.retry_limits.split(",") if x.strip()]
@@ -253,12 +279,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         from repro.analyze.prefilter import campaign_prefilter
         prefilter = campaign_prefilter
     cache = ResultCache(args.cache) if args.cache else None
+    retry = RetryPolicy(max_attempts=max(args.retries, 1))
+    health = SweepHealth()
     results = run_campaign(rates=rates, retry_limits=retry_limits,
                            messages=args.messages, base_seed=args.seed,
                            workers=args.workers, cache=cache,
                            replay_depths=replay_depths,
-                           prefilter=prefilter)
+                           prefilter=prefilter,
+                           timeout=args.timeout, retry=retry,
+                           health=health, journal=args.journal,
+                           resume=args.resume)
     print(format_campaign(results))
+    print(format_health(health))
     if prefilter is not None:
         from repro.perf.sweep import skipped_points
         skipped = skipped_points(results)
@@ -268,12 +300,26 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             _json.dump(results, fh, indent=2)
         print(f"wrote {args.json}")
+    if args.health_json:
+        with open(args.health_json, "w") as fh:
+            _json.dump(health.as_dict(), fh, indent=2)
+        print(f"wrote {args.health_json}")
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"under {cache.root}")
+    failed = failed_points(results)
+    if len(failed) > args.max_failures:
+        for r in failed:
+            print(f"FAILED {r['point']}: {r['error_kind']} after "
+                  f"{r['attempts']} attempt(s): {r['error_message']}",
+                  file=sys.stderr)
+        print(f"{len(failed)} failed point(s) exceed --max-failures "
+              f"{args.max_failures}", file=sys.stderr)
+        return EXIT_MAX_FAILURES
     if args.require_zero_drops:
         bad = [r for r in results
-               if not r.get("skipped") and (r["dropped"] or r["wedged"])]
+               if not r.get("skipped") and not r.get("failed")
+               and (r["dropped"] or r["wedged"])]
         if bad:
             for r in bad:
                 print(f"FAIL {r['point']}: dropped {r['dropped']}, "
@@ -553,7 +599,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bufferless multi-ring NoC reproduction (HPCA 2022)",
         epilog="exit codes: 0 success, 1 findings (check/verify/analyze) "
                "or a failed gate, 2 usage errors or an escaped invariant "
-               "violation",
+               "violation, 3 a sweep exceeded --max-failures, 130 "
+               "interrupted (SIGINT/SIGTERM; journaled runs resume with "
+               "--resume)",
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
@@ -748,6 +796,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--require-zero-drops", action="store_true",
                    help="exit 1 if any point dropped a message or wedged "
                         "(CI gate)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-point wall-clock budget in seconds "
+                        "(enforced with --workers > 1; a hung worker "
+                        "is terminated and its pool recycled)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="dispatch attempts per point before it becomes "
+                        "a failure record (default 3; 1 disables retry)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="append per-point outcomes to a crash-safe "
+                        "JSONL journal as they complete")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed points from --journal instead "
+                        "of recomputing them (failed points re-run); "
+                        "results stay byte-identical per point")
+    p.add_argument("--max-failures", type=int, default=0, metavar="N",
+                   help=f"exit {EXIT_MAX_FAILURES} when more than N "
+                        "points terminally fail (default 0: any failure "
+                        "fails the campaign, loudly)")
+    p.add_argument("--health-json", metavar="FILE",
+                   help="write the sweep health counters (retries, "
+                        "timeouts, pool restarts, quarantines) to FILE")
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("topology", help="describe a built-in topology")
@@ -798,6 +867,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-regression", type=float, default=0.25,
                    help="allowed fractional drop in normalized "
                         "throughput vs the baseline (default 0.25)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="append per-case results to a crash-safe JSONL "
+                        "journal as they complete")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed cases from --journal instead "
+                        "of re-timing them (failed cases re-run)")
+    p.add_argument("--max-failures", type=int, default=0, metavar="N",
+                   help=f"exit {EXIT_MAX_FAILURES} when more than N "
+                        "cases fail (default 0)")
     p.set_defaults(fn=_cmd_bench)
 
     return parser
@@ -805,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.lint.invariants import InvariantViolation
+    from repro.perf.journal import SweepJournalMismatch
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -813,6 +892,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
         return 2
+    except SweepJournalMismatch as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # SIGINT, or SIGTERM via the sweep dispatcher's graceful
+        # mapping: completed points of a journaled run are already on
+        # disk; rerun with --resume to pick up where this left off.
+        print("interrupted — journaled sweeps resume with --resume",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -18,7 +18,15 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.perf.cache import ResultCache
-from repro.perf.sweep import Prefilter, SweepPoint, is_skipped, run_sweep
+from repro.perf.sweep import (
+    Prefilter,
+    RetryPolicy,
+    SweepHealth,
+    SweepPoint,
+    is_failed,
+    is_skipped,
+    run_sweep,
+)
 
 #: Campaign defaults, kept small enough for a CI smoke job.
 DEFAULT_RATES = (0.0, 1e-4, 1e-3)
@@ -129,6 +137,12 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     replay_depths: Sequence[int] = (0,),
     prefilter: Optional[Prefilter] = None,
+    *,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    health: Optional[SweepHealth] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Dict[str, Any]]:
     """Run the campaign; one result record per (retry_limit, rate) point.
 
@@ -137,6 +151,14 @@ def run_campaign(
     statically-infeasible points — e.g. a replay buffer smaller than the
     link round trip, which throttles the link into the watchdog — are
     skipped before dispatch and recorded as skip records.
+
+    The keyword-only resilience knobs pass straight through to
+    :func:`repro.perf.sweep.run_sweep`: a campaign point that crashes,
+    hangs past ``timeout``, or kills its worker pool becomes a
+    structured failure record in the results (visible in
+    :func:`format_campaign` and the ``health`` counters) instead of an
+    exception, and ``journal``/``resume`` make an interrupted campaign
+    restartable without recomputing finished points.
     """
     points = campaign_points(rates, retry_limits, messages, replay_depths)
     return run_sweep(
@@ -148,6 +170,11 @@ def run_campaign(
         cache_name="faults-campaign",
         cache_context={"messages": messages},
         prefilter=prefilter,
+        timeout=timeout,
+        retry=retry,
+        health=health,
+        journal=journal,
+        resume=resume,
     )
 
 
@@ -160,6 +187,11 @@ def format_campaign(results: Sequence[Dict[str, Any]]) -> str:
     for r in results:
         if is_skipped(r):
             lines.append(f"{r['point']:>18}  SKIPPED: {r['skip_reason']}")
+            continue
+        if is_failed(r):
+            lines.append(
+                f"{r['point']:>18}  FAILED: {r['error_kind']} after "
+                f"{r['attempts']} attempt(s) ({r['elapsed_s']:g}s)")
             continue
         lat = r.get("mean_latency")
         lat_text = "-" if lat is None else f"{lat:.1f}"

@@ -27,6 +27,13 @@ Generic linters do not know what breaks a simulator.  These rules do:
   worker count, different results" bugs are born; parallel sweeps must
   go through :func:`repro.perf.sweep.run_sweep`, which derives every
   point's seed from ``(base_seed, point index)`` before dispatch.
+- ``sweep-bare-pool`` — collecting results straight off
+  ``ProcessPoolExecutor.map`` outside ``repro/perf/``.  A bare
+  ``pool.map`` is all-or-nothing: one worker crash, hang, or OOM
+  destroys every completed point and nothing reaches the result cache;
+  dispatch through :func:`repro.perf.sweep.run_sweep`, whose resilient
+  runner adds per-point timeouts, deterministic retry, pool-crash
+  recovery, and journaled resume.
 - ``unordered-iteration`` — iterating a ``set`` (a literal, a
   ``set()``/``frozenset()`` call, a set-algebra method result, or a
   local bound to one) inside the order-sensitive simulation packages
@@ -42,8 +49,8 @@ A line can opt out of one rule with a trailing ``# lint: allow[rule]``
 comment; :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
 exempt from the determinism rule wholesale, and everything under
 :data:`PERF_EXEMPT_DIRS` (the measurement harness, which legitimately
-reads wall clocks and spawns workers) is exempt from both the
-determinism and parallel-seeding rules.
+reads wall clocks and spawns workers) is exempt from the determinism,
+parallel-seeding, and sweep-bare-pool rules.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ DEFAULT_RULES: Tuple[str, ...] = (
     "float-cycle",
     "bare-except",
     "parallel-seeding",
+    "sweep-bare-pool",
     "unordered-iteration",
 )
 
@@ -69,9 +77,10 @@ DEFAULT_RULES: Tuple[str, ...] = (
 #: the RNG helper is the one legitimate owner of ``random``.
 DETERMINISM_EXEMPT: Tuple[str, ...] = ("repro/sim/rng.py",)
 
-#: Directory fragments exempt from the determinism and parallel-seeding
-#: rules: the measurement harness times wall clocks and owns the worker
-#: pools by design — it is harness, not simulation.
+#: Directory fragments exempt from the determinism, parallel-seeding,
+#: and sweep-bare-pool rules: the measurement harness times wall clocks
+#: and owns the worker pools (and their resilient dispatch) by design —
+#: it is harness, not simulation.
 PERF_EXEMPT_DIRS: Tuple[str, ...] = ("repro/perf/",)
 
 #: Directory fragments where iteration order feeds simulation state, so
@@ -213,6 +222,7 @@ class _RuleVisitor(ast.NodeVisitor):
             self.rules.discard("determinism")
         if parallel_exempt:
             self.rules.discard("parallel-seeding")
+            self.rules.discard("sweep-bare-pool")
         if not order_sensitive:
             self.rules.discard("unordered-iteration")
         self.suppressed = suppressed
@@ -224,6 +234,9 @@ class _RuleVisitor(ast.NodeVisitor):
         # ``import numpy as np``), so ``np.random.*`` attribute use can
         # be attributed back to the banned ``numpy.random``.
         self._numpy_aliases: Set[str] = set()
+        # Names bound to ProcessPoolExecutor instances (assignment or
+        # with-as), for the sweep-bare-pool rule's ``pool.map`` check.
+        self._pool_names: Set[str] = set()
 
     # -- plumbing ---------------------------------------------------------
 
@@ -312,7 +325,33 @@ class _RuleVisitor(ast.NodeVisitor):
                     "worker ran the point; derive per-point seeds with "
                     "repro.perf.sweep.point_seed",
                 )
+        self._check_bare_pool_map(node)
         self.generic_visit(node)
+
+    # -- bare pool.map ----------------------------------------------------
+
+    @staticmethod
+    def _is_pool_ctor(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = _dotted(node.func) or ""
+        return name.split(".")[-1] == "ProcessPoolExecutor"
+
+    def _check_bare_pool_map(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute) or node.func.attr != "map":
+            return
+        owner = node.func.value
+        is_pool = self._is_pool_ctor(owner) or (
+            isinstance(owner, ast.Name) and owner.id in self._pool_names)
+        if is_pool:
+            self._emit(
+                node, "sweep-bare-pool",
+                "direct ProcessPoolExecutor.map outside repro/perf/ is "
+                "all-or-nothing: one worker crash/hang/OOM destroys "
+                "every completed point; dispatch through "
+                "repro.perf.sweep.run_sweep (per-point timeouts, "
+                "deterministic retry, pool recovery, journaled resume)",
+            )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if (node.attr == "random" and isinstance(node.value, ast.Name)
@@ -379,13 +418,28 @@ class _RuleVisitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_cycle_assign(node, node.targets, node.value)
         is_set = _set_expr_desc(node.value) is not None
+        is_pool = self._is_pool_ctor(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 if is_set:
                     self._set_locals[-1].add(target.id)
                 else:
                     self._set_locals[-1].discard(target.id)
+                if is_pool:
+                    self._pool_names.add(target.id)
+                else:
+                    self._pool_names.discard(target.id)
         self.generic_visit(node)
+
+    def _visit_with(self, node) -> None:
+        for item in node.items:
+            if (self._is_pool_ctor(item.context_expr)
+                    and isinstance(item.optional_vars, ast.Name)):
+                self._pool_names.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:

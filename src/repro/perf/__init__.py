@@ -10,12 +10,33 @@ parallel-seeding rules.
 - :mod:`repro.perf.cache` — persistent on-disk result cache shared by
   sweep workers and the benchmark harness.
 - :mod:`repro.perf.sweep` — deterministic parallel sweep runner
-  (ProcessPoolExecutor with per-point seeds from :mod:`repro.sim.rng`).
+  (per-point seeds from :mod:`repro.sim.rng`, dispatched through the
+  resilient execution layer).
+- :mod:`repro.perf.resilient` — crash-resilient dispatch: per-point
+  timeouts, deterministic retry/backoff, ``BrokenProcessPool``
+  recovery with poison-point quarantine, sweep health counters.
+- :mod:`repro.perf.journal` — append-only JSONL sweep journal backing
+  ``--resume`` for interrupted campaigns.
+- :mod:`repro.perf.outcomes` — structured skip/failure records that
+  stand in for stats dicts in partial sweep results.
 - :mod:`repro.perf.bench` — the ``repro-noc bench`` smoke suite and the
   ``BENCH_fabric.json`` trajectory format.
 """
 
 from repro.perf.cache import ResultCache
-from repro.perf.sweep import SweepPoint, point_seed, run_sweep
+from repro.perf.resilient import RetryPolicy, SweepHealth, format_health
+from repro.perf.sweep import (
+    SweepPoint,
+    failed_points,
+    is_failed,
+    is_skipped,
+    point_seed,
+    run_sweep,
+    skipped_points,
+)
 
-__all__ = ["ResultCache", "SweepPoint", "point_seed", "run_sweep"]
+__all__ = [
+    "ResultCache", "SweepPoint", "point_seed", "run_sweep",
+    "RetryPolicy", "SweepHealth", "format_health",
+    "is_skipped", "is_failed", "skipped_points", "failed_points",
+]

@@ -53,6 +53,7 @@ from __future__ import annotations
 import gc
 import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -63,6 +64,14 @@ from repro.core.network import MultiRingFabric
 from repro.core.topology import chiplet_pair, single_ring_topology
 from repro.fabric.message import Message, MessageKind
 from repro.params import QueueParams
+from repro.perf.journal import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    SweepJournal,
+    sweep_fingerprint,
+)
+from repro.perf.outcomes import failure_record, is_failed
 from repro.sim.rng import make_rng
 
 #: (cycle, src, dst, kind) — one planned injection attempt.
@@ -349,9 +358,13 @@ def aggregate_normalized(results: List[Dict[str, Any]]) -> Optional[float]:
     and its outlier normalized score used to dominate an arithmetic
     headline.  The cases stay in the report as individual results; they
     are only kept out of the aggregate the trajectory gate tracks.
+    Skipped and failed cases have no timing and are excluded too — a
+    partially-failed suite still reports an aggregate over the cases
+    that did run, with the failures loud in the result list.
     """
     values = [r["normalized"] for r in results
-              if not r.get("skipped") and r.get("plan_size", 0) > 0]
+              if not r.get("skipped") and not r.get("failed")
+              and r.get("plan_size", 0) > 0]
     if not values:
         return None
     log_sum = 0.0
@@ -362,9 +375,44 @@ def aggregate_normalized(results: List[Dict[str, Any]]) -> Optional[float]:
     return math.exp(log_sum / len(values))
 
 
+def _run_suite_case(case: BenchCase, engine: str, repeats: int,
+                    reference: bool, score: float) -> Dict[str, Any]:
+    """Time one suite case (plus optional reference A/B) into an entry."""
+    main_run = run_case(case, engine=engine, repeats=repeats)
+    entry: Dict[str, Any] = {
+        "name": case.name,
+        "description": case.description,
+        "cycles": case.cycles,
+        "plan_size": len(case.plan),
+        "saturated": case.saturated,
+        "engine_mode": engine,
+        "engine": main_run["engine"],
+        "cycles_per_sec": round(main_run["cycles_per_sec"], 1),
+        "normalized": round(main_run["cycles_per_sec"] / score, 6),
+        "stats": main_run["stats"],
+    }
+    if reference:
+        ref_run = run_case(case, engine="ref", repeats=repeats)
+        entry["reference_cycles_per_sec"] = round(
+            ref_run["cycles_per_sec"], 1)
+        entry["speedup_vs_reference"] = round(
+            main_run["cycles_per_sec"] / ref_run["cycles_per_sec"], 2)
+        entry["stats_match_reference"] = (
+            ref_run["stats"] == main_run["stats"])
+        if not entry["stats_match_reference"]:
+            raise RuntimeError(
+                f"bench case '{case.name}': engine={engine} stats "
+                f"diverge from the reference step\n"
+                f"{engine}={main_run['stats']}\n"
+                f"ref ={ref_run['stats']}")
+    return entry
+
+
 def run_smoke_suite(repeats: int = 3, reference: bool = False,
                     cycles: int = SMOKE_CYCLES,
-                    engine: str = "auto") -> Dict[str, Any]:
+                    engine: str = "auto",
+                    journal: Optional[str] = None,
+                    resume: bool = False) -> Dict[str, Any]:
     """Run the whole suite; returns the ``BENCH_fabric.json`` payload.
 
     ``engine`` selects the stepping-engine mode under test (the
@@ -379,53 +427,98 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
     recorded reason, and the report's ``prefilter`` metadata carries the
     evaluated/skipped counts so the committed ``BENCH_fabric.json``
     always says how many points were pruned (no silent caps).
+
+    A case that raises no longer aborts the suite: it becomes a
+    structured failure entry (``failed: true`` with the error kind and
+    message) in the results, excluded from the aggregate but rendered
+    loudly by :func:`format_report`.  The engine-equivalence divergence
+    (``reference=True`` with mismatched fingerprints) still raises —
+    that is a correctness verdict, not a flaky case.
+
+    ``journal``/``resume`` give the suite campaign-style checkpointing:
+    each case's entry is appended to a crash-safe JSONL journal
+    (:mod:`repro.perf.journal`) as it completes, and ``resume=True``
+    replays completed cases from a matching journal instead of
+    re-timing them (failed cases re-run).  Replayed entries keep their
+    recorded numbers — timings are machine state, not derivable —
+    which is exactly what lets an interrupted overnight bench finish
+    instead of starting over.
     """
     from repro.analyze.prefilter import infeasible_reason
+
+    cases = smoke_cases(cycles)
+    journal_obj: Optional[SweepJournal] = None
+    replayed: Dict[int, Dict[str, Any]] = {}
+    if journal is not None:
+        fingerprint = sweep_fingerprint(
+            "bench-smoke", 0, [case.name for case in cases],
+            context={"suite": "smoke", "cycles": cycles, "engine": engine,
+                     "repeats": repeats, "reference": reference})
+        if resume and os.path.exists(journal):
+            journal_obj, replayed = SweepJournal.resume(journal, fingerprint)
+        else:
+            journal_obj = SweepJournal(journal)
+            journal_obj.start("bench-smoke", 0, len(cases), fingerprint)
 
     score = calibration_score(repeats)
     results: List[Dict[str, Any]] = []
     prefilter: Dict[str, Any] = {"evaluated": 0, "skipped": 0,
                                  "skipped_cases": []}
-    for case in smoke_cases(cycles):
-        probe = case.build(engine)
-        reason = infeasible_reason(probe.topology, probe.config)
-        prefilter["evaluated"] += 1
-        if reason is not None:
-            prefilter["skipped"] += 1
-            prefilter["skipped_cases"].append(
-                {"name": case.name, "reason": reason})
-            results.append({"name": case.name, "skipped": True,
-                            "skip_reason": reason})
-            continue
-        main_run = run_case(case, engine=engine, repeats=repeats)
-        entry: Dict[str, Any] = {
-            "name": case.name,
-            "description": case.description,
-            "cycles": case.cycles,
-            "plan_size": len(case.plan),
-            "saturated": case.saturated,
-            "engine_mode": engine,
-            "engine": main_run["engine"],
-            "cycles_per_sec": round(main_run["cycles_per_sec"], 1),
-            "normalized": round(main_run["cycles_per_sec"] / score, 6),
-            "stats": main_run["stats"],
-        }
-        if reference:
-            ref_run = run_case(case, engine="ref", repeats=repeats)
-            entry["reference_cycles_per_sec"] = round(
-                ref_run["cycles_per_sec"], 1)
-            entry["speedup_vs_reference"] = round(
-                main_run["cycles_per_sec"] / ref_run["cycles_per_sec"], 2)
-            entry["stats_match_reference"] = (
-                ref_run["stats"] == main_run["stats"])
-            if not entry["stats_match_reference"]:
-                raise RuntimeError(
-                    f"bench case '{case.name}': engine={engine} stats "
-                    f"diverge from the reference step\n"
-                    f"{engine}={main_run['stats']}\n"
-                    f"ref ={ref_run['stats']}")
-        results.append(entry)
+    try:
+        for index, case in enumerate(cases):
+            if index in replayed:
+                entry = replayed[index]["value"]
+                if entry.get("skipped"):
+                    prefilter["evaluated"] += 1
+                    prefilter["skipped"] += 1
+                    prefilter["skipped_cases"].append(
+                        {"name": case.name,
+                         "reason": entry.get("skip_reason")})
+                else:
+                    prefilter["evaluated"] += 1
+                results.append(entry)
+                continue
+            probe = case.build(engine)
+            reason = infeasible_reason(probe.topology, probe.config)
+            prefilter["evaluated"] += 1
+            if reason is not None:
+                prefilter["skipped"] += 1
+                prefilter["skipped_cases"].append(
+                    {"name": case.name, "reason": reason})
+                entry = {"name": case.name, "skipped": True,
+                         "skip_reason": reason}
+                results.append(entry)
+                if journal_obj is not None:
+                    journal_obj.append(index, case.name, STATUS_SKIPPED,
+                                       entry)
+                continue
+            start = time.perf_counter()
+            try:
+                entry = _run_suite_case(case, engine, repeats, reference,
+                                        score)
+            except KeyboardInterrupt:
+                raise
+            except RuntimeError:
+                raise  # engine divergence / tracing misuse: correctness
+            except Exception as exc:
+                record = failure_record(
+                    case.name, type(exc).__name__, attempts=1,
+                    elapsed_s=time.perf_counter() - start,
+                    message=str(exc))
+                record["name"] = case.name
+                results.append(record)
+                if journal_obj is not None:
+                    journal_obj.append(index, case.name, STATUS_FAILED,
+                                       record)
+                continue
+            results.append(entry)
+            if journal_obj is not None:
+                journal_obj.append(index, case.name, STATUS_OK, entry)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
     aggregate = aggregate_normalized(results)
+    failed = sum(1 for r in results if is_failed(r))
     return {
         "schema": REPORT_SCHEMA,
         "suite": "smoke",
@@ -437,6 +530,8 @@ def run_smoke_suite(repeats: int = 3, reference: bool = False,
         "aggregate_normalized": (round(aggregate, 6)
                                  if aggregate is not None else None),
         "prefilter": prefilter,
+        "failed_cases": failed,
+        "resumed_cases": len(replayed),
         "results": results,
     }
 
@@ -456,7 +551,8 @@ def saturated_speedup_failures(report: Dict[str, Any],
     """
     failures: List[str] = []
     for entry in report.get("results", []):
-        if entry.get("skipped") or not entry.get("saturated"):
+        if (entry.get("skipped") or entry.get("failed")
+                or not entry.get("saturated")):
             continue
         speedup = entry.get("speedup_vs_reference")
         if speedup is None:
@@ -501,9 +597,11 @@ def compare_to_baseline(report: Dict[str, Any], baseline: Dict[str, Any],
         base = base_by_name.get(entry["name"])
         if base is None:
             continue
-        if entry.get("skipped") or base.get("skipped"):
-            # A statically-skipped case has no timing to compare; the
-            # skip itself is visible in the prefilter metadata.
+        if (entry.get("skipped") or base.get("skipped")
+                or entry.get("failed") or base.get("failed")):
+            # A statically-skipped or failed case has no timing to
+            # compare; skips show in the prefilter metadata and
+            # failures in the report's failed_cases count.
             continue
         if base.get("stats") != entry.get("stats"):
             failures.append(
@@ -538,11 +636,21 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"  prefilter: {prefilter['skipped']}/"
             f"{prefilter['evaluated']} case(s) statically skipped")
+    if report.get("failed_cases"):
+        lines.append(f"  FAILED cases: {report['failed_cases']}")
+    if report.get("resumed_cases"):
+        lines.append(f"  resumed from journal: {report['resumed_cases']} "
+                     "case(s)")
     width = max(len(r["name"]) for r in report["results"])
     for r in report["results"]:
         if r.get("skipped"):
             lines.append(f"  {r['name']:<{width}}  SKIPPED: "
                          f"{r['skip_reason']}")
+            continue
+        if r.get("failed"):
+            lines.append(
+                f"  {r['name']:<{width}}  FAILED: {r['error_kind']}: "
+                f"{r['error_message']}")
             continue
         extra = ""
         if "speedup_vs_reference" in r:

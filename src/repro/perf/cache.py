@@ -18,6 +18,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
 from typing import Any, Optional
 
 #: Bump to invalidate every existing entry when the stored payload's
@@ -28,6 +29,19 @@ SCHEMA_VERSION = 1
 def canonical_json(value: Any) -> str:
     """Deterministic JSON text for hashing: sorted keys, compact."""
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for an atomic-write temp file's owner."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # EPERM: exists but not ours — treat as alive
+        return True
+    return True
 
 
 def config_fingerprint(config: Any) -> Any:
@@ -44,11 +58,15 @@ def config_fingerprint(config: Any) -> Any:
 class ResultCache:
     """Content-addressed JSON store: ``root/<sha256>.json`` per entry."""
 
+    #: Matches the atomic-write temp suffix: ``<key>.json.tmp.<pid>``.
+    _TMP_RE = re.compile(r"\.json\.tmp\.(\d+)$")
+
     def __init__(self, root: str, version: int = SCHEMA_VERSION):
         self.root = root
         self.version = version
         self.hits = 0
         self.misses = 0
+        self.prune_tmp()
 
     def make_key(self, name: str, **parts: Any) -> str:
         """Stable key for a computation's identity.
@@ -95,17 +113,53 @@ class ResultCache:
         os.replace(tmp, path)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry *and* temp file; returns entries removed.
+
+        Orphaned ``*.json.tmp.<pid>`` files from crashed writers are
+        removed too (they are not counted — they were never entries),
+        so ``clear()`` really does leave the cache directory empty.
+        """
         removed = 0
         try:
             names = os.listdir(self.root)
         except OSError:
             return 0
         for name in names:
-            if name.endswith(".json"):
+            if name.endswith(".json") or self._TMP_RE.search(name):
                 try:
                     os.remove(os.path.join(self.root, name))
-                    removed += 1
                 except OSError:
-                    pass
+                    continue
+                if name.endswith(".json"):
+                    removed += 1
         return removed
+
+    def prune_tmp(self) -> int:
+        """Remove orphaned atomic-write temp files; returns the count.
+
+        A writer that crashes (or is SIGKILLed) between creating
+        ``<key>.json.tmp.<pid>`` and the ``os.replace`` leaves the temp
+        file behind forever.  Called on cache open: a temp file is an
+        orphan when its embedded pid is not a live process (or is this
+        very process, which cannot have a write in flight while it is
+        constructing the cache).  Temp files of live concurrent writers
+        are left alone.
+        """
+        pruned = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            match = self._TMP_RE.search(name)
+            if not match:
+                continue
+            pid = int(match.group(1))
+            if pid != os.getpid() and _pid_alive(pid):
+                continue  # a live writer mid-put; not ours to reap
+            try:
+                os.remove(os.path.join(self.root, name))
+                pruned += 1
+            except OSError:
+                pass
+        return pruned

@@ -1,0 +1,205 @@
+"""Append-only JSONL sweep journal: crash-safe progress + resume.
+
+A journaled sweep writes one line per event to a single JSONL file:
+
+- the first line is a **manifest** record pinning the sweep's identity
+  (a SHA-256 fingerprint over the sweep name, base seed, point list,
+  and cache context) and its total point count;
+- every completed point appends one **outcome** record the moment it
+  finishes: ``{"record": "outcome", "index": i, "point": name,
+  "status": "ok"|"skipped"|"failed", "value": ...}``.
+
+Appends are atomic at line granularity — each outcome is a single
+``write`` of one newline-terminated line, flushed and fsynced before
+:meth:`SweepJournal.append` returns — so a crash (or SIGKILL) between
+points loses nothing, and a crash *during* an append loses at most the
+half-written final line, which :meth:`SweepJournal.load` tolerates by
+skipping any line that does not parse.
+
+Resume contract: re-running the same sweep with ``resume=True`` replays
+``ok`` and ``skipped`` outcomes from the journal and re-dispatches only
+the missing (or previously *failed*) points with their original
+index-derived seeds, so a resumed sweep's successful results are
+byte-identical to an uninterrupted run.  A journal whose manifest
+fingerprint does not match the requested sweep is refused with
+:class:`SweepJournalMismatch` — silently resuming a different campaign
+would corrupt results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.perf.cache import canonical_json
+
+#: Bump on incompatible journal format changes.
+JOURNAL_SCHEMA = 1
+
+RECORD_MANIFEST = "manifest"
+RECORD_OUTCOME = "outcome"
+
+#: Outcome statuses.  ``ok`` and ``skipped`` replay on resume; a
+#: ``failed`` point is re-dispatched (the failure may have been caused
+#: by the crash being resumed from).
+STATUS_OK = "ok"
+STATUS_SKIPPED = "skipped"
+STATUS_FAILED = "failed"
+
+
+class SweepJournalMismatch(ValueError):
+    """The journal on disk describes a different sweep than requested."""
+
+
+def sweep_fingerprint(name: str, base_seed: int, point_names: Any,
+                      context: Any = None) -> str:
+    """Stable identity hash for a sweep, for manifest matching."""
+    payload = {
+        "schema": JOURNAL_SCHEMA,
+        "name": name,
+        "base_seed": base_seed,
+        "points": list(point_names),
+        "context": context or {},
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class SweepJournal:
+    """One append-only JSONL journal file for one sweep run."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+
+    def start(self, name: str, base_seed: int, total: int,
+              fingerprint: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Create (truncate) the journal and write the manifest line."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        manifest = {
+            "record": RECORD_MANIFEST,
+            "schema": JOURNAL_SCHEMA,
+            "sweep": name,
+            "base_seed": base_seed,
+            "total": total,
+            "fingerprint": fingerprint,
+        }
+        if meta:
+            manifest["meta"] = meta
+        self._write_line(manifest)
+
+    def open_append(self) -> "SweepJournal":
+        """Open an existing journal for appending (resume mode)."""
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def append(self, index: int, point: str, status: str,
+               value: Any) -> None:
+        """Record one point outcome; durable before this returns.
+
+        ``value`` must be JSON-serializable (the same contract as the
+        result cache); a non-serializable result is a usage error at
+        the call site, raised here rather than corrupting the journal.
+        """
+        if self._fh is None:
+            raise RuntimeError("journal is not open for writing")
+        record = {"record": RECORD_OUTCOME, "index": index, "point": point,
+                  "status": status, "value": value}
+        try:
+            self._write_line(record)
+        except TypeError as exc:
+            raise ValueError(
+                f"journal for point '{point}': result is not "
+                f"JSON-serializable ({exc}); journaled sweeps require "
+                "JSON-able worker results") from None
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> Tuple[Optional[Dict[str, Any]],
+                                      Dict[int, Dict[str, Any]]]:
+        """Read a journal: ``(manifest, {index: outcome record})``.
+
+        Unparseable lines (a half-written tail from a crash mid-append)
+        are skipped, not errors; a missing or empty file yields
+        ``(None, {})``.  Later outcomes for the same index win, so a
+        resumed-then-interrupted journal stays consistent.
+        """
+        manifest: Optional[Dict[str, Any]] = None
+        outcomes: Dict[int, Dict[str, Any]] = {}
+        try:
+            fh = open(path, "r", encoding="utf-8")
+        except OSError:
+            return None, {}
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail line from a crash mid-append
+                if not isinstance(record, dict):
+                    continue
+                kind = record.get("record")
+                if kind == RECORD_MANIFEST and manifest is None:
+                    manifest = record
+                elif kind == RECORD_OUTCOME:
+                    index = record.get("index")
+                    if isinstance(index, int):
+                        outcomes[index] = record
+        return manifest, outcomes
+
+    @classmethod
+    def resume(cls, path: str, fingerprint: str
+               ) -> Tuple["SweepJournal", Dict[int, Dict[str, Any]]]:
+        """Open ``path`` for resuming a sweep with identity ``fingerprint``.
+
+        Returns the journal (opened for append) and the replayable
+        outcomes (``ok`` and ``skipped``; ``failed`` points are left out
+        so they re-run).  Raises :class:`SweepJournalMismatch` if the
+        manifest is missing or describes a different sweep.
+        """
+        manifest, outcomes = cls.load(path)
+        if manifest is None:
+            raise SweepJournalMismatch(
+                f"{path}: no readable manifest — not a sweep journal "
+                "(or the initial write was lost); re-run without --resume")
+        if manifest.get("fingerprint") != fingerprint:
+            raise SweepJournalMismatch(
+                f"{path}: journal belongs to sweep "
+                f"'{manifest.get('sweep')}' with a different identity "
+                "(points, base seed, or context changed); re-run without "
+                "--resume or point --journal at a fresh file")
+        replayable = {
+            index: record for index, record in outcomes.items()
+            if record.get("status") in (STATUS_OK, STATUS_SKIPPED)
+        }
+        return cls(path).open_append(), replayable

@@ -1,41 +1,94 @@
-"""Deterministic parallel sweep runner.
+"""Deterministic, crash-resilient parallel sweep runner.
 
 Runs one worker function over a list of sweep points, optionally across
-a :class:`concurrent.futures.ProcessPoolExecutor`.  Three properties
-make the parallelism invisible to the results:
+a process pool.  Three properties make the parallelism invisible to the
+results:
 
 - **Per-point seeds are a function of (base seed, point index) only** —
   derived via :func:`repro.sim.rng` *before* any work is dispatched, so
   a point's random stream does not depend on which worker runs it, how
-  many workers exist, or what ran before it.  Never derive a seed from
-  ``os.getpid()`` or worker identity (the ``parallel-seeding`` lint rule
-  flags that pattern outside this package).
-- **Results merge in point order** (``executor.map`` semantics), so the
-  returned list matches the input order regardless of completion order.
-- **``workers <= 1`` degrades to a plain in-process loop** with the same
-  seeds, which is both the no-multiprocessing fallback and the oracle
-  that the determinism tests compare the parallel path against.
+  many workers exist, what ran before it, or how many times the point
+  was retried.  Never derive a seed from ``os.getpid()`` or worker
+  identity (the ``parallel-seeding`` lint rule flags that pattern
+  outside this package).
+- **Results merge in point order** — the resilient dispatcher
+  (:mod:`repro.perf.resilient`) completes points in any order but
+  stores by original index, so the returned list matches the input
+  order regardless of completion order, retries, or pool restarts.
+- **``workers <= 1`` degrades to a plain in-process loop** with the
+  same seeds and the same retry policy, which is both the
+  no-multiprocessing fallback and the oracle the determinism tests
+  compare the parallel path against.
+
+Failure semantics: a worker exception, wall-clock timeout, or
+pool-killing crash no longer destroys the sweep.  Completed points are
+delivered (to the cache and the journal) the moment they finish, failed
+points retry under a bounded, deterministically-jittered backoff
+(:class:`repro.perf.resilient.RetryPolicy`), and a terminally-failed
+point yields a structured :func:`~repro.perf.outcomes.failure_record`
+in the results instead of an exception.  Pass a
+:class:`~repro.perf.resilient.SweepHealth` to collect
+retry/timeout/pool-restart/quarantine counters for a health report.
 
 A sweep can take a ``prefilter`` — a predicate run in the parent
 process *before* dispatch (typically built on
 :mod:`repro.analyze.prefilter`) that returns a skip reason for
 statically-infeasible points.  Skipped points get a structured skip
-record (:func:`skip_record`) in the results instead of a worker run;
-because every point's seed is derived from its original index before
-filtering, pruning some points cannot perturb the RNG stream of any
-point that still runs.  Skip counts are logged and queryable via
-:func:`skipped_points` — pruning is always visible, never a silent cap.
+record (:func:`~repro.perf.outcomes.skip_record`) in the results
+instead of a worker run; because every point's seed is derived from its
+original index before filtering, pruning some points cannot perturb the
+RNG stream of any point that still runs.  Skip counts are logged and
+queryable via :func:`skipped_points` — pruning is always visible, never
+a silent cap.
+
+Journaled runs: pass ``journal=<path>`` to append every point outcome
+to a crash-safe JSONL journal (:mod:`repro.perf.journal`) as it
+completes, and ``resume=True`` to replay a prior journal's completed
+points instead of recomputing them.  Because replayed points keep their
+recorded values and re-dispatched points keep their index-derived
+seeds, a resumed sweep's successful results are byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.perf.cache import ResultCache
+from repro.perf.journal import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    SweepJournal,
+    SweepJournalMismatch,
+    sweep_fingerprint,
+)
+from repro.perf.outcomes import (
+    failed_points,
+    failure_record,
+    is_failed,
+    is_skipped,
+    skip_record,
+    skipped_points,
+)
+from repro.perf.resilient import (
+    Job,
+    RetryPolicy,
+    SweepHealth,
+    execute_jobs,
+    graceful_shutdown_signals,
+)
 from repro.sim.rng import make_rng, split_rng
+
+__all__ = [
+    "Prefilter", "SweepPoint", "point_seed", "run_sweep",
+    "skip_record", "is_skipped", "skipped_points",
+    "failure_record", "is_failed", "failed_points",
+    "RetryPolicy", "SweepHealth", "SweepJournalMismatch",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -73,27 +126,6 @@ def point_seed(base_seed: int, index: int) -> int:
     return split_rng(make_rng(base_seed), index).randrange(2**63)
 
 
-def _invoke(task: Tuple[Callable[[SweepPoint, int], Any], SweepPoint, int]) -> Any:
-    """Picklable trampoline: ``executor.map`` needs a single argument."""
-    fn, point, seed = task
-    return fn(point, seed)
-
-
-def skip_record(point: SweepPoint, reason: str) -> Dict[str, Any]:
-    """The structured result a prefiltered point gets instead of a run."""
-    return {"point": point.name, "skipped": True, "skip_reason": reason}
-
-
-def is_skipped(result: Any) -> bool:
-    """True for a :func:`skip_record` result."""
-    return isinstance(result, dict) and bool(result.get("skipped"))
-
-
-def skipped_points(results: Sequence[Any]) -> List[Dict[str, Any]]:
-    """The skip records in a sweep's results, in point order."""
-    return [r for r in results if is_skipped(r)]
-
-
 def run_sweep(
     fn: Callable[[SweepPoint, int], Any],
     points: Sequence[SweepPoint],
@@ -103,6 +135,12 @@ def run_sweep(
     cache_name: Optional[str] = None,
     cache_context: Optional[Dict[str, Any]] = None,
     prefilter: Optional[Prefilter] = None,
+    *,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    health: Optional[SweepHealth] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Any]:
     """Evaluate ``fn(point, seed)`` for every point; results in order.
 
@@ -113,53 +151,118 @@ def run_sweep(
     differently-configured sweep never alias.
 
     ``prefilter`` runs in the parent process before dispatch; a point it
-    rejects gets a :func:`skip_record` result and never reaches a
-    worker or the cache.  Every point's seed is still derived from its
-    original index, so filtered and unfiltered sweeps produce identical
-    results for every non-skipped point.
+    rejects gets a :func:`~repro.perf.outcomes.skip_record` result and
+    never reaches a worker or the cache.  Every point's seed is still
+    derived from its original index, so filtered and unfiltered sweeps
+    produce identical results for every non-skipped point.
+
+    Resilience knobs (all optional, keyword-only):
+
+    - ``timeout`` — per-point wall-clock budget in seconds, enforced on
+      the pool path (``workers > 1``); a hung worker is terminated and
+      its pool recycled.
+    - ``retry`` — a :class:`~repro.perf.resilient.RetryPolicy`; failed
+      attempts re-run with the point's original seed under bounded,
+      deterministically-jittered backoff.  A point that exhausts the
+      budget becomes a :func:`~repro.perf.outcomes.failure_record` in
+      the results — ``run_sweep`` does not raise for worker failures.
+    - ``health`` — a :class:`~repro.perf.resilient.SweepHealth` whose
+      counters this run fills in (retries, timeouts, pool restarts,
+      quarantines, cache hits, resumed points).
+    - ``journal`` / ``resume`` — crash-safe JSONL progress journal; see
+      :mod:`repro.perf.journal`.  ``resume=True`` requires a journal
+      whose manifest matches this sweep's identity and raises
+      :class:`~repro.perf.journal.SweepJournalMismatch` otherwise.
+      SIGINT/SIGTERM during a journaled run checkpoint cleanly: every
+      completed point is already on disk, and the interrupted campaign
+      picks up where it left off under ``resume=True``.
     """
+    retry = retry or RetryPolicy()
+    health = health or SweepHealth()
+    health.points += len(points)
     seeds = [point_seed(base_seed, i) for i in range(len(points))]
     results: List[Any] = [None] * len(points)
     keys: List[Optional[str]] = [None] * len(points)
+    name = cache_name or getattr(fn, "__qualname__", "sweep")
 
-    skipped = 0
-    pending: List[int] = []
-    for i, point in enumerate(points):
-        if prefilter is not None:
-            reason = prefilter(point, seeds[i])
-            if reason is not None:
-                results[i] = skip_record(point, reason)
-                skipped += 1
-                logger.info("sweep: skipping point %s: %s",
-                            point.name, reason)
-                continue
-        if cache is not None:
-            key = cache.make_key(
-                cache_name or getattr(fn, "__qualname__", "sweep"),
-                point=point.name,
-                params=point.as_dict(),
-                seed=seeds[i],
-                context=cache_context or {},
-            )
-            keys[i] = key
-            hit = cache.get(key)
-            if hit is not None:
-                results[i] = hit
-                continue
-        pending.append(i)
-
-    if pending:
-        tasks = [(fn, points[i], seeds[i]) for i in pending]
-        if workers is not None and workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(_invoke, tasks))
+    journal_obj: Optional[SweepJournal] = None
+    replayed: Dict[int, Dict[str, Any]] = {}
+    if journal is not None:
+        fingerprint = sweep_fingerprint(
+            name, base_seed,
+            [(p.name, p.as_dict()) for p in points],
+            context=cache_context or {})
+        if resume and os.path.exists(journal):
+            journal_obj, replayed = SweepJournal.resume(journal, fingerprint)
         else:
-            computed = [_invoke(task) for task in tasks]
-        for i, value in zip(pending, computed):
-            results[i] = value
-            if cache is not None and keys[i] is not None:
-                cache.put(keys[i], value)
-    if skipped:
-        logger.info("sweep: statically skipped %d/%d point(s)",
-                    skipped, len(points))
+            journal_obj = SweepJournal(journal)
+            journal_obj.start(name, base_seed, len(points), fingerprint)
+
+    def record_outcome(index: int, status: str, value: Any) -> None:
+        if journal_obj is not None:
+            journal_obj.append(index, points[index].name, status, value)
+
+    try:
+        skipped = 0
+        jobs: List[Job] = []
+        for i, point in enumerate(points):
+            if i in replayed:
+                results[i] = replayed[i]["value"]
+                health.resumed += 1
+                continue
+            if prefilter is not None:
+                reason = prefilter(point, seeds[i])
+                if reason is not None:
+                    results[i] = skip_record(point, reason)
+                    skipped += 1
+                    health.skipped += 1
+                    record_outcome(i, STATUS_SKIPPED, results[i])
+                    logger.info("sweep: skipping point %s: %s",
+                                point.name, reason)
+                    continue
+            if cache is not None:
+                key = cache.make_key(
+                    name,
+                    point=point.name,
+                    params=point.as_dict(),
+                    seed=seeds[i],
+                    context=cache_context or {},
+                )
+                keys[i] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    health.cached += 1
+                    record_outcome(i, STATUS_OK, hit)
+                    continue
+            jobs.append(Job(index=i, point=point, seed=seeds[i]))
+
+        if jobs:
+            def on_ok(index: int, value: Any) -> None:
+                results[index] = value
+                if cache is not None and keys[index] is not None:
+                    cache.put(keys[index], value)
+                record_outcome(index, STATUS_OK, value)
+
+            def on_failure(index: int, record: Dict[str, Any]) -> None:
+                results[index] = record
+                record_outcome(index, STATUS_FAILED, record)
+                logger.warning(
+                    "sweep: point %s FAILED (%s after %d attempt(s)): %s",
+                    record["point"], record["error_kind"],
+                    record["attempts"], record["error_message"])
+
+            with graceful_shutdown_signals():
+                execute_jobs(fn, jobs, workers=workers, timeout_s=timeout,
+                             retry=retry, health=health,
+                             on_ok=on_ok, on_failure=on_failure)
+        if skipped:
+            logger.info("sweep: statically skipped %d/%d point(s)",
+                        skipped, len(points))
+        if health.failed:
+            logger.warning("sweep: %d/%d point(s) terminally failed",
+                           health.failed, len(points))
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
     return results

@@ -6,6 +6,13 @@ and returns a JSON-serializable record so results can flow through the
 :class:`repro.perf.cache.ResultCache`.  Workers import simulation
 modules lazily: a pool child pays the import cost once, and the parent
 CLI stays fast when the sweep is fully cached.
+
+Workers run under the resilient dispatcher
+(:mod:`repro.perf.resilient`): an exception raised here is retried with
+the *same* ``(point, seed)`` under bounded backoff and, if it keeps
+failing, becomes a structured failure record in the sweep results — so
+a worker must be a pure function of its arguments (no hidden state
+between attempts) for retries to stay byte-identical.
 """
 
 from __future__ import annotations

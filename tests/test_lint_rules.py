@@ -259,6 +259,100 @@ def test_parallel_seeding_inline_optout():
         "import multiprocessing  # lint: allow[parallel-seeding]\n")
 
 
+# -- sweep-bare-pool ------------------------------------------------------
+
+
+def test_bare_pool_map_on_local_flagged():
+    assert "sweep-bare-pool" in rules_hit(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def sweep(fn, points):
+            pool = ProcessPoolExecutor(4)
+            return list(pool.map(fn, points))
+        """
+    )
+
+
+def test_bare_pool_map_with_as_flagged():
+    assert "sweep-bare-pool" in rules_hit(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def sweep(fn, points):
+            with ProcessPoolExecutor() as pool:
+                return list(pool.map(fn, points))
+        """
+    )
+
+
+def test_bare_pool_map_direct_call_flagged():
+    assert "sweep-bare-pool" in rules_hit(
+        """
+        import concurrent.futures
+
+        def sweep(fn, points):
+            return list(
+                concurrent.futures.ProcessPoolExecutor().map(fn, points))
+        """
+    )
+
+
+def test_plain_map_not_flagged():
+    assert "sweep-bare-pool" not in rules_hit(
+        """
+        def sweep(fn, points):
+            return list(map(fn, points))
+        """
+    )
+    # .map on a non-pool object is someone else's method.
+    assert "sweep-bare-pool" not in rules_hit(
+        """
+        def render(surface, texture):
+            return surface.map(texture)
+        """
+    )
+
+
+def test_bare_pool_map_exempt_in_perf():
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def sweep(fn, points):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(fn, points))\n"
+    )
+    assert "sweep-bare-pool" not in rules_hit(
+        source, path="pkg/repro/perf/resilient.py")
+    assert "sweep-bare-pool" in rules_hit(
+        source, path="pkg/repro/faults/campaign.py")
+
+
+def test_bare_pool_map_inline_optout():
+    assert "sweep-bare-pool" not in rules_hit(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def sweep(fn, points):
+            pool = ProcessPoolExecutor(4)
+            return list(pool.map(fn, points))  # lint: allow[sweep-bare-pool]
+        """
+    )
+
+
+def test_rebound_pool_name_not_flagged():
+    assert "sweep-bare-pool" not in rules_hit(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def sweep(fn, points):
+            pool = ProcessPoolExecutor(4)
+            pool = None
+            pool = SomethingElse()
+            return pool.map(fn, points)
+        """
+    )
+
+
 # -- unordered-iteration --------------------------------------------------
 
 

@@ -118,6 +118,43 @@ def test_cache_clear(tmp_path):
     assert cache.get(cache.make_key("a")) is None
 
 
+def test_cache_clear_removes_orphaned_tmp_files(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(cache.make_key("a"), 1)
+    (tmp_path / "deadbeef.json.tmp.999999").write_text("{")
+    # Temp files are removed but not counted — they were never entries.
+    assert cache.clear() == 1
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_prune_tmp_reaps_orphans_keeps_live_writers(tmp_path):
+    import subprocess
+    import sys
+
+    cache = ResultCache(str(tmp_path))
+    dead = subprocess.run([sys.executable, "-c", "import os;print(os.getpid())"],
+                          capture_output=True, text=True)
+    dead_pid = int(dead.stdout)
+    live = subprocess.Popen([sys.executable, "-c",
+                             "import time; time.sleep(60)"])
+    try:
+        (tmp_path / f"k1.json.tmp.{dead_pid}").write_text("{")  # crashed
+        (tmp_path / f"k2.json.tmp.{os.getpid()}").write_text("{")  # stale own
+        (tmp_path / f"k3.json.tmp.{live.pid}").write_text("{")  # in flight
+        assert cache.prune_tmp() == 2
+        assert {p.name for p in tmp_path.iterdir()} == {
+            f"k3.json.tmp.{live.pid}"}
+        # A fresh cache open prunes automatically (the crash-recovery
+        # path) and still leaves the live writer alone.
+        (tmp_path / f"k4.json.tmp.{dead_pid}").write_text("{")
+        ResultCache(str(tmp_path))
+        assert {p.name for p in tmp_path.iterdir()} == {
+            f"k3.json.tmp.{live.pid}"}
+    finally:
+        live.kill()
+        live.wait()
+
+
 def test_config_fingerprint_flattens_dataclasses():
     from repro.core.config import MultiRingConfig
     fp = config_fingerprint(MultiRingConfig())
