@@ -99,7 +99,7 @@ def _severity_for(utilization: float) -> Optional[Severity]:
     if utilization >= 1.0:
         return Severity.ERROR
     if utilization >= WARN_UTILIZATION:
-        return Severity.WARNING
+        return Severity.WARN
     return None
 
 

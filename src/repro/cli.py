@@ -439,12 +439,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     from repro.lint import run_check
 
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
     report = run_check(
         src_paths=args.src or None,
         scenario_paths=args.scenario,
         lint=not args.no_lint,
         builtin=not args.no_builtin,
+        dataflow=not args.no_dataflow,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+        fail_on=args.fail_on,
+        use_cache=not args.no_cache,
+        cache_path=args.cache_file,
     )
+    if args.sarif:
+        from repro.lint.sarif import write_sarif
+
+        write_sarif(report.findings, args.sarif)
+        print(f"wrote SARIF report to {args.sarif}", file=sys.stderr)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:
@@ -622,8 +636,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the AST lint layer")
     p.add_argument("--no-builtin", action="store_true",
                    help="skip validating the built-in topologies")
+    p.add_argument("--no-dataflow", action="store_true",
+                   help="skip the interprocedural dataflow analysis")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
+    p.add_argument("--sarif", metavar="FILE",
+                   help="also write findings as SARIF 2.1.0 (for GitHub "
+                        "code scanning)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="subtract the findings baseline (fingerprint "
+                        "match); stale entries report as notes")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="regenerate the --baseline file from this run's "
+                        "findings (explicit, reviewable diff)")
+    p.add_argument("--fail-on", choices=["error", "warn", "info"],
+                   default="error",
+                   help="lowest severity that fails the run "
+                        "(default: error)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the per-file lint memo cache")
+    p.add_argument("--cache-file", metavar="FILE",
+                   help="memo cache location (default: "
+                        "~/.cache/repro-noc/check-cache.json)")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser(

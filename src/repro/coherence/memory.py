@@ -46,7 +46,7 @@ class MemoryNode(ProtocolAgent):
         self.writes = 0
         #: Fractional channel-occupancy accumulator (reporting only; a
         #: line costs a non-integral number of cycles of channel time).
-        self.busy_cycles = 0.0  # lint: allow[float-cycle]
+        self.busy_cycles = 0.0  # repro: allow[float-cycle]
 
     def read_value(self, addr: int) -> int:
         """Functional backdoor for invariant checks (no timing)."""
@@ -62,7 +62,7 @@ class MemoryNode(ProtocolAgent):
         interval = self.service_interval * interval_scale
         start = max(float(cycle), self._next_free)
         self._next_free = start + interval
-        self.busy_cycles += interval  # lint: allow[float-cycle]
+        self.busy_cycles += interval
         return int(start - cycle) + self.service_latency
 
     def on_message(self, chi: ChiMessage, src: int, cycle: int) -> None:

@@ -1,0 +1,123 @@
+"""Checked-in findings baseline for ``repro-noc check``.
+
+A baseline is the reviewed set of findings the team has decided to live
+with: each entry is a finding *fingerprint* (rule + normalized path +
+normalized line content, see :mod:`repro.lint.findings`), so entries
+survive line insertion, renumbering, and reformatting — but not a change
+to the flagged line itself, which is exactly when a human should re-look.
+
+``repro-noc check --baseline lint-baseline.json`` subtracts baselined
+findings from the report, so CI fails only on *new* findings.  Two
+honesty mechanisms keep the baseline from rotting:
+
+- entries that no longer match any finding are reported as
+  ``stale-baseline-entry`` (info) so fixed defects get removed from the
+  file rather than lingering as dead weight;
+- ``--write-baseline`` regenerates the file from the current findings,
+  which makes baseline updates an explicit, reviewable diff.
+
+The shipped ``lint-baseline.json`` at the repo root is empty: the tree
+is clean, and the file exists so CI has a stable gate target.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A fingerprint set plus enough metadata to keep entries readable."""
+
+    #: fingerprint -> {"rule", "path", "message"} (metadata is advisory;
+    #: only the fingerprint participates in matching).
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, str]] = {}
+        for f in findings:
+            entries[f.fingerprint] = {
+                "rule": f.rule,
+                "path": f.path or "",
+                "message": f.message,
+            }
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        if not isinstance(raw, dict) or "findings" not in raw:
+            raise ValueError(
+                f"{path}: not a lint baseline (missing 'findings')")
+        entries: Dict[str, Dict[str, str]] = {}
+        for item in raw["findings"]:
+            entries[item["fingerprint"]] = {
+                "rule": item.get("rule", ""),
+                "path": item.get("path", ""),
+                "message": item.get("message", ""),
+            }
+        return cls(entries=entries)
+
+    def dump(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"fingerprint": fp, **meta}
+                for fp, meta in sorted(self.entries.items(),
+                                       key=lambda kv: (kv[1]["path"],
+                                                       kv[1]["rule"],
+                                                       kv[0]))
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def apply(
+        self, findings: Sequence[Finding],
+    ) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+        """Split findings against the baseline.
+
+        Returns ``(new, suppressed, stale)``: findings not in the
+        baseline, findings the baseline absorbs, and one info-severity
+        ``stale-baseline-entry`` finding per baseline entry that matched
+        nothing this run.
+        """
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched: set = set()
+        for f in findings:
+            fp = f.fingerprint
+            if fp in self.entries:
+                matched.add(fp)
+                suppressed.append(f)
+            else:
+                new.append(f)
+        stale = [
+            Finding(
+                rule="stale-baseline-entry",
+                message=(f"baseline entry {fp} ([{meta['rule']}] "
+                         f"{meta['path']}) matched no finding; the "
+                         "defect was fixed — remove the entry "
+                         "(--write-baseline regenerates the file)"),
+                severity=Severity.INFO,
+                path=meta["path"] or None,
+                context=f"baseline:{fp}")
+            for fp, meta in sorted(self.entries.items())
+            if fp not in matched
+        ]
+        return new, suppressed, stale

@@ -1,0 +1,141 @@
+"""Per-file memo cache for the ``repro-noc check`` lint pass.
+
+Linting is pure per file — findings depend only on the file's bytes and
+the rule set — so warm runs skip files whose ``(mtime, size)`` pair is
+unchanged since the last run and replay the recorded findings instead of
+re-parsing.  The cache is a single JSON file (default
+``~/.cache/repro-noc/check-cache.json``, override with ``--cache-file``,
+bypass with ``--no-cache``) keyed by absolute path, stamped with a
+signature of the rule set and lint-code version so a rules change
+invalidates everything at once.
+
+Two correctness subtleties, both load-bearing:
+
+- a cache entry records the findings *before* baseline subtraction, so
+  the same entry stays valid whatever baseline the next run applies;
+- a cache entry also records which inline suppressions fired
+  (``used_suppressions``), and the runner replays those marks into the
+  fresh :class:`~repro.lint.suppress.Suppressions` table on a hit —
+  otherwise every cache hit would false-fire ``unused-suppression``
+  warnings for comments whose rule only fires when the file is actually
+  linted.
+
+The interprocedural dataflow pass is *not* cached: its verdicts depend
+on every module at once (a change in one file can create a finding in
+another), and a whole-program analysis of this tree runs in well under a
+second anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: Bump when cached-entry semantics change (invalidates old caches).
+CACHE_FORMAT = 1
+
+
+def default_cache_path() -> str:
+    base = os.environ.get("XDG_CACHE_HOME",
+                          os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro-noc", "check-cache.json")
+
+
+def rules_signature(rules: Sequence[str]) -> str:
+    """Fingerprint of the active rule set + lint implementation version.
+
+    Importing here (not at module top) keeps the cache importable even
+    if the rules module is mid-refactor; the signature only needs to
+    change whenever rule behavior might.
+    """
+    from repro.lint import rules as rules_mod
+    try:
+        with open(rules_mod.__file__, "rb") as fh:
+            impl = hashlib.sha256(fh.read()).hexdigest()[:12]
+    except OSError:
+        impl = "unknown"
+    payload = ",".join(sorted(rules)) + "|" + impl + f"|v{CACHE_FORMAT}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class LintCache:
+    """mtime+size memo of per-file lint results."""
+
+    path: str
+    signature: str
+    #: abs path -> {"mtime", "size", "findings", "used_suppressions"}
+    entries: Dict[str, dict] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = field(default=False, repr=False)
+
+    @classmethod
+    def load(cls, path: str, signature: str) -> "LintCache":
+        """Load the cache, dropping it wholesale on signature mismatch."""
+        entries: Dict[str, dict] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+            if (isinstance(raw, dict)
+                    and raw.get("signature") == signature
+                    and isinstance(raw.get("entries"), dict)):
+                entries = raw["entries"]
+        except (OSError, ValueError):
+            pass
+        return cls(path=path, signature=signature, entries=entries)
+
+    def lookup(
+        self, filepath: str,
+    ) -> Optional[Tuple[List[Finding], List[Tuple[int, str]]]]:
+        """Cached ``(findings, used_suppressions)`` if the file is
+        unchanged, else None."""
+        entry = self.entries.get(filepath)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = os.stat(filepath)
+        except OSError:
+            self.misses += 1
+            return None
+        if entry.get("mtime") != stat.st_mtime or \
+                entry.get("size") != stat.st_size:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding.from_dict(d) for d in entry["findings"]]
+        used = [(int(line), rule)
+                for line, rule in entry.get("used_suppressions", [])]
+        return findings, used
+
+    def store(self, filepath: str, findings: Sequence[Finding],
+              used_suppressions: Sequence[Tuple[int, str]]) -> None:
+        try:
+            stat = os.stat(filepath)
+        except OSError:
+            return
+        self.entries[filepath] = {
+            "mtime": stat.st_mtime,
+            "size": stat.st_size,
+            "findings": [f.to_dict() for f in findings],
+            "used_suppressions": [[line, rule]
+                                  for line, rule in used_suppressions],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty and self.hits == len(self.entries):
+            return
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as fh:
+                json.dump({"signature": self.signature,
+                           "entries": self.entries}, fh)
+        except OSError:
+            pass  # a cache that cannot persist is merely cold next run

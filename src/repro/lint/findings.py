@@ -1,13 +1,27 @@
-"""The finding record shared by the lint rules and the config validator.
+"""The unified finding record shared by every static-analysis layer.
 
 A finding is one diagnosed problem: which rule fired, where, how bad.
-``repro-noc check`` aggregates findings from every layer and exits
-non-zero iff any of them is an error.
+The AST lint, the interprocedural dataflow analyzer, the topology/config
+validator, and the fabric analyzer all emit this one dataclass, so
+``repro-noc check`` can aggregate, baseline, and export them uniformly.
+
+Severity is a three-level scale (``error`` > ``warn`` > ``info``); the
+legacy spelling ``"warning"`` is normalized to ``"warn"`` on the way in
+so old JSON reports and baselines keep working.
+
+Every finding carries a **fingerprint**: a short stable hash of the rule,
+the normalized path, and the *content* of the flagged line (not its
+number), so inserting blank lines or comments above a finding does not
+change its identity.  Fingerprints are what the check baseline
+(:mod:`repro.lint.baseline`) and the SARIF exporter
+(:mod:`repro.lint.sarif`) key on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import re
+from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -15,7 +29,50 @@ class Severity:
     """Finding severities (plain strings so findings serialize cleanly)."""
 
     ERROR = "error"
-    WARNING = "warning"
+    WARN = "warn"
+    #: Legacy alias — older code and serialized reports said "warning".
+    WARNING = WARN
+    INFO = "info"
+
+    #: Rank order for gating (``--fail-on``): higher is worse.
+    RANK = {INFO: 0, WARN: 1, ERROR: 2}
+
+    @staticmethod
+    def normalize(value: str) -> str:
+        """Map legacy spellings onto the canonical three levels."""
+        if value == "warning":
+            return Severity.WARN
+        return value
+
+
+_WS = re.compile(r"\s+")
+
+
+def normalize_context(text: str) -> str:
+    """Canonical form of a source line for fingerprinting.
+
+    Collapses all whitespace so reformatting (indentation shifts, tab
+    vs space) does not move a finding out of the baseline.
+    """
+    return _WS.sub(" ", text.strip())
+
+
+def normalize_path(path: Optional[str]) -> str:
+    """Machine-independent form of a finding path.
+
+    Lint paths are absolute (wherever the package is installed); the
+    baseline must match across checkouts, so the path is cut down to the
+    ``repro/``-rooted suffix when one exists, else the basename.
+    """
+    if not path:
+        return ""
+    posix = path.replace("\\", "/")
+    idx = posix.rfind("/repro/")
+    if idx >= 0:
+        return posix[idx + 1:]
+    if posix.startswith("repro/"):
+        return posix
+    return posix.rsplit("/", 1)[-1]
 
 
 @dataclass(frozen=True)
@@ -25,15 +82,36 @@ class Finding:
     rule: str
     message: str
     severity: str = Severity.ERROR
-    #: Source file (lint) or scenario file (validator); None for checks
-    #: on in-memory specs.
+    #: Source file (lint/dataflow) or scenario file (validator); None
+    #: for checks on in-memory specs.
     path: Optional[str] = None
     line: Optional[int] = None
     col: Optional[int] = None
+    #: The source line (or other stable content) the finding anchors to;
+    #: feeds the fingerprint so line renumbering cannot move a finding
+    #: in or out of the baseline.  Falls back to the message when the
+    #: emitting layer has no source text (e.g. validator findings).
+    context: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "severity",
+                           Severity.normalize(self.severity))
 
     @property
     def is_error(self) -> bool:
         return self.severity == Severity.ERROR
+
+    @property
+    def rank(self) -> int:
+        return Severity.RANK.get(self.severity, Severity.RANK[Severity.ERROR])
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-shift-stable identity: rule + normalized path + context."""
+        context = self.context if self.context is not None else self.message
+        payload = "\x00".join(
+            (self.rule, normalize_path(self.path), normalize_context(context)))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def format(self) -> str:
         loc = ""
@@ -54,4 +132,13 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "context": self.context,
+            "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        return cls(rule=raw["rule"], message=raw["message"],
+                   severity=Severity.normalize(raw.get("severity", "error")),
+                   path=raw.get("path"), line=raw.get("line"),
+                   col=raw.get("col"), context=raw.get("context"))

@@ -45,8 +45,10 @@ Generic linters do not know what breaks a simulator.  These rules do:
   order (guaranteed since Python 3.7), which is deterministic as long
   as insertions are.
 
-A line can opt out of one rule with a trailing ``# lint: allow[rule]``
-comment; :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
+A line can opt out of one rule with a trailing ``# repro: allow[rule]``
+comment (the legacy ``# lint: allow[rule]`` spelling still works; see
+:mod:`repro.lint.suppress`, which also reports suppressions that never
+fire); :data:`DETERMINISM_EXEMPT` files (the RNG helper itself) are
 exempt from the determinism rule wholesale, and everything under
 :data:`PERF_EXEMPT_DIRS` (the measurement harness, which legitimately
 reads wall clocks and spawns workers) is exempt from the determinism,
@@ -58,9 +60,10 @@ from __future__ import annotations
 import ast
 import os
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.findings import Finding, Severity
+from repro.lint.suppress import Suppressions
 
 #: Rule names, in reporting order.
 DEFAULT_RULES: Tuple[str, ...] = (
@@ -138,17 +141,14 @@ _BANNED_CALLS = {
 _CYCLE_NAME = re.compile(r"(^|_)cycles?$")
 _RATE_NAME = re.compile(r"per_cycle")
 
-_ALLOW_COMMENT = re.compile(r"#\s*lint:\s*allow\[([a-z\-, ]+)\]")
-
-
-def _suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of rule names allowed on that line."""
-    out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_COMMENT.search(line)
-        if match:
-            out[lineno] = {r.strip() for r in match.group(1).split(",")}
-    return out
+#: Builtins whose result does not depend on the iteration order of their
+#: iterable argument (commutative/associative reductions, re-sorting, or
+#: re-collection into another unordered type).  A comprehension feeding
+#: one of these directly is exempt from the unordered-iteration rule.
+_ORDER_INSENSITIVE_REDUCERS = {
+    "sum", "max", "min", "any", "all", "len", "sorted", "set", "frozenset",
+    "Counter",
+}
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -211,10 +211,11 @@ class _RuleVisitor(ast.NodeVisitor):
         self,
         path: str,
         rules: Sequence[str],
-        suppressed: Dict[int, Set[str]],
+        suppressed: Suppressions,
         determinism_exempt: bool,
         parallel_exempt: bool = False,
         order_sensitive: bool = False,
+        source_lines: Optional[List[str]] = None,
     ):
         self.path = path
         self.rules = set(rules)
@@ -226,7 +227,11 @@ class _RuleVisitor(ast.NodeVisitor):
         if not order_sensitive:
             self.rules.discard("unordered-iteration")
         self.suppressed = suppressed
+        self.source_lines = source_lines or []
         self.findings: List[Finding] = []
+        # Comprehension nodes feeding an order-insensitive reduction
+        # (``sum(x for x in some_set)``), exempt from unordered-iteration.
+        self._commutative_ok: Set[int] = set()
         # Per-scope map of local names currently bound to set values,
         # for the unordered-iteration rule's flow-insensitive inference.
         self._set_locals: List[Set[str]] = [set()]
@@ -244,12 +249,15 @@ class _RuleVisitor(ast.NodeVisitor):
         if rule not in self.rules:
             return
         line = getattr(node, "lineno", 0)
-        if rule in self.suppressed.get(line, ()):  # inline opt-out
+        if self.suppressed.is_suppressed(line, rule):  # inline opt-out
             return
+        context = None
+        if 0 < line <= len(self.source_lines):
+            context = self.source_lines[line - 1]
         self.findings.append(
             Finding(rule=rule, message=message, severity=Severity.ERROR,
                     path=self.path, line=line,
-                    col=getattr(node, "col_offset", 0))
+                    col=getattr(node, "col_offset", 0), context=context)
         )
 
     # -- determinism ------------------------------------------------------
@@ -307,6 +315,15 @@ class _RuleVisitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE_REDUCERS):
+            # ``sum(x for x in some_set)`` and friends: the reduction is
+            # commutative (or re-orders anyway), so the set iteration
+            # feeding it cannot leak nondeterministic order into state.
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                    ast.SetComp)):
+                    self._commutative_ok.add(id(arg))
         if dotted is not None:
             for banned in _BANNED_CALLS:
                 if dotted == banned or dotted.endswith("." + banned):
@@ -497,8 +514,9 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _visit_comprehension(self, node) -> None:
-        for gen in node.generators:
-            self._check_iteration(gen.iter, gen.iter)
+        if id(node) not in self._commutative_ok:
+            for gen in node.generators:
+                self._check_iteration(gen.iter, gen.iter)
         self.generic_visit(node)
 
     visit_ListComp = _visit_comprehension
@@ -527,8 +545,15 @@ def lint_source(
     determinism_exempt: Optional[bool] = None,
     parallel_exempt: Optional[bool] = None,
     order_sensitive: Optional[bool] = None,
+    suppressions: Optional[Suppressions] = None,
 ) -> List[Finding]:
-    """Lint one module's source text; returns findings (empty = clean)."""
+    """Lint one module's source text; returns findings (empty = clean).
+
+    Pass a shared :class:`Suppressions` instance to track which inline
+    ``allow[...]`` comments actually fired across checker layers (the
+    runner does, for unused-suppression detection); without one, a
+    private instance is created and discarded.
+    """
     posix = path.replace(os.sep, "/")
     if determinism_exempt is None:
         determinism_exempt = (any(posix.endswith(s)
@@ -538,15 +563,18 @@ def lint_source(
         parallel_exempt = _perf_exempt(posix)
     if order_sensitive is None:
         order_sensitive = _order_sensitive(posix)
+    if suppressions is None:
+        suppressions = Suppressions(source, path)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(rule="syntax", severity=Severity.ERROR,
                         message=f"cannot parse: {exc.msg}", path=path,
                         line=exc.lineno or 0, col=exc.offset or 0)]
-    visitor = _RuleVisitor(path, rules, _suppressions(source),
+    visitor = _RuleVisitor(path, rules, suppressions,
                            determinism_exempt, parallel_exempt,
-                           order_sensitive)
+                           order_sensitive,
+                           source_lines=source.splitlines())
     visitor.visit(tree)
     return visitor.findings
 

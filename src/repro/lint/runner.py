@@ -1,20 +1,38 @@
-"""The ``repro-noc check`` orchestration: lint + validator in one report.
+"""The ``repro-noc check`` orchestration: one entry over every layer.
 
-``run_check`` lints the installed ``repro`` package (or any source tree
-given), statically validates the built-in topologies with their default
-configs, and validates any scenario/topology JSON files passed on the
-command line.  The report's exit code is non-zero iff any finding is an
-error, so CI can gate on it directly.
+``run_check`` runs, in order:
+
+1. the per-file AST lint over the installed ``repro`` package (or any
+   source tree given), memoized per file by mtime+size
+   (:mod:`repro.lint.cache`) so warm runs skip unchanged files;
+2. the whole-program interprocedural dataflow analysis
+   (:mod:`repro.lint.dataflow`) over the same sources;
+3. static validation of the built-in topologies and any scenario JSON
+   files passed on the command line;
+4. unused-suppression detection: after every line-anchored layer has
+   run, any inline ``# repro: allow[rule]`` comment that never fired
+   becomes a warn finding;
+5. baseline subtraction (:mod:`repro.lint.baseline`): findings whose
+   fingerprint is in the checked-in baseline are absorbed, stale
+   entries surface as info findings.
+
+The report's exit code is non-zero iff any surviving finding is at or
+above the ``fail_on`` severity (default ``error``), so CI can gate on
+it directly and tighten to ``warn`` where wanted.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache, default_cache_path, rules_signature
+from repro.lint.dataflow import analyze_sources
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import lint_paths
+from repro.lint.rules import DEFAULT_RULES, iter_python_files, lint_source
+from repro.lint.suppress import Suppressions
 from repro.lint.validator import validate_scenario_file, validate_spec
 from repro.reporting import FindingsReport
 
@@ -23,31 +41,49 @@ from repro.reporting import FindingsReport
 class CheckReport(FindingsReport):
     """Aggregated findings from every checker layer.
 
-    Ordering, error/warning split, per-rule counts, and the exit-code
+    Ordering, severity split, per-rule counts, and the exit-code
     convention come from the shared :class:`repro.reporting.FindingsReport`
     base, which ``verify`` and ``analyze`` reports also build on.
     """
 
     files_linted: int = 0
+    modules_analyzed: int = 0
     topologies_validated: int = 0
     scenarios_validated: int = 0
+    #: Findings absorbed by the baseline (reported in the summary so a
+    #: "clean" run with a fat baseline does not read as a clean tree).
+    baseline_suppressed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def format(self) -> str:
         lines = self.format_findings()
-        lines.append(
-            f"checked {self.files_linted} source files, "
+        summary = (
+            f"checked {self.files_linted} source files "
+            f"({self.modules_analyzed} dataflow modules), "
             f"{self.topologies_validated} built-in topologies, "
             f"{self.scenarios_validated} scenario files: "
-            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.infos)} notes"
         )
+        if self.baseline_suppressed:
+            summary += f" ({self.baseline_suppressed} baselined)"
+        if self.cache_hits or self.cache_misses:
+            summary += (f" [cache: {self.cache_hits} hits, "
+                        f"{self.cache_misses} misses]")
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         out = self.findings_to_dict()
         out.update(
             files_linted=self.files_linted,
+            modules_analyzed=self.modules_analyzed,
             topologies_validated=self.topologies_validated,
             scenarios_validated=self.scenarios_validated,
+            baseline_suppressed=self.baseline_suppressed,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
         )
         return out
 
@@ -90,9 +126,24 @@ def run_check(
     scenario_paths: Sequence[str] = (),
     lint: bool = True,
     builtin: bool = True,
+    dataflow: bool = True,
+    baseline_path: Optional[str] = None,
+    write_baseline: bool = False,
+    fail_on: str = Severity.ERROR,
+    use_cache: bool = True,
+    cache_path: Optional[str] = None,
 ) -> CheckReport:
-    """Run every static layer and aggregate the findings."""
-    report = CheckReport()
+    """Run every static layer and aggregate the findings.
+
+    ``baseline_path`` subtracts the checked-in baseline (and reports its
+    stale entries); ``write_baseline`` regenerates that file from this
+    run's findings first, so the run itself exits clean.  ``use_cache``
+    memoizes the per-file lint by mtime+size (the dataflow pass always
+    runs whole-program).
+    """
+    report = CheckReport(fail_on=Severity.normalize(fail_on))
+    suppressions: Dict[str, Suppressions] = {}
+    sources: Dict[str, str] = {}
     if lint:
         paths = list(src_paths) if src_paths else [default_source_root()]
         # A typo'd --src would otherwise lint zero files and pass CI.
@@ -102,9 +153,47 @@ def run_check(
                     rule="missing-path",
                     message="source path does not exist",
                     severity=Severity.ERROR, path=path))
-        findings, nfiles = lint_paths([p for p in paths if os.path.exists(p)])
-        report.findings.extend(findings)
-        report.files_linted = nfiles
+        files: List[str] = []
+        for path in paths:
+            if os.path.exists(path):
+                for filepath in iter_python_files(path):
+                    if filepath not in sources:
+                        files.append(filepath)
+                        with open(filepath, "r", encoding="utf-8") as fh:
+                            sources[filepath] = fh.read()
+        cache = None
+        if use_cache:
+            cache = LintCache.load(cache_path or default_cache_path(),
+                                   rules_signature(DEFAULT_RULES))
+        for filepath in files:
+            supp = Suppressions(sources[filepath], filepath)
+            suppressions[filepath] = supp
+            cached = cache.lookup(filepath) if cache is not None else None
+            if cached is not None:
+                findings, used = cached
+                # Replay which suppressions the cached lint consumed, so
+                # unused-suppression does not false-fire on cache hits.
+                for line, rule in used:
+                    supp.mark_used(line, rule)
+            else:
+                findings = lint_source(sources[filepath], filepath,
+                                       suppressions=supp)
+                if cache is not None:
+                    cache.store(filepath, findings, supp.used())
+            report.findings.extend(findings)
+        report.files_linted = len(files)
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+            cache.save()
+        if dataflow and sources:
+            flow = analyze_sources(sources, suppressions)
+            report.findings.extend(flow.findings)
+            report.modules_analyzed = flow.modules
+        # Every line-anchored layer has now consulted the suppression
+        # tables; whatever never fired is itself a finding.
+        for filepath in files:
+            report.findings.extend(suppressions[filepath].unused_findings())
     if builtin:
         for name, spec, config in _builtin_specs():
             report.findings.extend(
@@ -113,4 +202,11 @@ def run_check(
     for path in scenario_paths:
         report.findings.extend(validate_scenario_file(path))
         report.scenarios_validated += 1
+    if write_baseline and baseline_path:
+        Baseline.from_findings(report.findings).dump(baseline_path)
+    if baseline_path and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+        new, absorbed, stale = baseline.apply(report.findings)
+        report.findings = new + stale
+        report.baseline_suppressed = len(absorbed)
     return report

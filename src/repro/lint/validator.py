@@ -75,7 +75,7 @@ def _err(rule: str, message: str, path: Optional[str] = None) -> Finding:
 
 
 def _warn(rule: str, message: str, path: Optional[str] = None) -> Finding:
-    return Finding(rule=rule, message=message, severity=Severity.WARNING,
+    return Finding(rule=rule, message=message, severity=Severity.WARN,
                    path=path)
 
 

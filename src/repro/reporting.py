@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, Severity
 
 #: The shared exit-code convention (documented in the CLI epilog).
 EXIT_OK = 0
@@ -45,9 +45,17 @@ def rule_counts(findings: Iterable[Finding]) -> Dict[str, int]:
     return {rule: counts[rule] for rule in sorted(counts)}
 
 
-def exit_code_for(findings: Sequence[Finding]) -> int:
-    """EXIT_FINDINGS iff any finding is an error, else EXIT_OK."""
-    return EXIT_FINDINGS if any(f.is_error for f in findings) else EXIT_OK
+def exit_code_for(findings: Sequence[Finding],
+                  fail_on: str = Severity.ERROR) -> int:
+    """EXIT_FINDINGS iff any finding is at/above ``fail_on`` severity.
+
+    ``fail_on`` defaults to ``error`` (warnings report but pass); CI can
+    tighten to ``warn`` or ``info``.
+    """
+    threshold = Severity.RANK.get(Severity.normalize(fail_on),
+                                  Severity.RANK[Severity.ERROR])
+    return (EXIT_FINDINGS
+            if any(f.rank >= threshold for f in findings) else EXIT_OK)
 
 
 @dataclass
@@ -55,6 +63,8 @@ class FindingsReport:
     """A findings list plus the shared split/ordering/exit conventions."""
 
     findings: List[Finding] = field(default_factory=list)
+    #: Severity threshold for the exit code (``--fail-on``).
+    fail_on: str = Severity.ERROR
 
     @property
     def errors(self) -> List[Finding]:
@@ -62,11 +72,15 @@ class FindingsReport:
 
     @property
     def warnings(self) -> List[Finding]:
-        return [f for f in self.findings if not f.is_error]
+        return [f for f in self.findings if f.severity == Severity.WARN]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.INFO]
 
     @property
     def exit_code(self) -> int:
-        return exit_code_for(self.findings)
+        return exit_code_for(self.findings, self.fail_on)
 
     def rule_counts(self) -> Dict[str, int]:
         return rule_counts(self.findings)
@@ -81,5 +95,6 @@ class FindingsReport:
             "findings": [f.to_dict() for f in sort_findings(self.findings)],
             "errors": len(self.errors),
             "warnings": len(self.warnings),
+            "infos": len(self.infos),
             "rule_counts": self.rule_counts(),
         }

@@ -130,11 +130,11 @@ class StageTimer:
     def start(self, stage: str) -> None:
         if self.enabled:
             self._stage = stage
-            self._start = time.perf_counter()  # lint: allow[determinism]
+            self._start = time.perf_counter()  # repro: allow[determinism]
 
     def stop(self) -> None:
         if self.enabled and self._stage is not None:
-            elapsed = time.perf_counter() - self._start  # lint: allow[determinism]
+            elapsed = time.perf_counter() - self._start  # repro: allow[determinism]
             self.timings[self._stage] = (
                 self.timings.get(self._stage, 0.0) + elapsed)
             self._stage = None

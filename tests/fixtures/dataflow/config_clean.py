@@ -1,0 +1,31 @@
+"""Clean look-alikes: config objects built, copied, or tuned pre-handoff."""
+
+import dataclasses
+
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+
+
+def mutate_before_handoff(n_lanes):
+    # Build-then-freeze is the sanctioned pattern.
+    cfg = MultiRingConfig()
+    cfg.lanes_per_direction = n_lanes
+    return MultiRingFabric(cfg)
+
+
+def replace_after_handoff(n_lanes):
+    # dataclasses.replace makes a fresh object; the handed-off one
+    # stays exactly what the fabric fingerprinted.
+    cfg = MultiRingConfig()
+    fabric = MultiRingFabric(cfg)
+    tuned = dataclasses.replace(cfg, lanes_per_direction=n_lanes)
+    return fabric, tuned
+
+
+def mutate_unrelated_object(n_lanes):
+    # Mutating a non-config object after a handoff is not the pattern.
+    cfg = MultiRingConfig()
+    fabric = MultiRingFabric(cfg)
+    stats = {"lanes": 0}
+    stats["lanes"] = n_lanes
+    return fabric, stats

@@ -1,0 +1,34 @@
+"""Planted: config dataclasses mutated after handoff to a fabric/sweep."""
+
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.perf.sweep import run_sweep
+
+
+def mutate_after_fabric(n_lanes):
+    cfg = MultiRingConfig()
+    fabric = MultiRingFabric(cfg)
+    cfg.lanes_per_direction = n_lanes  # PLANT: config-mutated-after-handoff
+    return fabric
+
+
+def retune(cfg, depth):
+    cfg.queue_depth = depth
+
+
+def point_fn(point, seed):
+    return {"point": point}
+
+
+def mutate_via_callee(points, depth):
+    cfg = MultiRingConfig()
+    results = run_sweep(point_fn, points, workers=2, config=cfg)
+    retune(cfg, depth)  # PLANT: config-mutated-after-handoff
+    return results
+
+
+def mutate_via_setattr(name, value):
+    cfg = MultiRingConfig()
+    fabric = MultiRingFabric(cfg)
+    setattr(cfg, name, value)  # PLANT: config-mutated-after-handoff
+    return fabric

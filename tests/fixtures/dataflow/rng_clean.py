@@ -1,0 +1,24 @@
+"""Clean look-alikes: rooted streams and rng-ish names that are not RNGs."""
+
+from repro.sim.rng import make_rng, split_rng
+
+
+def rooted(seed):
+    rng = make_rng(seed)
+    child = split_rng(rng, "traffic")
+    return child.random()
+
+
+def random_walk(rng, steps):
+    # "random" in the *name* only; draws come from the rooted stream.
+    position = 0
+    for _ in range(steps):
+        position += 1 if rng.random() < 0.5 else -1
+    return position
+
+
+def local_shadow(seed):
+    # A local object that happens to be called ``random`` is not the
+    # stdlib module (no import binds it).
+    random = make_rng(seed)
+    return random.random()

@@ -1,0 +1,21 @@
+"""Planted: random streams constructed outside the repro.sim.rng factories."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unrooted_direct(seed):
+    rng = random.Random(seed)  # PLANT: rng-not-rooted
+    return rng.random()
+
+
+def unrooted_module_level(n):
+    return [random.randrange(n) for _ in range(n)]  # PLANT: rng-not-rooted
+
+
+def unrooted_numpy(seed):
+    gen = np.random.default_rng(seed)  # PLANT: rng-not-rooted
+    other = default_rng(seed)  # PLANT: rng-not-rooted
+    return gen, other

@@ -1,0 +1,34 @@
+"""Clean look-alikes: splits that reuse a salt without colliding."""
+
+from repro.sim.rng import make_rng, split_rng
+
+
+def distinct_salts(seed):
+    rng = make_rng(seed)
+    sources = split_rng(rng, "sources")
+    sinks = split_rng(rng, "sinks")
+    return sources, sinks
+
+
+def same_salt_distinct_parents(seed):
+    left = make_rng(seed)
+    right = make_rng(seed + 1)
+    return split_rng(left, "traffic"), split_rng(right, "traffic")
+
+
+def derive_traffic(parent):
+    return split_rng(parent, "traffic")
+
+
+def helper_on_own_parent(seed):
+    # The callee splits "traffic" — but from a fresh parent, so the
+    # other functions' "traffic" children are unrelated streams.
+    rng = make_rng(seed)
+    return derive_traffic(rng)
+
+
+def variable_salt(seed, n):
+    # Non-constant salts are out of scope (the analysis only reports
+    # what it can prove); must not be flagged.
+    rng = make_rng(seed)
+    return [split_rng(rng, index) for index in range(n)]

@@ -1,0 +1,32 @@
+"""Planted: split_rng salt collisions, direct and through a callee."""
+
+from repro.sim.rng import make_rng, split_rng
+
+
+def direct_collision(seed):
+    rng = make_rng(seed)
+    sources = split_rng(rng, "traffic")
+    sinks = split_rng(rng, "traffic")  # PLANT: split-collision
+    return sources, sinks
+
+
+def derive_traffic(parent):
+    return split_rng(parent, "traffic")
+
+
+def indirect_collision(seed):
+    rng = make_rng(seed)
+    mine = split_rng(rng, "traffic")
+    theirs = derive_traffic(rng)  # PLANT: split-collision
+    return mine, theirs
+
+
+def deep_chain(parent):
+    return derive_traffic(parent)
+
+
+def two_level_collision(seed):
+    rng = make_rng(seed)
+    first = deep_chain(rng)
+    second = deep_chain(rng)  # PLANT: split-collision
+    return first, second

@@ -1,0 +1,32 @@
+"""Planted: mutable module state crossing the process-pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.perf.sweep import run_sweep
+from repro.sim.rng import make_rng
+
+_RESULT_CACHE = {}
+_NOISE_RNG = make_rng(1234)
+
+
+def sweep_point(point, seed):
+    if point in _RESULT_CACHE:  # reads alone are fine...
+        return _RESULT_CACHE[point]
+    value = _NOISE_RNG.random()  # PLANT: process-shared-state
+    _RESULT_CACHE[point] = value  # PLANT: process-shared-state
+    return value
+
+
+def submitted_point(point):
+    _RESULT_CACHE.update({point: 1})  # PLANT: process-shared-state
+    return point
+
+
+def drive_sweep(points):
+    return run_sweep(sweep_point, points, workers=4)
+
+
+def drive_pool(points):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(submitted_point, p) for p in points]
+    return [f.result() for f in futures]

@@ -1,0 +1,342 @@
+"""The unified findings pipeline: severity, fingerprints, suppressions,
+baseline, SARIF, and the per-file check cache.
+
+The load-bearing property is fingerprint stability: a finding's identity
+is (rule, normalized path, normalized line content) — *not* its line
+number — so edits above a finding must not move it in or out of the
+baseline.  A hypothesis property drives that directly.
+"""
+
+import json
+import os
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache, rules_signature
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    normalize_context,
+    normalize_path,
+)
+from repro.lint.rules import DEFAULT_RULES, lint_source
+from repro.lint.runner import run_check
+from repro.lint.sarif import findings_to_sarif
+from repro.lint.suppress import Suppressions
+from repro.reporting import exit_code_for
+
+pytestmark = pytest.mark.lint
+
+
+# ---------------------------------------------------------------- severity
+
+def test_severity_rank_ordering():
+    assert Severity.RANK[Severity.ERROR] > Severity.RANK[Severity.WARN]
+    assert Severity.RANK[Severity.WARN] > Severity.RANK[Severity.INFO]
+
+
+def test_legacy_warning_spelling_normalizes():
+    assert Severity.normalize("warning") == Severity.WARN
+    f = Finding(rule="r", message="m", severity="warning")
+    assert f.severity == Severity.WARN
+    assert Severity.WARNING == Severity.WARN  # back-compat alias
+
+
+def test_fail_on_thresholds():
+    findings = [Finding(rule="a", message="m", severity=Severity.WARN)]
+    assert exit_code_for(findings, fail_on=Severity.ERROR) == 0
+    assert exit_code_for(findings, fail_on=Severity.WARN) == 1
+    assert exit_code_for(findings, fail_on=Severity.INFO) == 1
+    infos = [Finding(rule="a", message="m", severity=Severity.INFO)]
+    assert exit_code_for(infos, fail_on=Severity.WARN) == 0
+    assert exit_code_for(infos, fail_on=Severity.INFO) == 1
+
+
+# ------------------------------------------------------------ fingerprints
+
+DEFECT_SOURCE = textwrap.dedent("""\
+    import random
+
+    def draw(seed):
+        return random.Random(seed).random()
+""")
+
+SIM_PATH = "pkg/src/repro/sim/model.py"
+
+
+def _fingerprints(source, path=SIM_PATH):
+    return {f.rule: f.fingerprint for f in lint_source(source, path)}
+
+
+junk_lines = st.lists(
+    st.sampled_from(["", "# a comment", "#", "   ", "# repro noise"]),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(junk=junk_lines)
+def test_fingerprint_stable_under_insertions_above(junk):
+    """Inserting blank lines/comments above a finding keeps its identity."""
+    base = _fingerprints(DEFECT_SOURCE)
+    shifted_src = "\n".join(junk) + "\n" + DEFECT_SOURCE
+    shifted = _fingerprints(shifted_src)
+    assert base == shifted
+    # ... while the *line numbers* did move, proving the fingerprint is
+    # not keyed on them.
+    base_lines = {f.line for f in lint_source(DEFECT_SOURCE, SIM_PATH)}
+    new_lines = {f.line for f in lint_source(shifted_src, SIM_PATH)}
+    assert base_lines != new_lines
+
+
+def test_fingerprint_changes_when_flagged_line_changes():
+    a = Finding(rule="determinism", message="m", path=SIM_PATH,
+                context="import random")
+    b = Finding(rule="determinism", message="m", path=SIM_PATH,
+                context="import secrets")
+    assert a.fingerprint != b.fingerprint
+
+
+def test_fingerprint_ignores_whitespace_and_checkout_prefix():
+    a = Finding(rule="r", message="m", path="/home/a/src/repro/x.py",
+                line=10, context="x  =   1")
+    b = Finding(rule="r", message="m", path="/ci/build/src/repro/x.py",
+                line=99, context="x = 1")
+    assert a.fingerprint == b.fingerprint
+
+
+def test_normalize_helpers():
+    assert normalize_context("  a \t b\n") == "a b"
+    assert normalize_path("/any/where/src/repro/perf/sweep.py") == \
+        "repro/perf/sweep.py"
+    assert normalize_path("scenario.json") == "scenario.json"
+
+
+def test_finding_dict_roundtrip_preserves_fingerprint():
+    f = Finding(rule="r", message="m", severity=Severity.WARN,
+                path="src/repro/x.py", line=3, col=1, context="y = 2")
+    g = Finding.from_dict(json.loads(json.dumps(f.to_dict())))
+    assert g == f
+    assert g.fingerprint == f.fingerprint
+
+
+# ------------------------------------------------------------ suppressions
+
+def test_suppression_comment_in_docstring_is_inert():
+    source = '"""Docs show ``# repro: allow[determinism]`` usage."""\n'
+    supp = Suppressions(source, "x.py")
+    assert not supp
+    assert supp.unused_findings() == []
+
+
+def test_unused_suppression_reported_as_warn():
+    source = "x = 1  # repro: allow[determinism]\n"
+    supp = Suppressions(source, "x.py")
+    findings = supp.unused_findings()
+    assert [f.rule for f in findings] == ["unused-suppression"]
+    assert findings[0].severity == Severity.WARN
+    assert findings[0].line == 1
+
+
+def test_used_suppression_not_reported():
+    source = "import random  # repro: allow[determinism]\n"
+    supp = Suppressions(source, SIM_PATH)
+    findings = lint_source(source, SIM_PATH, suppressions=supp)
+    assert findings == []
+    assert supp.used() == [(1, "determinism")]
+    assert supp.unused_findings() == []
+
+
+def test_legacy_lint_prefix_still_accepted():
+    source = "import random  # lint: allow[determinism]\n"
+    assert lint_source(source, SIM_PATH) == []
+
+
+# ---------------------------------------------------------------- baseline
+
+def test_baseline_roundtrip_and_split(tmp_path):
+    findings = lint_source(DEFECT_SOURCE, SIM_PATH)
+    assert findings
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings(findings).dump(path)
+    loaded = Baseline.load(path)
+    new, absorbed, stale = loaded.apply(findings)
+    assert new == [] and stale == []
+    assert len(absorbed) == len(findings)
+
+
+def test_baseline_reports_stale_entries():
+    findings = lint_source(DEFECT_SOURCE, SIM_PATH)
+    baseline = Baseline.from_findings(findings)
+    new, absorbed, stale = baseline.apply([])  # all defects fixed
+    assert new == [] and absorbed == []
+    assert len(stale) == len(baseline)
+    assert all(f.rule == "stale-baseline-entry" for f in stale)
+    assert all(f.severity == Severity.INFO for f in stale)
+
+
+def test_baseline_survives_line_shift():
+    baseline = Baseline.from_findings(lint_source(DEFECT_SOURCE, SIM_PATH))
+    shifted = lint_source("# header\n\n" + DEFECT_SOURCE, SIM_PATH)
+    new, absorbed, stale = baseline.apply(shifted)
+    assert new == [] and stale == []
+
+
+def test_baseline_rejects_non_baseline_json(tmp_path):
+    path = tmp_path / "not-baseline.json"
+    path.write_text("{}")
+    with pytest.raises(ValueError):
+        Baseline.load(str(path))
+
+
+# ------------------------------------------------------------------- SARIF
+
+def test_sarif_document_shape():
+    findings = [
+        Finding(rule="determinism", message="no", severity=Severity.ERROR,
+                path="/x/src/repro/sim/a.py", line=3, col=0, context="c"),
+        Finding(rule="unused-suppression", message="stale",
+                severity=Severity.WARN, path="/x/src/repro/b.py", line=7),
+        Finding(rule="stale-baseline-entry", message="gone",
+                severity=Severity.INFO),
+    ]
+    doc = findings_to_sarif(findings)
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-noc-check"
+    assert {r["id"] for r in driver["rules"]} == {
+        "determinism", "unused-suppression", "stale-baseline-entry"}
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+    levels = [r["level"] for r in run["results"]]
+    assert levels == ["error", "warning", "note"]
+    first = run["results"][0]
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/sim/a.py"
+    assert loc["region"] == {"startLine": 3, "startColumn": 1}
+    assert first["partialFingerprints"]["reproFingerprint/v1"] == \
+        findings[0].fingerprint
+    # pathless findings carry no location but stay valid results
+    assert "locations" not in run["results"][2]
+
+
+def test_sarif_validates_against_bundled_schema_subset():
+    """Structural invariants the 2.1.0 schema enforces (full-schema
+    validation runs in CI where the schema can be fetched)."""
+    doc = findings_to_sarif(lint_source(DEFECT_SOURCE, SIM_PATH))
+    json.dumps(doc)  # serializable
+    for result in doc["runs"][0]["results"]:
+        assert set(result) >= {"ruleId", "level", "message"}
+        assert result["level"] in ("error", "warning", "note", "none")
+        assert "text" in result["message"]
+
+
+# ----------------------------------------------------- run_check + cache
+
+def _write_tree(root, defect=True):
+    pkg = root / "repro" / "sim"
+    os.makedirs(pkg, exist_ok=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    body = DEFECT_SOURCE if defect else "VALUE = 1\n"
+    (pkg / "model.py").write_text(body)
+    return str(root)
+
+
+def test_run_check_cache_warm_run_replays_findings(tmp_path):
+    src = _write_tree(tmp_path / "src")
+    cache_file = str(tmp_path / "cache.json")
+    cold = run_check(src_paths=[src], builtin=False,
+                     cache_path=cache_file)
+    warm = run_check(src_paths=[src], builtin=False,
+                     cache_path=cache_file)
+    assert cold.cache_hits == 0 and cold.cache_misses == 3
+    assert warm.cache_hits == 3 and warm.cache_misses == 0
+    assert [f.fingerprint for f in cold.findings] == \
+        [f.fingerprint for f in warm.findings]
+    assert warm.exit_code == 1  # defect still reported from cache
+
+
+def test_run_check_cache_invalidates_on_edit(tmp_path):
+    src = _write_tree(tmp_path / "src", defect=True)
+    cache_file = str(tmp_path / "cache.json")
+    run_check(src_paths=[src], builtin=False, cache_path=cache_file)
+    model = tmp_path / "src" / "repro" / "sim" / "model.py"
+    model.write_text("VALUE = 1\n")
+    os.utime(model, (1, 1))  # force an mtime change either direction
+    fixed = run_check(src_paths=[src], builtin=False,
+                      cache_path=cache_file)
+    assert fixed.cache_misses >= 1
+    assert fixed.errors == []
+
+
+def test_run_check_cache_replays_suppression_usage(tmp_path):
+    """A cache hit must not false-fire unused-suppression."""
+    src = _write_tree(tmp_path / "src", defect=False)
+    model = tmp_path / "src" / "repro" / "sim" / "model.py"
+    model.write_text("import random  # repro: allow[determinism]\n")
+    cache_file = str(tmp_path / "cache.json")
+    cold = run_check(src_paths=[src], builtin=False,
+                     cache_path=cache_file)
+    warm = run_check(src_paths=[src], builtin=False,
+                     cache_path=cache_file)
+    assert [f.rule for f in cold.findings] == []
+    assert [f.rule for f in warm.findings] == []
+    assert warm.cache_hits == 3
+
+
+def test_run_check_no_cache_bypasses(tmp_path):
+    src = _write_tree(tmp_path / "src")
+    cache_file = str(tmp_path / "cache.json")
+    report = run_check(src_paths=[src], builtin=False, use_cache=False,
+                       cache_path=cache_file)
+    assert report.cache_hits == 0 and report.cache_misses == 0
+    assert not os.path.exists(cache_file)
+
+
+def test_run_check_baseline_flow(tmp_path):
+    src = _write_tree(tmp_path / "src")
+    baseline_file = str(tmp_path / "baseline.json")
+    # write-baseline absorbs everything and exits clean
+    written = run_check(src_paths=[src], builtin=False, use_cache=False,
+                        baseline_path=baseline_file, write_baseline=True)
+    assert written.exit_code == 0
+    assert written.baseline_suppressed > 0
+    # fixing the defect surfaces the stale entries as notes
+    model = tmp_path / "src" / "repro" / "sim" / "model.py"
+    model.write_text("VALUE = 1\n")
+    fixed = run_check(src_paths=[src], builtin=False, use_cache=False,
+                      baseline_path=baseline_file)
+    assert fixed.exit_code == 0
+    assert {f.rule for f in fixed.findings} == {"stale-baseline-entry"}
+    assert fixed.fail_on == Severity.ERROR
+
+
+def test_run_check_dataflow_layer_fires(tmp_path):
+    src = _write_tree(tmp_path / "src", defect=True)
+    report = run_check(src_paths=[src], builtin=False, use_cache=False)
+    rules = {f.rule for f in report.findings}
+    assert "determinism" in rules       # per-file lint layer
+    assert "rng-not-rooted" in rules    # interprocedural layer
+    assert report.modules_analyzed == 3
+    off = run_check(src_paths=[src], builtin=False, use_cache=False,
+                    dataflow=False)
+    assert "rng-not-rooted" not in {f.rule for f in off.findings}
+
+
+def test_rules_signature_changes_with_rule_set():
+    assert rules_signature(DEFAULT_RULES) != \
+        rules_signature(list(DEFAULT_RULES)[:2])
+
+
+def test_cache_drops_on_signature_mismatch(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = LintCache.load(path, "sig-a")
+    cache.store(__file__, [], [])
+    cache.save()
+    reloaded = LintCache.load(path, "sig-b")
+    assert reloaded.entries == {}

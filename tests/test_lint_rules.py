@@ -436,6 +436,60 @@ def test_dict_iteration_clean():
     )
 
 
+def test_commutative_reduction_over_set_clean():
+    # Regression: sum/max/min/any/all over a set comprehension are
+    # order-insensitive — iteration order cannot leak into the result.
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def totals(stations):
+            pending = set(stations)
+            total = sum(s.queued for s in pending)
+            worst = max(s.depth for s in pending)
+            alive = any(s.busy for s in pending)
+            return total, worst, alive
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_sorted_reduction_over_set_clean():
+    # Regression: sorted()/set() *as reducers* restore or keep an
+    # order-free domain; neither observes set iteration order.
+    assert "unordered-iteration" not in rules_hit(
+        """
+        def ordered(stations):
+            pending = set(stations)
+            return sorted(s.idx for s in pending)
+        """,
+        path="pkg/repro/fabric/interface.py",
+    )
+
+
+def test_order_sensitive_reduction_still_flagged():
+    # list(...) over a set materializes iteration order: still a bug.
+    assert "unordered-iteration" in rules_hit(
+        """
+        def drain_order(stations):
+            pending = set(stations)
+            return list(s.idx for s in pending)
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
+def test_bare_set_comprehension_source_still_flagged():
+    # The reducer exemption is per-call-site: the same comprehension
+    # outside a commutative reducer still trips the rule.
+    assert "unordered-iteration" in rules_hit(
+        """
+        def depths(stations):
+            pending = set(stations)
+            return [s.depth for s in pending]
+        """,
+        path="pkg/repro/core/station.py",
+    )
+
+
 def test_unordered_iteration_inactive_outside_sim_paths():
     assert "unordered-iteration" not in rules_hit(
         """
