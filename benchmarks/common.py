@@ -73,12 +73,14 @@ def memo(key: str, compute: Callable[[], object],
     """
     if key in CACHE:
         return CACHE[key]
+    from repro.perf.cache import MISS
+
     cache = disk_cache() if params is not None else None
     disk_key = cache.make_key(key, **params) if cache is not None else None
-    value: object = None
+    value: object = MISS
     if disk_key is not None:
-        value = cache.get(disk_key)
-    if value is None:
+        value = cache.get(disk_key, MISS)
+    if value is MISS:
         value = compute()
         if disk_key is not None:
             try:

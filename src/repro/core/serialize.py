@@ -1,22 +1,29 @@
-"""Topology (de)serialization.
+"""Topology and config (de)serialization.
 
 Topologies are declarative (`TopologySpec`), so they round-trip through
 JSON cleanly: systems can save a floorplan next to their results, and a
 saved topology plus a saved trace (:mod:`repro.workloads.trace`)
-reproduces an experiment exactly.
+reproduces an experiment exactly.  :func:`config_to_dict` /
+:func:`config_from_dict` give :class:`MultiRingConfig` the same
+round-trip (tuning knobs, engine tier, parallel stepping knobs), which
+is what lets the parallel stepper's worker processes and saved sweep
+scenarios rebuild byte-identical fabrics from plain JSON.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import IO, Union
 
 from repro.core.config import (
     BridgeSpec,
+    MultiRingConfig,
     NodePlacement,
     RingSpec,
     TopologySpec,
 )
+from repro.params import QueueParams
 
 FORMAT_VERSION = 1
 
@@ -61,6 +68,44 @@ def topology_from_dict(raw: dict) -> TopologySpec:
     )
     spec.validate()
     return spec
+
+
+def config_to_dict(config: MultiRingConfig) -> dict:
+    """JSON-able dict for a :class:`MultiRingConfig`.
+
+    ``reliability`` must be None (the reliable-link config holds
+    non-declarative state and already has its own campaign plumbing);
+    everything else — queue depths, ablation switches, engine tier,
+    parallel-stepping knobs — round-trips losslessly.
+    """
+    if config.reliability is not None:
+        raise ValueError(
+            "config_to_dict does not serialize reliability configs; "
+            "save the campaign parameters instead")
+    raw = dataclasses.asdict(config)
+    raw.pop("reliability")
+    raw["version"] = FORMAT_VERSION
+    return raw
+
+
+def config_from_dict(raw: dict) -> MultiRingConfig:
+    """Rebuild a :class:`MultiRingConfig` from :func:`config_to_dict`.
+
+    Unknown keys are rejected (a typo'd knob must not silently become
+    a default); missing keys fall back to the dataclass defaults so
+    old saves keep loading as knobs are added.
+    """
+    raw = dict(raw)
+    version = raw.pop("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported config format version {version!r}")
+    known = {f.name for f in dataclasses.fields(MultiRingConfig)}
+    unknown = set(raw) - known
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    if isinstance(raw.get("queues"), dict):
+        raw["queues"] = QueueParams(**raw["queues"])
+    return MultiRingConfig(**raw)
 
 
 def save_topology(spec: TopologySpec, fh: IO[str]) -> None:

@@ -122,6 +122,46 @@ def chiplet_pair(
     return builder.build(), ring0, ring1
 
 
+def chiplet_chain(
+    n_rings: int = 4,
+    nodes_per_ring: int = 8,
+    bidirectional: bool = True,
+    stop_spacing: int = 2,
+    link_latency: int = LATENCY.d2d_link,
+) -> Tuple[TopologySpec, List[List[int]]]:
+    """``n_rings`` chiplets in a line, adjacent pairs joined by RBRG-L2s.
+
+    The smallest topology family where the parallel stepper
+    (:mod:`repro.perf.parallel`) has real work per partition: every ring
+    couples to its neighbours only through die-to-die pipelines, so a
+    chain of ``n`` rings partitions into up to ``n`` workers with a
+    lookahead window of the smallest cut-link latency.  Ring ``i``
+    hosts its left bridge endpoint at stop 0 and its right endpoint at
+    stop ``(nodes_per_ring + 1) * stop_spacing``; node interfaces fill
+    the stops between.  Returns (topology, per-ring node id lists).
+    """
+    if n_rings < 2:
+        raise ValueError("a chain needs at least two rings")
+    if nodes_per_ring < 1:
+        raise ValueError("need at least one node per ring")
+    if stop_spacing < 1:
+        raise ValueError("stop_spacing must be >= 1")
+    builder = TopologyBuilder()
+    nstops = (nodes_per_ring + 2) * stop_spacing
+    for ring in range(n_rings):
+        builder.add_ring(ring, nstops, bidirectional)
+    rings = [
+        [builder.add_node(ring, (i + 1) * stop_spacing)
+         for i in range(nodes_per_ring)]
+        for ring in range(n_rings)
+    ]
+    right_stop = (nodes_per_ring + 1) * stop_spacing
+    for ring in range(n_rings - 1):
+        builder.add_bridge(ring, right_stop, ring + 1, 0, level=2,
+                           link_latency=link_latency)
+    return builder.build(), rings
+
+
 def tiny_pair(
     nstops: int = 3,
     nodes_per_ring: int = 1,

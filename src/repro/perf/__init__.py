@@ -21,9 +21,11 @@ parallel-seeding rules.
   stand in for stats dicts in partial sweep results.
 - :mod:`repro.perf.bench` — the ``repro-noc bench`` smoke suite and the
   ``BENCH_fabric.json`` trajectory format.
+- :mod:`repro.perf.parallel` — parallel per-ring fabric stepping with
+  deterministic bridge-exchange barriers (cycle-identical to serial).
 """
 
-from repro.perf.cache import ResultCache
+from repro.perf.cache import MISS, ResultCache
 from repro.perf.resilient import RetryPolicy, SweepHealth, format_health
 from repro.perf.sweep import (
     SweepPoint,
@@ -36,7 +38,7 @@ from repro.perf.sweep import (
 )
 
 __all__ = [
-    "ResultCache", "SweepPoint", "point_seed", "run_sweep",
+    "MISS", "ResultCache", "SweepPoint", "point_seed", "run_sweep",
     "RetryPolicy", "SweepHealth", "format_health",
     "is_skipped", "is_failed", "skipped_points", "failed_points",
 ]

@@ -19,11 +19,33 @@ import hashlib
 import json
 import os
 import re
+import time
 from typing import Any, Optional
 
 #: Bump to invalidate every existing entry when the stored payload's
 #: meaning changes (e.g. a simulator semantics fix).
 SCHEMA_VERSION = 1
+
+
+class _Miss:
+    """Singleton sentinel distinguishing a cache miss from stored None."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ResultCache.MISS>"
+
+
+#: Unambiguous miss signal: ``cache.get(key, MISS) is MISS`` is True only
+#: when the key has no entry.  A bare ``get(key)`` still returns ``None``
+#: on a miss for callers that never store nulls.
+MISS = _Miss()
+
+#: Atomic-write temp files older than this are reaped by
+#: :meth:`ResultCache.prune_tmp` even when their embedded pid looks
+#: alive — the pid may have been recycled by an unrelated process, and
+#: no healthy ``put`` keeps a temp file around for an hour.
+TMP_MAX_AGE_S = 3600.0
 
 
 def canonical_json(value: Any) -> str:
@@ -82,11 +104,15 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".json")
 
-    def get(self, key: str) -> Optional[Any]:
-        """Stored value for ``key``, or None on a miss.
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """Stored value for ``key``, or ``default`` on a miss.
 
-        A corrupt, truncated, or unreadable entry is a miss (and is not
-        deleted — a concurrent writer may be mid-rewrite).
+        A stored JSON ``null`` is a legitimate value, indistinguishable
+        from the default ``None`` return — callers that may cache None
+        results must pass :data:`MISS` (``cache.get(key, MISS) is
+        MISS``) or use :meth:`lookup` to tell the two apart.  A corrupt,
+        truncated, or unreadable entry is a miss (and is not deleted — a
+        concurrent writer may be mid-rewrite).
         """
         try:
             with open(self._path(key), "r", encoding="utf-8") as fh:
@@ -94,9 +120,16 @@ class ResultCache:
             value = payload["value"]
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
-            return None
+            return default
         self.hits += 1
         return value
+
+    def lookup(self, key: str) -> "tuple[bool, Any]":
+        """``(found, value)`` for ``key``; ``(False, None)`` on a miss."""
+        value = self.get(key, MISS)
+        if value is MISS:
+            return False, None
+        return True, value
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` (must be JSON-serializable) under ``key``.
@@ -134,7 +167,7 @@ class ResultCache:
                     removed += 1
         return removed
 
-    def prune_tmp(self) -> int:
+    def prune_tmp(self, max_age_s: float = TMP_MAX_AGE_S) -> int:
         """Remove orphaned atomic-write temp files; returns the count.
 
         A writer that crashes (or is SIGKILLed) between creating
@@ -143,22 +176,32 @@ class ResultCache:
         orphan when its embedded pid is not a live process (or is this
         very process, which cannot have a write in flight while it is
         constructing the cache).  Temp files of live concurrent writers
-        are left alone.
+        are left alone — unless older than ``max_age_s``, because a pid
+        probe cannot tell the original writer from an unrelated process
+        that recycled its pid, and no healthy ``put`` holds a temp file
+        that long.
         """
         pruned = 0
         try:
             names = os.listdir(self.root)
         except OSError:
             return 0
+        now = time.time()
         for name in names:
             match = self._TMP_RE.search(name)
             if not match:
                 continue
             pid = int(match.group(1))
+            path = os.path.join(self.root, name)
             if pid != os.getpid() and _pid_alive(pid):
-                continue  # a live writer mid-put; not ours to reap
+                try:
+                    age = now - os.stat(path).st_mtime
+                except OSError:
+                    continue  # vanished under us: writer finished
+                if age <= max_age_s:
+                    continue  # plausibly a live writer mid-put
             try:
-                os.remove(os.path.join(self.root, name))
+                os.remove(path)
                 pruned += 1
             except OSError:
                 pass

@@ -28,6 +28,11 @@ KIND_TIMEOUT = "timeout"
 #: worker pool :data:`repro.perf.resilient.POISON_POOL_KILLS` times.
 KIND_POISONED = "poisoned"
 
+#: ``error_kind`` used when a point computed a value that could not be
+#: persisted (non-JSON-serializable result rejected by the cache or
+#: journal).
+KIND_UNSERIALIZABLE = "unserializable-result"
+
 
 def _point_name(point: Any) -> str:
     """Accept a ``SweepPoint``, any object with ``.name``, or a str."""
@@ -69,13 +74,27 @@ def failure_record(
 
 
 def is_skipped(result: Any) -> bool:
-    """True for a :func:`skip_record` result."""
-    return isinstance(result, dict) and bool(result.get("skipped"))
+    """True for a :func:`skip_record` result.
+
+    Requires the ``skip_reason`` co-key, not just a truthy ``skipped``
+    entry: a worker's stats dict may legitimately carry a ``skipped``
+    *counter* (e.g. skipped flits/cycles) and must not be silently
+    dropped from campaign aggregation as if the point never ran.
+    """
+    return (isinstance(result, dict) and bool(result.get("skipped"))
+            and "skip_reason" in result)
 
 
 def is_failed(result: Any) -> bool:
-    """True for a :func:`failure_record` result."""
-    return isinstance(result, dict) and bool(result.get("failed"))
+    """True for a :func:`failure_record` result.
+
+    Requires the ``error_kind`` co-key for the same reason
+    :func:`is_skipped` requires ``skip_reason``: a bare truthy
+    ``failed`` key in a stats dict (e.g. a failed-injection counter)
+    is not a structured failure record.
+    """
+    return (isinstance(result, dict) and bool(result.get("failed"))
+            and "error_kind" in result)
 
 
 def skipped_points(results: Sequence[Any]) -> List[Dict[str, Any]]:

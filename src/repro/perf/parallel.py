@@ -1,0 +1,590 @@
+"""Parallel per-ring fabric stepping with deterministic bridge barriers.
+
+The paper's fabrics are multiple independent rings that couple *only*
+through RBRG bridge channels with multi-cycle pipeline latency, which is
+exactly the decoupling a conservative parallel-discrete-event stepper
+needs: partition the rings across worker processes, advance each
+partition independently for a lookahead window of ``k = min cut-bridge
+pipeline latency`` cycles, and exchange the flits crossing RBRG
+boundaries at a deterministic barrier in canonical (bridge id,
+direction) order.  The result is **cycle-identical** to the serial
+engines — same :class:`~repro.fabric.stats.FabricStats`, same delivered
+messages, same latency samples in the same order.
+
+Why the window is exact
+-----------------------
+A flit pushed onto a cut bridge's pipeline at cycle ``t`` becomes ready
+at ``t + L`` (``L`` = link latency for RBRG-L2, pipe latency for
+RBRG-L1), and the serial step drains the pipeline head *before* the
+same cycle's intake, so the earliest cycle the destination can observe
+it is ``t + max(L, 1)``.  With a window of ``k = min over cut bridges
+of max(L, 1)``, every push made inside a window is observable only in
+later windows — the barrier delivers it before it can matter.
+
+The one feedback edge that is *not* latency-protected is the
+source-side occupancy gate (serial pushes only when ``len(pipe)`` is
+under a cap, and the destination's same-cycle pop is visible to that
+check).  The source worker therefore runs an interval occupancy model:
+its own replica of the pipe is the **no-pop upper bound**, and a
+maximal-pop simulation of the ready cycles is the **lower bound**.
+When both bounds agree with the gate the decision is exact; when they
+straddle the cap the window is *speculatively wrong-able*, the run
+raises :class:`ParallelWindowConflict`, every worker aborts, and the
+plan re-runs serially from cycle 0 — still deterministic, still exact,
+just not parallel for that run.
+
+Eligibility mirrors the dense tier's ``dense_ineligible_reason``:
+:meth:`repro.core.network.MultiRingFabric.parallel_ineligible_reason`
+names the feature (tracer, probes, invariant checker, fault injection,
+delivery handlers, too few rings) that pins a fabric serial, and
+:func:`run_parallel_plan` falls back to the serial loop with that
+reason recorded in its :class:`ParallelMeta` — so a traced run still
+produces its byte-identical event stream, just without the speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MultiRingConfig, TopologySpec
+from repro.core.network import MultiRingFabric
+from repro.fabric.message import Message, MessageKind
+from repro.fabric.stats import FabricStats
+
+__all__ = [
+    "ParallelMeta",
+    "ParallelWindowConflict",
+    "lookahead_window",
+    "partition_rings",
+    "resolve_workers",
+    "run_parallel_plan",
+    "run_serial_plan",
+]
+
+#: FabricStats integer counters that merge by summation.
+_COUNTER_FIELDS = (
+    "accepted", "rejected", "injected", "delivered", "deflections",
+    "itags_placed", "etags_placed", "swap_events", "dropped",
+    "link_stall_cycles",
+)
+
+
+class ParallelWindowConflict(RuntimeError):
+    """A source-side occupancy gate could not be decided from bounds.
+
+    Raised inside a worker when a cut bridge has a push candidate and
+    the no-pop/max-pop occupancy interval straddles the gate's cap.
+    The parallel run aborts and the caller re-runs the plan serially
+    from cycle 0, so the conflict costs wall-clock time, never
+    correctness.
+    """
+
+
+@dataclass
+class ParallelMeta:
+    """How a :func:`run_parallel_plan` call actually executed."""
+
+    #: ``"parallel"`` or ``"serial"`` (ineligible fabric, too few
+    #: workers, disabled knob, or a window-conflict restart).
+    mode: str
+    #: Why the run was serial (None when ``mode == "parallel"``).
+    reason: Optional[str] = None
+    #: Worker processes used (0 when serial).
+    workers: int = 0
+    #: Lookahead window in cycles (0 when serial).
+    window: int = 0
+    #: Barrier exchanges performed.
+    barriers: int = 0
+    #: Speculative window conflicts that forced a serial restart.
+    conflicts: int = 0
+    #: Wall-clock seconds of the timed stepping region.
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode, "reason": self.reason,
+            "workers": self.workers, "window": self.window,
+            "barriers": self.barriers, "conflicts": self.conflicts,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _normalize_plan(plan: Sequence) -> List[Tuple[int, int, int, Any]]:
+    """Accept 3-tuple ``(cycle, src, dst)`` or 4-tuple plans."""
+    out = []
+    for entry in plan:
+        if len(entry) == 3:
+            cycle, src, dst = entry
+            out.append((cycle, src, dst, MessageKind.REQUEST))
+        else:
+            cycle, src, dst, kind = entry
+            out.append((cycle, src, dst, kind))
+    return out
+
+
+def partition_rings(topology: TopologySpec, nparts: int) -> List[List[int]]:
+    """Contiguous ring partitions in declaration order.
+
+    Contiguity in declaration order keeps chain/pair floorplans (the
+    common chiplet layouts) on minimum-cut partitions without a graph
+    partitioner; the window derivation is correct for any cut.
+    """
+    ring_ids = [spec.ring_id for spec in topology.rings]
+    nparts = max(1, min(nparts, len(ring_ids)))
+    base, extra = divmod(len(ring_ids), nparts)
+    parts: List[List[int]] = []
+    start = 0
+    for p in range(nparts):
+        size = base + (1 if p < extra else 0)
+        parts.append(ring_ids[start:start + size])
+        start += size
+    return parts
+
+
+def resolve_workers(
+    topology: TopologySpec,
+    config: MultiRingConfig,
+    workers: Optional[int] = None,
+) -> int:
+    """Effective worker count: explicit arg > config knob > auto."""
+    count = workers if workers is not None else config.parallel_workers
+    if count <= 0:
+        count = min(len(topology.rings), os.cpu_count() or 1)
+    return max(1, min(count, len(topology.rings)))
+
+
+def lookahead_window(
+    fabric: MultiRingFabric,
+    owner: Dict[int, int],
+    cycles: int,
+    cap: int = 0,
+) -> int:
+    """Largest exact window for this partitioning, in cycles.
+
+    ``min`` over partition-crossing bridges of ``max(pipeline latency,
+    1)``; partitions with no cut bridge at all are fully independent
+    and get one window spanning the whole run.  ``cap > 0`` clamps the
+    window down (more barriers, tighter occupancy bounds).
+    """
+    latencies = [
+        max(bridge.parallel_latency(), 1)
+        for bridge in fabric.bridges
+        if owner[bridge.spec.ring_a] != owner[bridge.spec.ring_b]
+    ]
+    window = min(latencies) if latencies else max(cycles, 1)
+    if cap > 0:
+        window = min(window, cap)
+    return max(window, 1)
+
+
+def _cut_directions(fabric: MultiRingFabric, owner: Dict[int, int]) -> List[tuple]:
+    """Partition-crossing bridge directions in canonical order.
+
+    Each entry is ``(bridge_id, idx, src_part, dst_part, bridge)``
+    where ``idx`` selects the bridge's direction (0 = a→b, 1 = b→a),
+    sorted by (bridge id, direction) — the canonical exchange order.
+    """
+    dirs = []
+    for bridge in fabric.bridges:
+        pa = owner[bridge.spec.ring_a]
+        pb = owner[bridge.spec.ring_b]
+        if pa == pb:
+            continue
+        dirs.append((bridge.spec.bridge_id, 0, pa, pb, bridge))
+        dirs.append((bridge.spec.bridge_id, 1, pb, pa, bridge))
+    dirs.sort(key=lambda d: (d[0], d[1]))
+    return dirs
+
+
+class _GateModel:
+    """Interval occupancy model for one cut direction's push gate.
+
+    The bridge's local channel replica (no pops applied until the
+    barrier) is the length *upper* bound; ``opt`` simulates the
+    destination popping the head on every cycle it is ready (at most
+    one per cycle, matching the serial drain) and is the *lower*
+    bound.  The gate is decidable whenever either bound settles it.
+    """
+
+    __slots__ = ("bridge", "idx", "opt")
+
+    def __init__(self, bridge: Any, idx: int):
+        self.bridge = bridge
+        self.idx = idx
+        self.rebase()
+
+    def rebase(self) -> None:
+        """Resync both bounds to the reconciled channel (window start)."""
+        self.opt = deque(entry[0] for entry in self.bridge.channel(self.idx))
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Simulate the destination's maximal pop for this cycle."""
+        if self.opt and self.opt[0] <= cycle:
+            self.opt.popleft()
+
+    def decide(self, cycle: int) -> bool:
+        """Exact gate verdict, or raise :class:`ParallelWindowConflict`."""
+        if self.bridge.gate_allows(len(self.bridge.channel(self.idx))):
+            return True  # allowed even if the destination never pops
+        if not self.bridge.gate_allows(len(self.opt)):
+            return False  # blocked even under maximal pops
+        raise ParallelWindowConflict(
+            f"bridge {self.bridge.spec.bridge_id} direction {self.idx} "
+            f"cycle {cycle}: occupancy bounds straddle the push gate")
+
+    def record_push(self, ready_cycle: int) -> None:
+        self.opt.append(ready_cycle)
+
+
+def run_serial_plan(
+    fabric: MultiRingFabric,
+    plan: Sequence,
+    cycles: int,
+) -> FabricStats:
+    """The serial oracle: inject the plan in order, step every cycle.
+
+    Identical loop shape to the bench harness (`repro.perf.bench`) so
+    serial fallbacks and parallel runs answer the same question.
+    """
+    plan = _normalize_plan(plan)
+    msgs = [
+        Message(src=src, dst=dst, kind=kind, created_cycle=cycle, msg_id=mid)
+        for mid, (cycle, src, dst, kind) in enumerate(plan)
+    ]
+    i = 0
+    n = len(plan)
+    for cycle in range(cycles):
+        while i < n and plan[i][0] == cycle:
+            fabric.try_inject(msgs[i])
+            i += 1
+        fabric.step(cycle)
+    return fabric.stats
+
+
+def _worker_main(
+    conn,
+    topology: TopologySpec,
+    config: MultiRingConfig,
+    plan: List[Tuple[int, int, int, Any]],
+    cycles: int,
+    part: int,
+    partitions: List[List[int]],
+    window: int,
+) -> None:
+    """One partition's process: step owned rings + bridge halves.
+
+    Every worker builds its own full fabric replica from the
+    declarative specs (cheap, deterministic) and touches only the
+    state its partition owns; the two replicas of each cut bridge
+    channel are reconciled at every barrier.
+    """
+    try:
+        owner = {
+            ring_id: p
+            for p, ring_ids in enumerate(partitions)
+            for ring_id in ring_ids
+        }
+        owned = set(partitions[part])
+        fabric = MultiRingFabric(topology, config)
+        owned_rings = [r for r in fabric._ring_list if r.spec.ring_id in owned]
+        ring_of_node = {p.node: p.ring for p in topology.nodes}
+
+        # Per-bridge role schedule, in the fabric's serial bridge order.
+        schedule = []  # (bridge, kind, idx, model-or-None)
+        src_models: List[_GateModel] = []
+        cut = _cut_directions(fabric, owner)
+        cut_by_bridge: Dict[int, List[tuple]] = {}
+        for bridge_id, idx, src_part, dst_part, bridge in cut:
+            cut_by_bridge.setdefault(bridge_id, []).append(
+                (idx, src_part, dst_part, bridge))
+        for bridge in fabric.bridges:
+            entries = cut_by_bridge.get(bridge.spec.bridge_id)
+            if entries is None:
+                pa = owner[bridge.spec.ring_a]
+                if pa == part:  # internal bridge: full serial step
+                    schedule.append((bridge, "full", 0, None))
+                continue
+            for idx, src_part, dst_part, dir_bridge in entries:
+                if src_part == part:
+                    model = _GateModel(dir_bridge, idx)
+                    src_models.append(model)
+                    schedule.append((dir_bridge, "src", idx, model))
+                elif dst_part == part:
+                    schedule.append((dir_bridge, "dst", idx, None))
+
+        # Owned share of the plan, with *global* msg ids so merged
+        # stats are indistinguishable from a serial run's.
+        msgs: Dict[int, Message] = {}
+        for mid, (cycle, src, dst, kind) in enumerate(plan):
+            if ring_of_node[src] in owned:
+                msgs[mid] = Message(src=src, dst=dst, kind=kind,
+                                    created_cycle=cycle, msg_id=mid)
+        for src, dst in sorted({(m.src, m.dst) for m in msgs.values()}):
+            fabric.router.route(src, dst)
+
+        import gc
+        gc.collect()
+        gc.disable()
+        conn.send(("ready", None))
+        cmd, _ = conn.recv()
+        if cmd != "go":
+            return
+
+        nplan = len(plan)
+        plan_i = 0
+        cycle = 0
+        nwindows = (cycles + window - 1) // window if cycles else 0
+        for w in range(nwindows):
+            end = min(cycle + window, cycles)
+            pushes: Dict[Tuple[int, int], list] = {}
+            pops: Dict[Tuple[int, int], int] = {}
+            while cycle < end:
+                while plan_i < nplan and plan[plan_i][0] == cycle:
+                    msg = msgs.get(plan_i)
+                    if msg is not None:
+                        fabric.try_inject(msg)
+                    plan_i += 1
+                for ring in owned_rings:
+                    ring.step(cycle)
+                for bridge, kind, idx, model in schedule:
+                    if kind == "full":
+                        bridge.step(cycle)
+                    elif kind == "src":
+                        model.begin_cycle(cycle)
+                        may_push = (bridge.has_push_candidate(cycle, idx)
+                                    and model.decide(cycle))
+                        entry = bridge.step_src_half(cycle, idx, may_push)
+                        if entry is not None:
+                            model.record_push(entry[0])
+                            key = (bridge.spec.bridge_id, idx)
+                            pushes.setdefault(key, []).append(
+                                (entry[0], entry[1]))
+                    else:
+                        if bridge.step_dst_half(cycle, idx):
+                            key = (bridge.spec.bridge_id, idx)
+                            pops[key] = pops.get(key, 0) + 1
+                fabric._drain(cycle)
+                cycle += 1
+            if w == nwindows - 1:
+                break
+            conn.send(("exchange", {"pushes": pushes, "pops": pops}))
+            cmd, inbox = conn.recv()
+            if cmd != "exchange":
+                return  # aborted (peer conflict or parent error)
+            for key in sorted(inbox["pops"]):
+                count = inbox["pops"][key]
+                bridge = fabric.bridge_by_id(key[0])
+                channel = bridge.channel(key[1])
+                del channel[:count]
+            for key in sorted(inbox["pushes"]):
+                bridge = fabric.bridge_by_id(key[0])
+                channel = bridge.channel(key[1])
+                channel.extend([ready, flit]
+                               for ready, flit in inbox["pushes"][key])
+            for model in src_models:
+                model.rebase()
+
+        stats = fabric.stats
+        payload = {
+            "counters": {name: getattr(stats, name)
+                         for name in _COUNTER_FIELDS},
+            "delivered_bytes": stats.delivered_bytes,
+            "per_dst": dict(stats.per_dst_delivered),
+            "samples": list(stats.samples),
+        }
+        conn.send(("stats", payload))
+    except ParallelWindowConflict as exc:
+        conn.send(("conflict", str(exc)))
+    except BaseException:  # noqa: BLE001 - forwarded to the parent
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _merge_stats(
+    payloads: List[Dict[str, Any]],
+    topology: TopologySpec,
+) -> FabricStats:
+    """Fold worker stat payloads into one serial-identical FabricStats.
+
+    Counters and byte totals sum; latency samples stable-sort on
+    ``(delivered cycle, drain order of the destination node)``, which
+    reproduces the serial drain's emission order exactly: the serial
+    drain walks enrolled ports by ``drain_seq`` each cycle, and within
+    one port the per-worker order is already the pop order.
+    """
+    drain_seq = {p.node: i for i, p in enumerate(topology.nodes)}
+    merged = FabricStats()
+    for payload in payloads:
+        for name, value in payload["counters"].items():
+            setattr(merged, name, getattr(merged, name) + value)
+        merged.delivered_bytes += payload["delivered_bytes"]
+        for dst, count in payload["per_dst"].items():
+            merged.per_dst_delivered[dst] = (
+                merged.per_dst_delivered.get(dst, 0) + count)
+    samples = [s for payload in payloads for s in payload["samples"]]
+    samples.sort(key=lambda s: (s.delivered_cycle, drain_seq[s.dst]))
+    merged.samples = samples
+    return merged
+
+
+def _abort_workers(conns, procs) -> None:
+    for conn in conns:
+        try:
+            conn.send(("abort", None))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=5.0)
+
+
+def run_parallel_plan(
+    topology: TopologySpec,
+    config: MultiRingConfig,
+    plan: Sequence,
+    cycles: int,
+    workers: Optional[int] = None,
+) -> Tuple[FabricStats, ParallelMeta]:
+    """Run an injection plan for ``cycles``, in parallel when possible.
+
+    Returns ``(stats, meta)`` where ``stats`` is cycle-identical to
+    :func:`run_serial_plan` on a fresh fabric, and ``meta`` records how
+    the run executed (mode, worker count, window, barriers, conflicts,
+    and the timed stepping wall-clock).  Serial fallbacks — ineligible
+    fabric, fewer than two effective workers, ``parallel_step`` off, no
+    ``fork`` start method, or a window-conflict restart — are never an
+    error; the reason lands in ``meta.reason``.
+    """
+    plan = _normalize_plan(plan)
+    probe = MultiRingFabric(topology, config)
+    reason: Optional[str] = None
+    if not config.parallel_step:
+        reason = "parallel_step disabled"
+    if reason is None:
+        reason = probe.parallel_ineligible_reason()
+    nparts = resolve_workers(topology, config, workers)
+    if reason is None and nparts < 2:
+        reason = "fewer than two effective workers"
+    if reason is None and "fork" not in multiprocessing.get_all_start_methods():
+        reason = "fork start method unavailable"
+
+    if reason is not None:
+        start = time.perf_counter()
+        stats = run_serial_plan(probe, plan, cycles)
+        meta = ParallelMeta(mode="serial", reason=reason,
+                            elapsed_s=time.perf_counter() - start)
+        return stats, meta
+
+    partitions = partition_rings(topology, nparts)
+    owner = {ring_id: p for p, ring_ids in enumerate(partitions)
+             for ring_id in ring_ids}
+    window = lookahead_window(probe, owner, cycles,
+                              cap=config.parallel_window)
+    cut = _cut_directions(probe, owner)
+    dst_of = {(bid, idx): dst for bid, idx, _, dst, _ in cut}
+    src_of = {(bid, idx): src for bid, idx, src, _, _ in cut}
+
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    for part in range(len(partitions)):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, topology, config, plan, cycles, part,
+                  partitions, window),
+        )
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+
+    conflict: Optional[str] = None
+    error: Optional[str] = None
+    payloads: List[Optional[Dict[str, Any]]] = [None] * len(partitions)
+    barriers = 0
+    start = 0.0
+    try:
+        for conn in conns:
+            kind, _ = conn.recv()
+            if kind != "ready":  # pragma: no cover - defensive
+                raise RuntimeError(f"worker failed before start: {kind}")
+        start = time.perf_counter()
+        for conn in conns:
+            conn.send(("go", None))
+
+        nwindows = (cycles + window - 1) // window if cycles else 0
+        for w in range(max(nwindows - 1, 0)):
+            outboxes = []
+            for conn in conns:
+                kind, payload = conn.recv()
+                if kind == "conflict":
+                    conflict = payload
+                    break
+                if kind == "error":
+                    error = payload
+                    break
+                outboxes.append(payload)
+            if conflict is not None or error is not None:
+                break
+            inboxes: List[Dict[str, Dict]] = [
+                {"pushes": {}, "pops": {}} for _ in partitions]
+            for outbox in outboxes:
+                for key, entries in outbox["pushes"].items():
+                    inboxes[dst_of[key]]["pushes"][key] = entries
+                for key, count in outbox["pops"].items():
+                    inboxes[src_of[key]]["pops"][key] = count
+            for conn, inbox in zip(conns, inboxes):
+                conn.send(("exchange", inbox))
+            barriers += 1
+
+        if conflict is None and error is None:
+            for part, conn in enumerate(conns):
+                kind, payload = conn.recv()
+                if kind == "conflict":
+                    conflict = payload
+                    break
+                if kind == "error":
+                    error = payload
+                    break
+                payloads[part] = payload
+    except EOFError as exc:  # pragma: no cover - worker died hard
+        error = f"worker connection lost: {exc!r}"
+    finally:
+        if conflict is not None or error is not None:
+            _abort_workers(conns, procs)
+        else:
+            for proc in procs:
+                proc.join(timeout=30.0)
+        for conn in conns:
+            conn.close()
+    elapsed = time.perf_counter() - start
+
+    if error is not None:
+        raise RuntimeError(f"parallel stepping worker failed:\n{error}")
+    if conflict is not None:
+        # Deterministic full restart: a conflict means the speculation
+        # *might* have been wrong, so none of it is kept.
+        fresh = MultiRingFabric(topology, config)
+        restart_t = time.perf_counter()
+        stats = run_serial_plan(fresh, plan, cycles)
+        meta = ParallelMeta(
+            mode="serial", reason=f"window conflict: {conflict}",
+            conflicts=1, window=window,
+            elapsed_s=time.perf_counter() - restart_t)
+        return stats, meta
+
+    stats = _merge_stats([p for p in payloads if p is not None], topology)
+    meta = ParallelMeta(mode="parallel", workers=len(partitions),
+                        window=window, barriers=barriers,
+                        elapsed_s=elapsed)
+    return stats, meta

@@ -57,7 +57,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.perf.cache import ResultCache
+from repro.perf.cache import MISS, ResultCache
 from repro.perf.journal import (
     STATUS_FAILED,
     STATUS_OK,
@@ -67,6 +67,7 @@ from repro.perf.journal import (
     sweep_fingerprint,
 )
 from repro.perf.outcomes import (
+    KIND_UNSERIALIZABLE,
     failed_points,
     failure_record,
     is_failed,
@@ -207,8 +208,27 @@ def run_sweep(
         jobs: List[Job] = []
         for i, point in enumerate(points):
             if i in replayed:
-                results[i] = replayed[i]["value"]
+                value = replayed[i]["value"]
+                results[i] = value
                 health.resumed += 1
+                # Write replayed ok values through to the cache: the
+                # journal outlives the crash but the shared cache must
+                # not stay cold for exactly the points a resumed
+                # campaign never re-dispatches.
+                if cache is not None and replayed[i]["status"] == STATUS_OK:
+                    key = cache.make_key(
+                        name,
+                        point=point.name,
+                        params=point.as_dict(),
+                        seed=seeds[i],
+                        context=cache_context or {},
+                    )
+                    keys[i] = key
+                    if cache.get(key, MISS) is MISS:
+                        try:
+                            cache.put(key, value)
+                        except (TypeError, ValueError):
+                            pass  # journaled value the cache rejects
                 continue
             if prefilter is not None:
                 reason = prefilter(point, seeds[i])
@@ -229,8 +249,11 @@ def run_sweep(
                     context=cache_context or {},
                 )
                 keys[i] = key
-                hit = cache.get(key)
-                if hit is not None:
+                # MISS (not None) is the miss signal: a worker that
+                # legitimately returns None must still hit the cache on
+                # the next run instead of re-dispatching forever.
+                hit = cache.get(key, MISS)
+                if hit is not MISS:
                     results[i] = hit
                     health.cached += 1
                     record_outcome(i, STATUS_OK, hit)
@@ -239,10 +262,30 @@ def run_sweep(
 
         if jobs:
             def on_ok(index: int, value: Any) -> None:
+                # A worker value the cache or journal cannot serialize
+                # must become a structured failure record, not an
+                # exception that aborts the dispatcher mid-sweep (and
+                # with it every in-flight point).
+                try:
+                    if cache is not None and keys[index] is not None:
+                        cache.put(keys[index], value)
+                    record_outcome(index, STATUS_OK, value)
+                except (TypeError, ValueError) as exc:
+                    record = failure_record(
+                        points[index], KIND_UNSERIALIZABLE,
+                        attempts=1, elapsed_s=0.0, message=str(exc))
+                    results[index] = record
+                    health.failed += 1
+                    health.computed -= 1
+                    try:
+                        record_outcome(index, STATUS_FAILED, record)
+                    except (TypeError, ValueError):  # pragma: no cover
+                        pass
+                    logger.warning(
+                        "sweep: point %s result is not persistable: %s",
+                        points[index].name, exc)
+                    return
                 results[index] = value
-                if cache is not None and keys[index] is not None:
-                    cache.put(keys[index], value)
-                record_outcome(index, STATUS_OK, value)
 
             def on_failure(index: int, record: Dict[str, Any]) -> None:
                 results[index] = record

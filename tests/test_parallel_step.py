@@ -1,0 +1,286 @@
+"""Parallel per-ring stepping equivalence and fallback behaviour.
+
+The parallel stepper (:mod:`repro.perf.parallel`) only earns its
+speedup if it is *invisible*: cycle-identical
+:class:`~repro.fabric.stats.FabricStats` (including ordered latency
+samples) against the serial engines on every eligible system, and a
+deterministic serial fallback — with the reason reported — everywhere
+else.  Worker counts are forced explicitly throughout so the tests
+exercise the parallel path even on single-core machines.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MultiRingConfig
+from repro.core.network import MultiRingFabric
+from repro.core.topology import (
+    chiplet_chain,
+    chiplet_pair,
+    grid_of_rings,
+    single_ring_topology,
+)
+from repro.perf.parallel import (
+    ParallelWindowConflict,
+    lookahead_window,
+    partition_rings,
+    resolve_workers,
+    run_parallel_plan,
+    run_serial_plan,
+)
+from repro.sim.rng import make_rng
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="parallel stepper requires the fork start method")
+
+
+def local_plus_cross_plan(rings, cycles, per_ring, cross_every, seed):
+    """Ring-local uniform traffic plus periodic cross-ring flows."""
+    rng = make_rng(seed)
+    plan = []
+    for cycle in range(cycles):
+        for ring_nodes in rings:
+            for _ in range(per_ring):
+                src = rng.choice(ring_nodes)
+                dst = rng.choice(ring_nodes)
+                if src != dst:
+                    plan.append((cycle, src, dst))
+        if cross_every and cycle % cross_every == 0:
+            for i in range(len(rings) - 1):
+                plan.append((cycle, rng.choice(rings[i]),
+                             rng.choice(rings[i + 1])))
+                plan.append((cycle, rng.choice(rings[i + 1]),
+                             rng.choice(rings[i])))
+    return plan
+
+
+def parallel_config(engine="auto", **kwargs):
+    return MultiRingConfig(engine=engine, parallel_step=True, **kwargs)
+
+
+def serial_stats(topo, config, plan, cycles):
+    return run_serial_plan(MultiRingFabric(topo, config), plan, cycles)
+
+
+# -- cycle-identical stats: parallel == serial ----------------------------
+
+
+@pytest.mark.parametrize("engine", ["ref", "skip", "auto"])
+def test_chiplet_pair_parallel_identical(engine):
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=2)
+    config = parallel_config(engine)
+    plan = local_plus_cross_plan([ring0, ring1], 400, per_ring=3,
+                                 cross_every=8, seed=81)
+    stats, meta = run_parallel_plan(topo, config, plan, 400, workers=2)
+    assert meta.mode == "parallel"
+    assert meta.workers == 2
+    assert meta.barriers > 0
+    assert stats == serial_stats(topo, config, plan, 400)
+    assert stats.delivered > 0
+
+
+@pytest.mark.parametrize("engine", ["ref", "skip", "auto"])
+def test_chiplet_chain_parallel_identical(engine):
+    topo, rings = chiplet_chain(n_rings=4, nodes_per_ring=6)
+    config = parallel_config(engine)
+    plan = local_plus_cross_plan(rings, 300, per_ring=3, cross_every=8,
+                                 seed=82)
+    stats, meta = run_parallel_plan(topo, config, plan, 300, workers=4)
+    assert meta.mode == "parallel"
+    assert stats == serial_stats(topo, config, plan, 300)
+    assert stats.delivered > 0
+
+
+def test_grid_parallel_identical_l1_bridges():
+    """A 2x2 grid cuts RBRG-L1 pipelines (latency 2 -> window 2)."""
+    layout = grid_of_rings(2, 2, devices_per_vring=3, memory_per_hring=3)
+    topo = layout.topology
+    config = parallel_config("auto")
+    node_rings = {}
+    for placement in topo.nodes:
+        node_rings.setdefault(placement.ring, []).append(placement.node)
+    rings = [node_rings[r.ring_id] for r in topo.rings
+             if r.ring_id in node_rings]
+    plan = local_plus_cross_plan(rings, 250, per_ring=2, cross_every=5,
+                                 seed=83)
+    stats, meta = run_parallel_plan(topo, config, plan, 250, workers=2)
+    assert meta.mode == "parallel"
+    assert meta.window == 2
+    assert stats == serial_stats(topo, config, plan, 250)
+
+
+def test_uneven_partitions_more_rings_than_workers():
+    topo, rings = chiplet_chain(n_rings=5, nodes_per_ring=4)
+    config = parallel_config("auto")
+    plan = local_plus_cross_plan(rings, 200, per_ring=2, cross_every=10,
+                                 seed=84)
+    stats, meta = run_parallel_plan(topo, config, plan, 200, workers=2)
+    assert meta.mode == "parallel"
+    assert meta.workers == 2
+    assert stats == serial_stats(topo, config, plan, 200)
+
+
+def test_window_cap_still_identical():
+    """parallel_window=1 forces a barrier every cycle — slow but exact."""
+    topo, rings = chiplet_chain(n_rings=3, nodes_per_ring=4)
+    config = parallel_config("auto", parallel_window=1)
+    plan = local_plus_cross_plan(rings, 150, per_ring=2, cross_every=4,
+                                 seed=85)
+    stats, meta = run_parallel_plan(topo, config, plan, 150, workers=3)
+    assert meta.mode == "parallel"
+    assert meta.window == 1
+    assert stats == serial_stats(topo, config, plan, 150)
+
+
+def test_latency_samples_order_matches_serial():
+    topo, rings = chiplet_chain(n_rings=4, nodes_per_ring=6)
+    config = parallel_config("auto")
+    plan = local_plus_cross_plan(rings, 300, per_ring=3, cross_every=8,
+                                 seed=86)
+    stats, meta = run_parallel_plan(topo, config, plan, 300, workers=4)
+    assert meta.mode == "parallel"
+    ref = serial_stats(topo, config, plan, 300)
+    assert [s.msg_id for s in stats.samples] == \
+        [s.msg_id for s in ref.samples]
+
+
+# -- conflict fallback ----------------------------------------------------
+
+
+def test_window_conflict_falls_back_serial_and_identical():
+    """Saturated cross traffic straddles the bridge push gates, so the
+    occupancy interval becomes undecidable; the run must restart
+    serially and still produce identical stats."""
+    topo, ring0, ring1 = chiplet_pair(nodes_per_ring=4, stop_spacing=1)
+    config = parallel_config("auto")
+    rng = make_rng(87)
+    plan = []
+    for cycle in range(200):
+        for src in ring0:
+            plan.append((cycle, src, rng.choice(ring1)))
+        for src in ring1:
+            plan.append((cycle, src, rng.choice(ring0)))
+    stats, meta = run_parallel_plan(topo, config, plan, 200, workers=2)
+    assert meta.mode == "serial"
+    assert meta.conflicts == 1
+    assert "window conflict" in meta.reason
+    assert stats == serial_stats(topo, config, plan, 200)
+
+
+# -- serial fallbacks and eligibility reporting ---------------------------
+
+
+def test_parallel_step_disabled_reason():
+    topo, rings = chiplet_chain(n_rings=2, nodes_per_ring=3)
+    plan = local_plus_cross_plan(rings, 50, per_ring=1, cross_every=10,
+                                 seed=88)
+    config = MultiRingConfig()  # parallel_step defaults off
+    stats, meta = run_parallel_plan(topo, config, plan, 50, workers=2)
+    assert meta.mode == "serial"
+    assert meta.reason == "parallel_step disabled"
+    assert stats == serial_stats(topo, config, plan, 50)
+
+
+def test_single_worker_falls_back():
+    topo, rings = chiplet_chain(n_rings=2, nodes_per_ring=3)
+    plan = local_plus_cross_plan(rings, 50, per_ring=1, cross_every=10,
+                                 seed=89)
+    config = parallel_config()
+    stats, meta = run_parallel_plan(topo, config, plan, 50, workers=1)
+    assert meta.mode == "serial"
+    assert meta.reason == "fewer than two effective workers"
+    assert stats == serial_stats(topo, config, plan, 50)
+
+
+def test_ineligible_reasons():
+    topo, rings = chiplet_chain(n_rings=2, nodes_per_ring=3)
+    assert MultiRingFabric(topo, parallel_config()) \
+        .parallel_ineligible_reason() is None
+
+    single, _ = single_ring_topology(8)
+    assert "fewer than two rings" in MultiRingFabric(
+        single, parallel_config()).parallel_ineligible_reason()
+
+    traced = MultiRingFabric(topo, parallel_config())
+    traced.attach_trace_recorder()
+    assert "trace recorder" in traced.parallel_ineligible_reason()
+
+    checked = MultiRingFabric(topo, parallel_config())
+    checked.attach_invariant_checker()
+    assert "invariant checker" in checked.parallel_ineligible_reason()
+
+    probed = MultiRingFabric(topo, parallel_config())
+    probed.add_delivery_probe(rings[0][0])
+    assert "delivery probes" in probed.parallel_ineligible_reason()
+
+    handled = MultiRingFabric(topo, parallel_config())
+    handled.attach(rings[0][0], lambda msg: None)
+    assert "delivery handlers" in handled.parallel_ineligible_reason()
+
+
+def test_ineligible_fabric_runs_serial_with_reason():
+    """An ineligible feature (here: one ring) must *work*, not error —
+    the stepper reports the reason and falls back."""
+    topo, nodes = single_ring_topology(8)
+    config = parallel_config()
+    rng = make_rng(90)
+    plan = [(c, rng.choice(nodes), rng.choice(nodes[1:] + nodes[:1]))
+            for c in range(50)]
+    plan = [(c, s, d) for c, s, d in plan if s != d]
+    stats, meta = run_parallel_plan(topo, config, plan, 50, workers=2)
+    assert meta.mode == "serial"
+    assert meta.reason == "fewer than two rings"
+    assert stats == serial_stats(topo, config, plan, 50)
+
+
+# -- partitioning / window units ------------------------------------------
+
+
+def test_partition_rings_contiguous_and_balanced():
+    topo, _ = chiplet_chain(n_rings=5, nodes_per_ring=2)
+    assert partition_rings(topo, 2) == [[0, 1, 2], [3, 4]]
+    assert partition_rings(topo, 5) == [[0], [1], [2], [3], [4]]
+    assert partition_rings(topo, 99) == [[0], [1], [2], [3], [4]]
+    assert partition_rings(topo, 1) == [[0, 1, 2, 3, 4]]
+
+
+def test_resolve_workers_precedence():
+    topo, _ = chiplet_chain(n_rings=4, nodes_per_ring=2)
+    config = parallel_config(parallel_workers=3)
+    assert resolve_workers(topo, config, workers=2) == 2
+    assert resolve_workers(topo, config) == 3
+    assert resolve_workers(topo, config, workers=99) == 4  # ring cap
+
+
+def test_lookahead_window_is_min_cut_latency():
+    topo, _ = chiplet_chain(n_rings=4, nodes_per_ring=2, link_latency=8)
+    fabric = MultiRingFabric(topo, parallel_config())
+    owner_all_cut = {0: 0, 1: 1, 2: 2, 3: 3}
+    assert lookahead_window(fabric, owner_all_cut, 1000) == 8
+    # Middle cut only: same min latency.
+    owner_mid = {0: 0, 1: 0, 2: 1, 3: 1}
+    assert lookahead_window(fabric, owner_mid, 1000) == 8
+    # No cut at all: one window spans the run.
+    owner_none = {0: 0, 1: 0, 2: 0, 3: 0}
+    assert lookahead_window(fabric, owner_none, 1000) == 1000
+    # A cap clamps down, never up.
+    assert lookahead_window(fabric, owner_all_cut, 1000, cap=3) == 3
+    assert lookahead_window(fabric, owner_all_cut, 1000, cap=50) == 8
+
+
+# -- hypothesis: parallel == ref for arbitrary seeds ----------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       per_ring=st.integers(min_value=1, max_value=4),
+       cross_every=st.integers(min_value=2, max_value=12))
+def test_parallel_matches_reference_property(seed, per_ring, cross_every):
+    topo, rings = chiplet_chain(n_rings=2, nodes_per_ring=4)
+    config = parallel_config("ref")
+    plan = local_plus_cross_plan(rings, 120, per_ring, cross_every, seed)
+    stats, meta = run_parallel_plan(topo, config, plan, 120, workers=2)
+    assert meta.mode in ("parallel", "serial")
+    assert stats == serial_stats(topo, config, plan, 120)

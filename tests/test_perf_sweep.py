@@ -155,6 +155,179 @@ def test_prune_tmp_reaps_orphans_keeps_live_writers(tmp_path):
         live.wait()
 
 
+NONE_CALLS = []
+
+
+def none_worker(point, seed):
+    """Worker whose legitimate result is None (e.g. a probe sweep)."""
+    NONE_CALLS.append(point.name)
+    return None
+
+
+def test_none_result_is_cached_not_recomputed(tmp_path):
+    """A worker returning None must hit the cache on the second run.
+
+    Regression: ``cache.get(key)`` returning None was indistinguishable
+    from a miss, so None-valued entries were re-dispatched on every
+    run.  The MISS sentinel disambiguates.
+    """
+    NONE_CALLS.clear()
+    cache = ResultCache(str(tmp_path))
+    first = run_sweep(none_worker, POINTS[:3], base_seed=5, workers=1,
+                      cache=cache, cache_name="none")
+    assert first == [None, None, None]
+    assert len(NONE_CALLS) == 3
+    warm = ResultCache(str(tmp_path))
+    second = run_sweep(none_worker, POINTS[:3], base_seed=5, workers=1,
+                       cache=warm, cache_name="none")
+    assert second == [None, None, None]
+    assert len(NONE_CALLS) == 3  # served from cache, not recomputed
+    assert warm.hits == 3 and warm.misses == 0
+
+
+def test_cache_lookup_disambiguates_none(tmp_path):
+    from repro.perf.cache import MISS
+
+    cache = ResultCache(str(tmp_path))
+    key = cache.make_key("probe", seed=1)
+    assert cache.get(key, MISS) is MISS
+    found, value = cache.lookup(key)
+    assert not found and value is None
+    cache.put(key, None)
+    assert cache.get(key, MISS) is None
+    assert cache.lookup(key) == (True, None)
+
+
+REPLAY_CALLS = []
+
+
+def counting_worker(point, seed):
+    REPLAY_CALLS.append(point.name)
+    return {"name": point.name, "seed": seed}
+
+
+def test_resumed_points_write_through_to_cache(tmp_path):
+    """Journal-replayed ok points must warm the shared cache.
+
+    Regression: a resumed campaign replayed points from the journal but
+    never wrote them to the cache, so the cache stayed cold for exactly
+    the points the resume skipped — a later cache-only rerun recomputed
+    them all.
+    """
+    from repro.perf.sweep import SweepHealth
+
+    journal = str(tmp_path / "sweep.jsonl")
+    REPLAY_CALLS.clear()
+    first = run_sweep(counting_worker, POINTS, base_seed=5, workers=1,
+                      journal=journal, cache_name="counting")
+    assert len(REPLAY_CALLS) == len(POINTS)
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    health = SweepHealth()
+    second = run_sweep(counting_worker, POINTS, base_seed=5, workers=1,
+                       journal=journal, resume=True,
+                       cache=cache, cache_name="counting", health=health)
+    assert second == first
+    assert health.resumed == len(POINTS)
+    assert len(REPLAY_CALLS) == len(POINTS)  # replayed, not recomputed
+
+    warm = ResultCache(str(tmp_path / "cache"))
+    rerun_health = SweepHealth()
+    third = run_sweep(counting_worker, POINTS, base_seed=5, workers=1,
+                      cache=warm, cache_name="counting",
+                      health=rerun_health)
+    assert third == first
+    assert rerun_health.cached == len(POINTS)
+    assert len(REPLAY_CALLS) == len(POINTS)  # cache hits all the way
+
+
+def lookalike_worker(point, seed):
+    """Stats dict whose counter keys shadow the outcome-record keys."""
+    return {"skipped": 3, "failed": 1, "delivered": 10,
+            "scale": point.as_dict()["scale"]}
+
+
+def test_outcome_classifiers_require_co_keys():
+    """A stats dict with ``skipped``/``failed`` *counters* is a result.
+
+    Regression: ``is_skipped``/``is_failed`` keyed on the flag alone,
+    so such results were silently dropped from campaign aggregation as
+    if the point never ran.  The structured records carry
+    ``skip_reason``/``error_kind`` co-keys; the classifiers demand them.
+    """
+    from repro.perf.outcomes import (
+        failure_record,
+        is_failed,
+        is_skipped,
+        outcome_counts,
+        skip_record,
+    )
+
+    assert not is_skipped({"skipped": 3, "delivered": 10})
+    assert not is_failed({"failed": 2, "retries": 1})
+    assert is_skipped(skip_record("p0", "statically infeasible"))
+    assert is_failed(failure_record("p0", "ValueError", attempts=1,
+                                    elapsed_s=0.0))
+    results = run_sweep(lookalike_worker, POINTS[:3], base_seed=1,
+                        workers=1)
+    assert outcome_counts(results) == {
+        "total": 3, "ok": 3, "skipped": 0, "failed": 0}
+
+
+def unserializable_worker(point, seed):
+    return {"handle": object()}  # cannot be JSON-persisted
+
+
+def test_unserializable_result_is_structured_failure(tmp_path):
+    """A non-JSON-serializable worker value must not abort the sweep.
+
+    Regression: ``cache.put`` raised TypeError inside the dispatcher's
+    completion callback, killing the whole sweep (and every in-flight
+    point) for one bad result.  It now becomes a failure record with
+    :data:`~repro.perf.outcomes.KIND_UNSERIALIZABLE`.
+    """
+    from repro.perf.outcomes import KIND_UNSERIALIZABLE, failed_points
+    from repro.perf.sweep import SweepHealth
+
+    cache = ResultCache(str(tmp_path))
+    health = SweepHealth()
+    results = run_sweep(unserializable_worker, POINTS[:3], base_seed=5,
+                        workers=1, cache=cache, cache_name="bad",
+                        health=health)
+    assert len(failed_points(results)) == 3
+    for record in results:
+        assert record["error_kind"] == KIND_UNSERIALIZABLE
+    assert health.failed == 3 and health.computed == 0
+
+
+def test_prune_tmp_reaps_old_files_from_live_pids(tmp_path):
+    """PID reuse: a live PID plus an hours-old mtime is an orphan.
+
+    Regression: prune_tmp trusted ``pid is alive`` alone, so a temp
+    file whose writer crashed and whose PID was recycled by an
+    unrelated long-lived process leaked forever.
+    """
+    import subprocess
+    import sys
+    import time
+
+    cache = ResultCache(str(tmp_path))
+    live = subprocess.Popen([sys.executable, "-c",
+                             "import time; time.sleep(60)"])
+    try:
+        fresh = tmp_path / f"k1.json.tmp.{live.pid}"
+        fresh.write_text("{")
+        stale = tmp_path / f"k2.json.tmp.{live.pid}"
+        stale.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert cache.prune_tmp() == 1
+        assert {p.name for p in tmp_path.iterdir()} == {fresh.name}
+    finally:
+        live.kill()
+        live.wait()
+
+
 def test_config_fingerprint_flattens_dataclasses():
     from repro.core.config import MultiRingConfig
     fp = config_fingerprint(MultiRingConfig())

@@ -79,3 +79,57 @@ def test_describe_topology_shape():
     for line, ring in zip(text.splitlines()[1:], spec.rings):
         strip = line[line.index("[") + 1:line.index("]")]
         assert len(strip) == ring.nstops
+
+
+# -- config round-trip ----------------------------------------------------
+
+
+def test_config_roundtrip_preserves_every_knob():
+    from repro.core.config import MultiRingConfig
+    from repro.core.serialize import config_from_dict, config_to_dict
+    from repro.params import QueueParams
+
+    config = MultiRingConfig(
+        engine="dense",
+        parallel_step=True,
+        parallel_workers=3,
+        parallel_window=4,
+        escape_slot_period=7,
+        queues=QueueParams(inject_queue_depth=5),
+    )
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+    assert rebuilt.parallel_step and rebuilt.parallel_workers == 3
+    assert rebuilt.queues.inject_queue_depth == 5
+
+
+def test_config_dict_rejects_unknown_keys_and_reliability():
+    import pytest
+
+    from repro.core.config import MultiRingConfig
+    from repro.core.serialize import config_from_dict, config_to_dict
+
+    raw = config_to_dict(MultiRingConfig())
+    raw["parallel_stepp"] = True  # typo'd knob must not become a default
+    with pytest.raises(ValueError, match="unknown config keys"):
+        config_from_dict(raw)
+
+    class FakeReliability:
+        pass
+
+    config = MultiRingConfig()
+    config.reliability = FakeReliability()
+    with pytest.raises(ValueError, match="reliability"):
+        config_to_dict(config)
+
+
+def test_config_dict_defaults_missing_keys():
+    """Old saves keep loading as knobs are added."""
+    from repro.core.config import MultiRingConfig
+    from repro.core.serialize import config_from_dict, config_to_dict
+
+    raw = config_to_dict(MultiRingConfig())
+    raw.pop("parallel_step")
+    raw.pop("parallel_workers")
+    rebuilt = config_from_dict(raw)
+    assert rebuilt == MultiRingConfig()
